@@ -1,0 +1,537 @@
+package fsml
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/exps"
+	"fsml/internal/machine"
+	"fsml/internal/mapred"
+	"fsml/internal/mem"
+	"fsml/internal/miniprog"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+	"fsml/internal/report"
+	"fsml/internal/shadow"
+	"fsml/internal/suite"
+	"fsml/internal/trace"
+)
+
+// Re-exported building blocks. The aliases make the internal packages'
+// core vocabulary available to library users without widening the
+// maintenance surface: a Kernel is a simulated software thread, a Ctx the
+// operation interface handed to it, a Space the simulated address space
+// with explicit cache-line layout control.
+type (
+	// Kernel is one software thread of a workload.
+	Kernel = machine.Kernel
+	// Ctx is the operation interface a running Kernel uses.
+	Ctx = machine.Ctx
+	// IterKernel is the loop-shaped Kernel helper.
+	IterKernel = machine.IterKernel
+	// SeqKernel chains kernel stages.
+	SeqKernel = machine.SeqKernel
+	// Barrier is a spin barrier for multi-phase workloads.
+	Barrier = machine.Barrier
+	// MachineConfig configures the simulated multicore platform.
+	MachineConfig = machine.Config
+	// Machine is the simulated platform.
+	Machine = machine.Machine
+	// OptLevel models the compiler optimization level (O0..O3).
+	OptLevel = machine.OptLevel
+	// Space is a simulated address space.
+	Space = mem.Space
+	// Array is a typed region with explicit stride (packed, padded, ...).
+	Array = mem.Array
+	// Detector is a trained false-sharing detector.
+	Detector = core.Detector
+	// Observation is one measured run.
+	Observation = core.Observation
+	// Collector measures workloads with the emulated PMU.
+	Collector = core.Collector
+	// Workload is one benchmark analog from the Phoenix/PARSEC suites.
+	Workload = suite.Workload
+	// Case selects one benchmark run (input, threads, flags, seed).
+	Case = suite.Case
+	// Dataset is a labeled feature-vector collection.
+	Dataset = dataset.Dataset
+	// Tree is a trained C4.5 decision tree.
+	Tree = ml.Tree
+	// ShadowReport is the Umbra-style verification tool's verdict.
+	ShadowReport = shadow.Report
+	// AccessTrace is a parsed multi-threaded memory-access trace (the
+	// portable text format of internal/trace).
+	AccessTrace = trace.Trace
+	// Platform bundles a machine model with its event catalogue; the
+	// §2.1 portability workflow re-runs steps 2-6 per Platform.
+	Platform = pmu.Platform
+	// PlatformDetector is a detector trained for a specific platform's
+	// event selection.
+	PlatformDetector = core.PlatformDetector
+)
+
+// Optimization levels.
+const (
+	O0 = machine.O0
+	O1 = machine.O1
+	O2 = machine.O2
+	O3 = machine.O3
+)
+
+// Class labels produced by detectors.
+const (
+	ClassGood  = "good"
+	ClassBadFS = "bad-fs"
+	ClassBadMA = "bad-ma"
+)
+
+// DefaultMachine returns the paper's 12-core Westmere DP platform
+// configuration.
+func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// NewSpace returns a simulated address space of the given size.
+func NewSpace(size uint64) *Space { return mem.NewSpace(size) }
+
+// NewPackedArray allocates n word-sized per-thread slots packed into
+// consecutive words — the false-sharing layout, with up to 8 slots per
+// cache line.
+func NewPackedArray(sp *Space, n int) Array { return mem.NewArray(sp, n, 8) }
+
+// NewPaddedArray allocates n word-sized per-thread slots, each on its own
+// cache line — the classic false-sharing fix.
+func NewPaddedArray(sp *Space, n int) Array { return mem.NewPaddedArray(sp, n, 8) }
+
+// NewCollector returns a measurement collector for the default platform
+// and the Table 2 event set.
+func NewCollector() *Collector { return core.NewCollector() }
+
+// ---------------------------------------------------------------------------
+// Training
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// Quick shrinks the collection grids (seconds instead of minutes);
+	// accuracy remains high but the training set is smaller than the
+	// paper's 880 instances.
+	Quick bool
+	// Seed drives collection and training determinism (default 1).
+	Seed uint64
+}
+
+// TrainReport summarizes what Train produced.
+type TrainReport struct {
+	// PartA and PartB are the Table 3 bookkeeping rows.
+	PartA, PartB core.TrainingSummary
+	// Data is the filtered training dataset.
+	Data *Dataset
+	// Tree is the learned decision tree (Figure 2).
+	Tree *Tree
+	// CVAccuracy is the stratified 10-fold cross-validation accuracy
+	// (Table 4 reports 99.4% on the paper's platform).
+	CVAccuracy float64
+}
+
+// Train runs the paper's full pipeline — collect mini-program event
+// counts, filter, train the C4.5 classifier, cross-validate — and
+// returns the detector plus a report.
+func Train(opts TrainOptions) (*Detector, *TrainReport, error) {
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	det, err := lab.Detector()
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := lab.TrainingData()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, b, err := lab.Summaries()
+	if err != nil {
+		return nil, nil, err
+	}
+	conf, err := lab.Table4()
+	if err != nil {
+		return nil, nil, err
+	}
+	return det, &TrainReport{PartA: a, PartB: b, Data: data, Tree: det.Tree, CVAccuracy: conf.Accuracy()}, nil
+}
+
+func seedOrDefault(s uint64) uint64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// IterativeResult is the trajectory of the §2.1 refinement loop.
+type IterativeResult = core.IterativeResult
+
+// IterativeTrain runs the paper's iterative workflow: grow the
+// mini-program set one program per round, retrain and cross-validate,
+// and stop once the target accuracy is reached with all three classes
+// covered.
+func IterativeTrain(opts TrainOptions, targetAccuracy float64) (*IterativeResult, error) {
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	return core.NewCollector().IterativeTrain(lab.GridA(), lab.GridB(), targetAccuracy, 10)
+}
+
+// EncodeDetector serializes a trained detector to JSON.
+func EncodeDetector(d *Detector) ([]byte, error) { return d.Encode() }
+
+// DecodeDetector parses a detector serialized by EncodeDetector.
+func DecodeDetector(data []byte) (*Detector, error) { return core.DecodeDetector(data) }
+
+// ---------------------------------------------------------------------------
+// Detection
+
+// Detect measures the given kernels on a fresh default machine and
+// classifies the run. This is the "apply to your own program" entry
+// point: build your workload's threads as Kernels over a Space, hand
+// them to a trained detector.
+func Detect(det *Detector, kernels []Kernel) (string, Observation, error) {
+	return DetectOn(det, DefaultMachine(), kernels)
+}
+
+// DetectOn is Detect with an explicit machine configuration.
+func DetectOn(det *Detector, cfg MachineConfig, kernels []Kernel) (string, Observation, error) {
+	c := core.NewCollector()
+	c.Machine = cfg
+	obs := c.Measure("user-workload", cfg.Seed, kernels)
+	class, err := det.ClassifyObservation(obs)
+	if err != nil {
+		return "", obs, err
+	}
+	return class, obs, nil
+}
+
+// SliceProfile is the outcome of time-sliced detection: one verdict per
+// execution interval, so phase-local false sharing becomes visible.
+type SliceProfile = core.SliceProfile
+
+// DetectSliced classifies the workload in intervals of sliceRounds
+// scheduler rounds instead of over the whole run — the paper's §6
+// fine-granularity extension. Phases that false-share show up as runs of
+// bad-fs slices even when the whole-program signature would average out.
+func DetectSliced(det *Detector, kernels []Kernel, sliceRounds int) (*SliceProfile, error) {
+	return core.NewCollector().DetectSliced(det, 1, kernels, sliceRounds)
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark suites
+
+// Workloads returns the 8 Phoenix + 11 PARSEC analogs.
+func Workloads() []Workload { return suite.All() }
+
+// LookupWorkload finds a workload by name.
+func LookupWorkload(name string) (Workload, bool) { return suite.Lookup(name) }
+
+// UnsupportedWorkloads lists the PARSEC programs the paper could not
+// evaluate (dedup, facesim) with the published reasons, so reports can
+// carry the same footnote.
+func UnsupportedWorkloads() map[string]string { return suite.Unsupported() }
+
+// SweepOptions configures ClassifyProgram.
+type SweepOptions struct {
+	// Quick restricts the sweep to one input and one thread count.
+	Quick bool
+	// Seed drives run determinism (default 1).
+	Seed uint64
+}
+
+// Verdict is the outcome of a full case sweep over one program.
+type Verdict struct {
+	// Class is the overall (majority) classification.
+	Class string
+	// Histogram counts per-case classes.
+	Histogram map[string]int
+	// Cases holds every classified case.
+	Cases []core.CaseResult
+}
+
+// ClassifyProgram sweeps a named benchmark program over its inputs,
+// optimization flags and thread counts (the paper's Table 5 protocol)
+// and returns the majority verdict.
+func ClassifyProgram(det *Detector, name string, opts SweepOptions) (*Verdict, error) {
+	w, ok := suite.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("fsml: unknown workload %q", name)
+	}
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	if err := lab.UseDetector(det); err != nil {
+		return nil, err
+	}
+	row, err := lab.ClassifyProgram(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Verdict{Class: row.Class, Histogram: row.Histogram, Cases: row.Cases}, nil
+}
+
+// ShadowVerify runs the Umbra-style shadow-memory contention detector
+// (the paper's verification baseline, Zhao et al. VEE'11) over the given
+// kernels and reports the false-sharing rate and the 1e-3 verdict. It
+// errors beyond the tool's 8-thread limit, as the original does.
+func ShadowVerify(cfg MachineConfig, kernels []Kernel) (ShadowReport, error) {
+	return shadow.Run(cfg, kernels)
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce substrate
+
+// MapReduceJob describes a computation for the bundled Phoenix-style
+// MapReduce runtime.
+type MapReduceJob = mapred.Job
+
+// MapReduceConfig shapes the runtime (workers, bookkeeping layout).
+type MapReduceConfig = mapred.Config
+
+// BuildMapReduce lays out a MapReduce job and returns its worker
+// kernels, ready for Detect or a Machine.
+func BuildMapReduce(job MapReduceJob, cfg MapReduceConfig) ([]Kernel, error) {
+	return mapred.Build(mapred.SpaceFor(job, cfg), job, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+
+// Report is a full per-program analysis: sweep verdict, event profile,
+// shadow cross-check, and contended-line sites.
+type Report = report.Report
+
+// ReportOptions shapes the sweep behind a Report.
+type ReportOptions = report.Options
+
+// BuildReport sweeps the named benchmark program with the detector and
+// assembles the actionable report (Markdown via Report.Markdown, JSON via
+// Report.JSON).
+func BuildReport(det *Detector, name string, opts ReportOptions) (*Report, error) {
+	return report.Build(det, name, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Traces and platforms
+
+// ParseTrace reads an access trace in the portable text format:
+// "T<tid> L|S <addr> [xN]" memory events and "T<tid> E|B <n>"
+// instruction events, one per line.
+func ParseTrace(r io.Reader) (*AccessTrace, error) { return trace.Parse(r) }
+
+// WriteTrace emits a trace in the format ParseTrace reads.
+func WriteTrace(w io.Writer, t *AccessTrace) error { return trace.Write(w, t) }
+
+// DetectTrace replays a parsed trace on a fresh default machine and
+// classifies it with the detector.
+func DetectTrace(det *Detector, t *AccessTrace) (string, Observation, error) {
+	return Detect(det, t.Kernels())
+}
+
+// RecordTrace runs kernels with recording hooks attached and returns the
+// captured trace (memory accesses plus instruction batches, run-length
+// merged). Recording costs no simulated time; the trace replays to the
+// same instruction counts and coherence signature.
+func RecordTrace(cfg MachineConfig, kernels []Kernel) (*AccessTrace, machine.RunResult) {
+	return trace.Record(cfg, kernels)
+}
+
+// Platforms returns the modeled hardware platforms (Westmere DP — the
+// paper's — and Sandy Bridge EP).
+func Platforms() []Platform { return pmu.Platforms() }
+
+// TrainForPlatform runs the paper's portability workflow (steps 2-6) on
+// the named platform: event selection over its catalogue, training-data
+// collection with the selected events, and classifier training.
+func TrainForPlatform(name string, opts TrainOptions) (*PlatformDetector, error) {
+	p, err := pmu.LookupPlatform(name)
+	if err != nil {
+		return nil, err
+	}
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	selCfg := core.DefaultSelection()
+	if opts.Quick {
+		selCfg.Sizes = []int{40000}
+		selCfg.MatSize = 96
+		selCfg.Threads = []int{6}
+	}
+	return core.TrainOnPlatform(p, selCfg, lab.GridA(), lab.GridB())
+}
+
+// ---------------------------------------------------------------------------
+// Mini-programs and experiments
+
+// MiniProgramSpec selects one training mini-program run.
+type MiniProgramSpec = miniprog.Spec
+
+// Mode is a mini-program mode (good / bad-fs / bad-ma).
+type Mode = miniprog.Mode
+
+// Mini-program modes.
+const (
+	Good  = miniprog.Good
+	BadFS = miniprog.BadFS
+	BadMA = miniprog.BadMA
+)
+
+// BuildMiniProgram constructs the kernels of a training mini-program.
+func BuildMiniProgram(spec MiniProgramSpec) ([]Kernel, error) { return miniprog.Build(spec) }
+
+// FeatureNames returns the classifier's attribute names (the first 15
+// Table 2 events).
+func FeatureNames() []string { return pmu.FeatureNames() }
+
+// Reproduce regenerates one of the paper's numbered experiments and
+// returns its rendered result. Valid names: table1, table2, table3,
+// table4, figure2, table5, table6, table7, table8, table9, table10,
+// table11, overhead, ablation-classifier, ablation-features.
+func Reproduce(name string, quick bool) (string, error) {
+	lab := &exps.Lab{Quick: quick, Seed: 1}
+	return reproduceWith(lab, name)
+}
+
+func reproduceWith(lab *exps.Lab, name string) (string, error) {
+	switch name {
+	case "table1":
+		r, err := lab.Table1()
+		return render(r, err)
+	case "table2":
+		r, err := lab.Table2()
+		return render(r, err)
+	case "table3":
+		r, err := lab.Table3()
+		return render(r, err)
+	case "table4":
+		r, err := lab.Table4()
+		if err != nil {
+			return "", err
+		}
+		return r.DetailedString(), nil
+	case "figure2":
+		r, err := lab.Figure2()
+		return render(r, err)
+	case "table5":
+		r, err := lab.Table5()
+		return render(r, err)
+	case "table6":
+		r, err := lab.Table6()
+		return render(r, err)
+	case "table7":
+		r, err := lab.Table7()
+		return render(r, err)
+	case "table8":
+		r, err := lab.Table8()
+		return render(r, err)
+	case "table9":
+		r, err := lab.Table9()
+		return render(r, err)
+	case "table10":
+		r, err := lab.Table10()
+		return render(r, err)
+	case "table11":
+		t10, err := lab.Table10()
+		if err != nil {
+			return "", err
+		}
+		return exps.Table11(t10).String(), nil
+	case "overhead":
+		r, err := lab.Overhead()
+		return render(r, err)
+	case "ablation-classifier":
+		rows, err := lab.ClassifierAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderClassifierAblation(rows), nil
+	case "ablation-features":
+		rows, err := lab.FeatureAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderFeatureAblation(rows), nil
+	case "ablation-partb":
+		rows, err := lab.PartBAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderPartBAblation(rows), nil
+	case "crossplatform":
+		rows, err := lab.CrossPlatform()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderCrossPlatform(rows), nil
+	case "baselines":
+		rows, err := lab.BaselineComparison()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderBaselineComparison(rows), nil
+	case "ablation-protocol":
+		rows, err := lab.ProtocolAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderProtocolAblation(rows), nil
+	case "ablation-quantum":
+		rows, err := lab.QuantumAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderQuantumAblation(rows), nil
+	case "ablation-cache":
+		rows, err := lab.CacheFeatureAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderCacheFeatureAblation(rows), nil
+	case "stability":
+		var b strings.Builder
+		for _, sc := range exps.DefaultStabilityCases() {
+			repeats := 12
+			if lab.Quick {
+				repeats = 6
+			}
+			r, err := lab.StabilityStudy(sc.Program, sc.Case, repeats)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.String())
+		}
+		return b.String(), nil
+	case "limitation":
+		r, err := lab.TrueSharingLimitation()
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "ablation-placement":
+		rows, err := lab.PlacementAblation()
+		if err != nil {
+			return "", err
+		}
+		return exps.RenderPlacementAblation(rows), nil
+	default:
+		return "", fmt.Errorf("fsml: unknown experiment %q", name)
+	}
+}
+
+func render(r fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// Experiments lists the names Reproduce accepts, in paper order.
+func Experiments() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "figure2", "table5",
+		"table6", "table7", "table8", "table9", "table10", "table11",
+		"overhead", "ablation-classifier", "ablation-features", "ablation-partb",
+		"crossplatform", "baselines", "ablation-protocol", "ablation-quantum",
+		"ablation-cache", "ablation-placement", "stability", "limitation",
+	}
+}

@@ -1,0 +1,237 @@
+package fsml_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fsml"
+)
+
+// Shared quick-trained detector for the API tests.
+var (
+	detOnce sync.Once
+	det     *fsml.Detector
+	detRep  *fsml.TrainReport
+	detErr  error
+)
+
+func trained(t *testing.T) (*fsml.Detector, *fsml.TrainReport) {
+	t.Helper()
+	detOnce.Do(func() {
+		det, detRep, detErr = fsml.Train(fsml.TrainOptions{Quick: true})
+	})
+	if detErr != nil {
+		t.Fatal(detErr)
+	}
+	return det, detRep
+}
+
+func TestTrainProducesUsableDetector(t *testing.T) {
+	d, rep := trained(t)
+	if d.Tree == nil || rep.Tree == nil {
+		t.Fatalf("no tree on trained detector")
+	}
+	if rep.CVAccuracy < 0.95 {
+		t.Errorf("CV accuracy %.3f", rep.CVAccuracy)
+	}
+	if rep.Data.Len() < 100 {
+		t.Errorf("training set only %d instances", rep.Data.Len())
+	}
+	if rep.PartA.BadFS == 0 || rep.PartB.BadMA == 0 {
+		t.Errorf("training summaries incomplete: %+v %+v", rep.PartA, rep.PartB)
+	}
+}
+
+func TestDetectOnUserKernels(t *testing.T) {
+	d, _ := trained(t)
+	// A user workload with deliberate false sharing: four threads doing
+	// read-modify-write on packed adjacent slots.
+	build := func(padded bool) []fsml.Kernel {
+		sp := fsml.NewSpace(1 << 22)
+		var slots fsml.Array
+		if padded {
+			slots = fsml.NewPaddedArray(sp, 4)
+		} else {
+			slots = fsml.NewPackedArray(sp, 4)
+		}
+		kernels := make([]fsml.Kernel, 4)
+		for tid := 0; tid < 4; tid++ {
+			addr := slots.Addr(tid)
+			kernels[tid] = &fsml.IterKernel{End: 30000, Body: func(ctx *fsml.Ctx, i int) {
+				ctx.Load(addr)
+				ctx.Exec(2)
+				ctx.Store(addr)
+			}}
+		}
+		return kernels
+	}
+	class, obs, err := fsml.Detect(d, build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != fsml.ClassBadFS {
+		t.Errorf("packed RMW workload classified %q, want bad-fs", class)
+	}
+	if obs.Result.Instructions == 0 {
+		t.Errorf("observation missing run stats")
+	}
+	class, _, err = fsml.Detect(d, build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != fsml.ClassGood {
+		t.Errorf("padded RMW workload classified %q, want good", class)
+	}
+}
+
+func TestDetectorRoundTripThroughAPI(t *testing.T) {
+	d, _ := trained(t)
+	blob, err := fsml.EncodeDetector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsml.DecodeDetector(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tree.Leaves() != d.Tree.Leaves() {
+		t.Errorf("round trip changed the tree")
+	}
+}
+
+func TestClassifyProgramWithLoadedDetector(t *testing.T) {
+	d, _ := trained(t)
+	v, err := fsml.ClassifyProgram(d, "linear_regression", fsml.SweepOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != fsml.ClassBadFS {
+		t.Errorf("linear_regression sweep verdict %q (%v)", v.Class, v.Histogram)
+	}
+	if len(v.Cases) == 0 {
+		t.Errorf("no cases recorded")
+	}
+	if _, err := fsml.ClassifyProgram(d, "no-such-program", fsml.SweepOptions{Quick: true}); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	if got := len(fsml.Workloads()); got != 19 {
+		t.Errorf("Workloads() = %d entries, want 19", got)
+	}
+	if _, ok := fsml.LookupWorkload("streamcluster"); !ok {
+		t.Errorf("LookupWorkload(streamcluster) failed")
+	}
+}
+
+func TestShadowVerifyThroughAPI(t *testing.T) {
+	kernels, err := fsml.BuildMiniProgram(fsml.MiniProgramSpec{
+		Program: "pdot", Size: 20000, Threads: 4, Mode: fsml.BadFS, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fsml.ShadowVerify(fsml.DefaultMachine(), kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Errorf("shadow tool missed mini-program false sharing (rate %v)", rep.FSRate)
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	names := fsml.FeatureNames()
+	if len(names) != 15 {
+		t.Errorf("FeatureNames() = %d names", len(names))
+	}
+}
+
+func TestReproduceQuickSmoke(t *testing.T) {
+	// The cheap experiments only; the heavyweight ones run in benches.
+	out, err := fsml.Reproduce("table1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "false sharing") {
+		t.Errorf("table1 render:\n%s", out)
+	}
+	if _, err := fsml.Reproduce("table99", true); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+	if len(fsml.Experiments()) != 24 {
+		t.Errorf("Experiments() = %v", fsml.Experiments())
+	}
+}
+
+func TestDetectSlicedThroughAPI(t *testing.T) {
+	d, _ := trained(t)
+	kernels, err := fsml.BuildMiniProgram(fsml.MiniProgramSpec{
+		Program: "padding", Size: 60000, Threads: 6, Mode: fsml.BadFS, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := fsml.DetectSliced(d, kernels, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.Overall != fsml.ClassBadFS {
+		t.Errorf("sliced overall = %q, want bad-fs\n%s", profile.Overall, profile)
+	}
+}
+
+func TestParseTraceAndDetect(t *testing.T) {
+	d, _ := trained(t)
+	// Synthesize a false-sharing trace in the text format and round-trip
+	// it through Parse/Write.
+	var b strings.Builder
+	for tid := 0; tid < 4; tid++ {
+		addr := 0x20000 + tid*8
+		fmt.Fprintf(&b, "T%d L 0x%x x4000\nT%d S 0x%x x4000\nT%d E 4000\n", tid, addr, tid, addr, tid)
+	}
+	parsed, err := fsml.ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, _, err := fsml.DetectTrace(d, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != fsml.ClassBadFS {
+		t.Errorf("false-sharing trace classified %q", class)
+	}
+	var out strings.Builder
+	if err := fsml.WriteTrace(&out, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsml.ParseTrace(strings.NewReader(out.String())); err != nil {
+		t.Errorf("written trace does not re-parse: %v", err)
+	}
+}
+
+func TestPlatformsExposed(t *testing.T) {
+	ps := fsml.Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("Platforms() = %d", len(ps))
+	}
+	if _, err := fsml.TrainForPlatform("no-such-platform", fsml.TrainOptions{Quick: true}); err == nil {
+		t.Errorf("unknown platform accepted")
+	}
+}
+
+func TestIterativeTrainAPI(t *testing.T) {
+	res, err := fsml.IterativeTrain(fsml.TrainOptions{Quick: true}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Errorf("target not reached:\n%s", res)
+	}
+	if res.Detector == nil {
+		t.Fatal("no detector")
+	}
+}

@@ -1,0 +1,435 @@
+// Command fsml is the command-line front end of the false-sharing
+// detector: train a model from the mini-programs, classify benchmark
+// programs with it, inspect the learned tree, run the shadow-memory
+// verification tool, and regenerate any of the paper's tables.
+//
+// Usage:
+//
+//	fsml train   [-quick] [-seed N] [-o model.json]
+//	fsml classify [-quick] [-model model.json] <program>...
+//	fsml tree    [-quick] [-model model.json]
+//	fsml events  [-quick]
+//	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
+//	fsml repro   [-quick] <table1|...|table11|figure2|overhead|all>
+//	fsml list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fsml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "tree":
+		err = cmdTree(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
+	case "shadow":
+		err = cmdShadow(os.Args[2:])
+	case "measure":
+		err = cmdMeasure(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "platform":
+		err = cmdPlatform(os.Args[2:])
+	case "repro":
+		err = cmdRepro(os.Args[2:])
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fsml: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsml:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  fsml train    [-quick] [-seed N] [-o model.json]   collect + train a detector
+  fsml classify [-quick] [-model F] <program>...     classify benchmark programs
+  fsml tree     [-quick] [-model F]                  print the decision tree
+  fsml events   [-quick]                             run the event-selection step
+  fsml shadow   [-threads N] [-input NAME] [-opt N] <program>
+                                                     run the verification tool
+  fsml measure  [-threads N] [-input NAME] [-opt N] <program>
+                                                     print the normalized event vector
+  fsml trace    [-quick] [-model F] [-verify] <file>...
+                                                     classify access-trace files
+  fsml record   [-threads N] [-input NAME] [-opt N] [-o FILE] <program>
+                                                     record a program run as a trace
+  fsml report   [-quick] [-model F] [-json] [-o FILE] <program>
+                                                     full analysis report (md or json)
+  fsml platform [-quick] <name>                      retrain for a platform (steps 2-6)
+  fsml repro    [-quick] <experiment|all>            regenerate a paper table
+  fsml list                                          list programs & experiments
+`)
+}
+
+// loadOrTrain returns a detector: from -model if given, else trained.
+func loadOrTrain(path string, quick bool) (*fsml.Detector, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return fsml.DecodeDetector(data)
+	}
+	fmt.Fprintln(os.Stderr, "fsml: no -model given; training one (use `fsml train -o model.json` to cache)")
+	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "fsml: trained on %d instances, CV accuracy %.1f%%\n",
+		rep.Data.Len(), 100*rep.CVAccuracy)
+	return det, nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use reduced collection grids")
+	seed := fs.Uint64("seed", 1, "training seed")
+	out := fs.String("o", "model.json", "output model path")
+	fs.Parse(args)
+
+	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: *quick, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training set: %d instances (Part A: %d, Part B: %d)\n",
+		rep.Data.Len(), rep.PartA.Total(), rep.PartB.Total())
+	fmt.Printf("10-fold CV accuracy: %.1f%%\n", 100*rep.CVAccuracy)
+	fmt.Printf("tree: %d leaves, %d nodes\n", rep.Tree.Leaves(), rep.Tree.Size())
+	blob, err := fsml.EncodeDetector(det)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", *out)
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced sweep and training")
+	model := fs.String("model", "", "trained model path (default: train now)")
+	fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf("classify needs at least one program name (see `fsml list`)")
+	}
+	det, err := loadOrTrain(*model, *quick)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-8s (", name, v.Class)
+		first := true
+		for _, c := range []string{"good", "bad-fs", "bad-ma"} {
+			if n := v.Histogram[c]; n > 0 {
+				if !first {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%d/%d %s", n, len(v.Cases), c)
+				first = false
+			}
+		}
+		fmt.Println(")")
+	}
+	return nil
+}
+
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced training")
+	model := fs.String("model", "", "trained model path (default: train now)")
+	fs.Parse(args)
+	det, err := loadOrTrain(*model, *quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(det.Tree.String())
+	return nil
+}
+
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced probe grid")
+	fs.Parse(args)
+	out, err := fsml.Reproduce("table2", *quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdShadow(args []string) error {
+	fs := flag.NewFlagSet("shadow", flag.ExitOnError)
+	threads := fs.Int("threads", 4, "thread count (max 8: the tool's limit)")
+	input := fs.String("input", "", "input set name (default: smallest)")
+	opt := fs.Int("opt", 2, "optimization level 0-3")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("shadow needs exactly one program name")
+	}
+	w, ok := fsml.LookupWorkload(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown program %q (see `fsml list`)", fs.Arg(0))
+	}
+	in := *input
+	if in == "" {
+		in = w.Inputs[0].Name
+	}
+	cs := fsml.Case{Input: in, Threads: *threads, Opt: fsml.OptLevel(*opt), Seed: 1}
+	rep, err := fsml.ShadowVerify(fsml.DefaultMachine(), w.Build(cs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: false-sharing rate %.9f (events: %d fs / %d ts over %d instructions)\n",
+		w.Name, cs, rep.FSRate, rep.FalseSharing, rep.TrueSharing, rep.Instructions)
+	if rep.Detected {
+		fmt.Println("verdict: FALSE SHARING (rate > 1e-3)")
+	} else {
+		fmt.Println("verdict: no false sharing (rate <= 1e-3)")
+	}
+	return nil
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	threads := fs.Int("threads", 6, "thread count")
+	input := fs.String("input", "", "input set name (default: smallest)")
+	opt := fs.Int("opt", 2, "optimization level 0-3")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("measure needs exactly one program name")
+	}
+	w, ok := fsml.LookupWorkload(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown program %q (see `fsml list`)", fs.Arg(0))
+	}
+	in := *input
+	if in == "" {
+		in = w.Inputs[0].Name
+	}
+	cs := fsml.Case{Input: in, Threads: *threads, Opt: fsml.OptLevel(*opt), Seed: 1}
+	c := fsml.NewCollector()
+	obs := c.Measure(w.Name, 1, w.Build(cs))
+	fv, err := obs.Sample.FeatureVector()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: %d instructions, %.4f simulated s\n", w.Name, cs, obs.Result.Instructions, obs.Seconds)
+	fmt.Printf("%-4s %-42s %s\n", "#", "event", "count/instruction")
+	for i, name := range fsml.FeatureNames() {
+		fmt.Printf("%-4d %-42s %.9f\n", i+1, name, fv[i])
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced training")
+	model := fs.String("model", "", "trained model path (default: train now)")
+	verify := fs.Bool("verify", false, "also run the shadow-memory verification tool")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace needs at least one trace file")
+	}
+	det, err := loadOrTrain(*model, *quick)
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := fsml.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		class, obs, err := fsml.DetectTrace(det, tr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%-24s %-8s (%d threads, %d instructions, %.4f simulated s)\n",
+			path, class, tr.NumThreads(), obs.Result.Instructions, obs.Seconds)
+		if *verify {
+			rep, err := fsml.ShadowVerify(fsml.DefaultMachine(), tr.Kernels())
+			if err != nil {
+				fmt.Printf("  shadow tool: %v\n", err)
+				continue
+			}
+			fmt.Printf("  shadow tool: rate %.9f, detected=%v\n", rep.FSRate, rep.Detected)
+		}
+	}
+	return nil
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	threads := fs.Int("threads", 4, "thread count")
+	input := fs.String("input", "", "input set name (default: smallest)")
+	opt := fs.Int("opt", 2, "optimization level 0-3")
+	out := fs.String("o", "", "output trace path (default: <program>.trace)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("record needs exactly one program name")
+	}
+	w, ok := fsml.LookupWorkload(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown program %q (see `fsml list`)", fs.Arg(0))
+	}
+	in := *input
+	if in == "" {
+		in = w.Inputs[0].Name
+	}
+	cs := fsml.Case{Input: in, Threads: *threads, Opt: fsml.OptLevel(*opt), Seed: 1}
+	tr, res := fsml.RecordTrace(fsml.DefaultMachine(), w.Build(cs))
+	path := *out
+	if path == "" {
+		path = w.Name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fsml.WriteTrace(f, tr); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s %s: %d threads, %d trace records, %d instructions -> %s\n",
+		w.Name, cs, tr.NumThreads(), tr.Ops(), res.Instructions, path)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced training and sweep")
+	model := fs.String("model", "", "trained model path (default: train now)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of Markdown")
+	out := fs.String("o", "", "output path (default: stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report needs exactly one program name")
+	}
+	det, err := loadOrTrain(*model, *quick)
+	if err != nil {
+		return err
+	}
+	opts := fsml.ReportOptions{}
+	if *quick {
+		opts.Threads = []int{6}
+		opts.MaxInputs = 1
+	}
+	rep, err := fsml.BuildReport(det, fs.Arg(0), opts)
+	if err != nil {
+		return err
+	}
+	var blob []byte
+	if *asJSON {
+		blob, err = rep.JSON()
+		if err != nil {
+			return err
+		}
+	} else {
+		blob = []byte(rep.Markdown())
+	}
+	if *out == "" {
+		fmt.Print(string(blob))
+		return nil
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}
+
+func cmdPlatform(args []string) error {
+	fs := flag.NewFlagSet("platform", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced grids")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Println("available platforms:")
+		for _, p := range fsml.Platforms() {
+			fmt.Printf("  %-18s %d cores, %d candidate events\n", p.Name, p.Machine.Cores, len(p.Catalogue))
+		}
+		return nil
+	}
+	name := strings.Join(fs.Args(), " ")
+	pd, err := fsml.TrainForPlatform(name, fsml.TrainOptions{Quick: *quick})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform %s: selected %d events (+ normalizer)\n", pd.Platform.Name, len(pd.Selection.Selected)-1)
+	fmt.Print(pd.Selection.String())
+	fmt.Printf("\ntrained on %d instances; tree:\n%s", pd.Data.Len(), pd.Detector.Tree.String())
+	return nil
+}
+
+func cmdRepro(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced grids")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("repro needs one experiment name or 'all' (see `fsml list`)")
+	}
+	names := []string{fs.Arg(0)}
+	if fs.Arg(0) == "all" {
+		names = fsml.Experiments()
+	}
+	for _, name := range names {
+		out, err := fsml.Reproduce(name, *quick)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("===== %s =====\n%s\n", name, out)
+	}
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("benchmark programs:")
+	for _, w := range fsml.Workloads() {
+		inputs := make([]string, len(w.Inputs))
+		for i, in := range w.Inputs {
+			inputs[i] = in.Name
+		}
+		fmt.Printf("  %-8s %-18s paper: %-7s inputs: %s\n", w.Suite, w.Name, w.PaperClass, strings.Join(inputs, ","))
+	}
+	for name, why := range fsml.UnsupportedWorkloads() {
+		fmt.Printf("  %-8s %-18s (not modeled: %s)\n", "parsec", name, why)
+	}
+	fmt.Println("\nexperiments:")
+	fmt.Printf("  %s\n", strings.Join(fsml.Experiments(), " "))
+	return nil
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// modelPath lazily trains a quick model once and caches it on disk for
+// every CLI test that takes -model.
+var (
+	modelOnce sync.Once
+	modelFile string
+	modelErr  error
+)
+
+func model(t *testing.T) string {
+	t.Helper()
+	modelOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fsml-cli-test")
+		if err != nil {
+			modelErr = err
+			return
+		}
+		modelFile = filepath.Join(dir, "model.json")
+		modelErr = cmdTrain([]string{"-quick", "-o", modelFile})
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelFile
+}
+
+func TestCmdTrainWritesModel(t *testing.T) {
+	path := model(t)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Errorf("model file is empty")
+	}
+}
+
+func TestCmdTreeWithModel(t *testing.T) {
+	if err := cmdTree([]string{"-model", model(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdClassifyWithModel(t *testing.T) {
+	if err := cmdClassify([]string{"-quick", "-model", model(t), "histogram"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{"-quick", "-model", model(t)}); err == nil {
+		t.Errorf("classify without programs accepted")
+	}
+	if err := cmdClassify([]string{"-quick", "-model", model(t), "no-such"}); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+}
+
+func TestCmdShadow(t *testing.T) {
+	if err := cmdShadow([]string{"-threads", "4", "streamcluster"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdShadow([]string{}); err == nil {
+		t.Errorf("shadow without a program accepted")
+	}
+	if err := cmdShadow([]string{"no-such"}); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+	if err := cmdShadow([]string{"-threads", "12", "streamcluster"}); err == nil {
+		t.Errorf("12 threads should exceed the tool limit")
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "fs.trace")
+	content := ""
+	for tid := 0; tid < 4; tid++ {
+		content += "T" + string(rune('0'+tid)) + " L 0x20000 x2000\n"
+		content += "T" + string(rune('0'+tid)) + " S 0x20000 x2000\n"
+	}
+	if err := os.WriteFile(trPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-model", model(t), "-verify", trPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-model", model(t)}); err == nil {
+		t.Errorf("trace without files accepted")
+	}
+	if err := cmdTrace([]string{"-model", model(t), filepath.Join(dir, "missing.trace")}); err == nil {
+		t.Errorf("missing trace file accepted")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	os.WriteFile(bad, []byte("garbage\n"), 0o644)
+	if err := cmdTrace([]string{"-model", model(t), bad}); err == nil {
+		t.Errorf("malformed trace accepted")
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPlatformList(t *testing.T) {
+	if err := cmdPlatform([]string{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlatform([]string{"-quick", "no", "such", "platform"}); err == nil {
+		t.Errorf("unknown platform accepted")
+	}
+}
+
+func TestCmdReproValidation(t *testing.T) {
+	if err := cmdRepro([]string{"-quick"}); err == nil {
+		t.Errorf("repro without an experiment accepted")
+	}
+	if err := cmdRepro([]string{"-quick", "tableZZ"}); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+	if err := cmdRepro([]string{"-quick", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadOrTrainRejectsBadModel(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not a model"), 0o644)
+	if _, err := loadOrTrain(bad, true); err == nil {
+		t.Errorf("garbage model accepted")
+	}
+	if _, err := loadOrTrain(filepath.Join(dir, "missing.json"), true); err == nil {
+		t.Errorf("missing model accepted")
+	}
+}
+
+func TestCmdMeasure(t *testing.T) {
+	if err := cmdMeasure([]string{"-threads", "4", "histogram"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMeasure([]string{}); err == nil {
+		t.Errorf("measure without a program accepted")
+	}
+	if err := cmdMeasure([]string{"no-such"}); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+}
+
+func TestCmdRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.trace")
+	if err := cmdRecord([]string{"-threads", "2", "-o", path, "histogram"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	// The recorded trace must classify through the trace command.
+	if err := cmdTrace([]string{"-model", model(t), path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRecord([]string{}); err == nil {
+		t.Errorf("record without a program accepted")
+	}
+	if err := cmdRecord([]string{"no-such"}); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rep.md")
+	if err := cmdReport([]string{"-quick", "-model", model(t), "-o", out, "linear_regression"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("report not written: %v", err)
+	}
+	jsonOut := filepath.Join(dir, "rep.json")
+	if err := cmdReport([]string{"-quick", "-model", model(t), "-json", "-o", jsonOut, "histogram"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReport([]string{"-quick", "-model", model(t)}); err == nil {
+		t.Errorf("report without a program accepted")
+	}
+	if err := cmdReport([]string{"-quick", "-model", model(t), "dedup"}); err == nil {
+		t.Errorf("dedup should fail with the footnote")
+	}
+}

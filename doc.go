@@ -1,0 +1,54 @@
+// Package fsml detects false sharing in parallel programs from hardware
+// performance-event counts using a machine-learned classifier,
+// reproducing Jayasena et al., "Detection of False Sharing Using Machine
+// Learning" (SC'13).
+//
+// # What it does
+//
+// False sharing — threads on different cores writing distinct variables
+// that happen to occupy one cache line — can erase the speedup of a
+// parallel program while remaining invisible in the source. The SC'13
+// approach detects it cheaply: train a decision-tree classifier on
+// normalized performance-event counts from mini-programs whose false
+// sharing can be switched on and off, then classify any program's counts
+// as "good", "bad-fs" (false sharing) or "bad-ma" (inefficient memory
+// access).
+//
+// Because portable Go has neither PMU access nor control over cache-line
+// placement, this library ships its own execution substrate: a
+// deterministic multicore simulator with set-associative L1/L2/L3 caches,
+// MESI coherence with snoop responses, DTLB, line-fill buffers, a
+// stream prefetcher and an emulated Westmere-style PMU (the 16 events of
+// the paper's Table 2 plus a 46-event candidate catalogue). Workloads
+// are Kernels — resumable thread state machines issuing Load/Store/Exec
+// operations against explicitly laid-out simulated memory.
+//
+// # Quick start
+//
+//	det, report, err := fsml.Train(fsml.TrainOptions{Quick: true})
+//	if err != nil { ... }
+//	fmt.Println(report.Tree)            // the learned decision tree
+//
+//	verdict, err := fsml.ClassifyProgram(det, "streamcluster", fsml.SweepOptions{Quick: true})
+//	fmt.Println(verdict.Class)          // "bad-fs"
+//
+// Custom workloads implement machine.Kernel through the re-exported
+// kernel primitives; see examples/quickstart and examples/dotproduct.
+//
+// # Layout
+//
+//   - internal/machine, internal/cache, internal/mem, internal/pmu — the
+//     simulated platform
+//   - internal/miniprog — the training mini-programs (§2.2)
+//   - internal/ml — C4.5 (J48 analog), naive Bayes, k-NN,
+//     cross-validation
+//   - internal/core — event selection, training-data collection, the
+//     detector
+//   - internal/suite — Phoenix and PARSEC workload analogs (§4)
+//   - internal/shadow, internal/sheriff — the verification and
+//     comparison baselines
+//   - internal/exps — regenerates every table and figure of the paper
+//
+// See DESIGN.md for the substitution map (paper hardware -> simulator)
+// and EXPERIMENTS.md for paper-vs-measured results.
+package fsml

@@ -1,0 +1,30 @@
+// Report generates the full analysis document for one benchmark program:
+// the detector's verdict over a case sweep, the event profile of the most
+// incriminating case, the shadow-memory cross-check, and the contended
+// cache lines a developer would pad — everything the paper's workflow
+// produces, assembled into one Markdown report.
+//
+//	go run ./examples/report
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsml"
+)
+
+func main() {
+	det, _, err := fsml.Train(fsml.TrainOptions{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fsml.BuildReport(det, "linear_regression", fsml.ReportOptions{
+		Threads:   []int{6},
+		MaxInputs: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Markdown())
+}

@@ -1,0 +1,3 @@
+module fsml
+
+go 1.22

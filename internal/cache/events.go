@@ -1,0 +1,162 @@
+package cache
+
+// EvID identifies a micro-architectural event counted by the simulated
+// machine. The catalogue deliberately includes far more events than the
+// detector needs: the paper's methodology (§2.3) starts from 60-70
+// candidate events and narrows them with mini-program runs, so the
+// simulator must expose a comparably rich — and comparably redundant and
+// noisy — set for the selection step to be meaningful.
+//
+// Events below the cache level (instructions, branches, TLB, stalls) are
+// counted by internal/machine into the same per-core counter banks so that
+// the PMU sees one flat event space, as on real hardware.
+type EvID int
+
+const (
+	// Retirement / front end.
+	EvInstructions EvID = iota // INST_RETIRED.ANY
+	EvCycles                   // CPU_CLK_UNHALTED.CORE
+	EvUopsRetired              // UOPS_RETIRED.ANY (modeled as instructions + memory ops)
+	EvBranches                 // BR_INST_RETIRED.ALL
+	EvBranchMisses             // BR_MISP_RETIRED.ALL
+
+	// Memory instruction mix.
+	EvLoads  // MEM_INST_RETIRED.LOADS
+	EvStores // MEM_INST_RETIRED.STORES
+
+	// L1 data cache.
+	EvL1Hit         // L1D.HIT (noisy on real Westmere; see pmu noise model)
+	EvL1LoadMiss    // L1D.LD_MISS
+	EvL1StoreMiss   // L1D.ST_MISS
+	EvL1Replacement // L1D.REPL — lines brought into L1D (Table 2 event 14)
+	EvL1HitLFB      // MEM_LOAD_RETIRED.HIT_LFB — load hit an in-flight fill (event 12)
+
+	// L2 (private, inclusive of L1).
+	EvL2Hit            // L2_RQSTS.HIT (demand)
+	EvL2Miss           // L2_RQSTS.MISS (demand)
+	EvL2LdMiss         // L2_RQSTS.LD_MISS (Table 2 event 3)
+	EvL2RFOMiss        // L2_RQSTS.RFO_MISS
+	EvL2DemandI        // L2_DATA_RQSTS.DEMAND.I_STATE (event 1): demand req found line invalid
+	EvL2RFOHitS        // L2_WRITE.RFO.S_STATE (event 2): RFO upgrade of a Shared line
+	EvL2Fill           // L2_TRANSACTIONS.FILL (event 6): lines allocated into L2
+	EvL2LinesInS       // L2_LINES_IN.S_STATE (event 7)
+	EvL2LinesInE       // L2_LINES_IN.E_STATE
+	EvL2LinesInM       // L2_LINES_IN.M_STATE (RFO fills that will be written)
+	EvL2LinesOutClean  // L2_LINES_OUT.DEMAND_CLEAN (event 8)
+	EvL2LinesOutDirty  // L2_LINES_OUT.DEMAND_DIRTY
+	EvL2Prefetches     // L2 hardware prefetcher fills
+	EvL2PrefetchUseful // prefetched lines that later took a demand hit
+
+	// Offcore requests (what leaves the private hierarchy).
+	EvOffcoreDemandRD // OFFCORE_REQUESTS.DEMAND.READ_DATA (event 5)
+	EvOffcoreRFO      // OFFCORE_REQUESTS.DEMAND.RFO
+
+	// Snoop responses, counted at the responding core as on real uncore.
+	EvSnoopHit  // SNOOP_RESPONSE.HIT   (event 9):  responder had line Shared
+	EvSnoopHitE // SNOOP_RESPONSE.HITE  (event 10): responder had line Exclusive
+	EvSnoopHitM // SNOOP_RESPONSE.HITM  (event 11): responder had line Modified —
+	//            the false-sharing telltale: write-write ping-pong on one line
+	//            makes every miss hit Modified data in the other core's cache.
+	EvSnoopMiss // SNOOP_RESPONSE.MISS
+
+	// Requester-side HITM observation. The paper notes this candidate
+	// (MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM) surprisingly did not survive
+	// selection; the PMU models it as undercounted and noisy, as observed
+	// on real Westmere parts.
+	EvUncoreOtherCoreHITM
+
+	// L3 (shared, inclusive).
+	EvL3Hit      // demand requests served by L3
+	EvL3Miss     // demand requests that went to memory
+	EvL3LinesIn  // L3 fills
+	EvL3LinesOut // L3 evictions (incl. back-invalidations of L2/L1 copies)
+
+	// Memory controller.
+	EvMemReads
+	EvMemWrites
+
+	// DTLB.
+	EvDTLBMiss       // DTLB_MISSES.ANY (Table 2 event 13)
+	EvDTLBWalkCycles // page-walk cycle cost
+
+	// Resource stalls (cycle counts).
+	EvStallStore // RESOURCE_STALLS.STORE (event 4)
+	EvStallLoad  // RESOURCE_STALLS.LOAD  (event 15)
+	EvStallAny   // RESOURCE_STALLS.ANY
+
+	NumEvents // sentinel: size of a counter bank
+)
+
+var evNames = [NumEvents]string{
+	EvInstructions:        "INST_RETIRED.ANY",
+	EvCycles:              "CPU_CLK_UNHALTED.CORE",
+	EvUopsRetired:         "UOPS_RETIRED.ANY",
+	EvBranches:            "BR_INST_RETIRED.ALL",
+	EvBranchMisses:        "BR_MISP_RETIRED.ALL",
+	EvLoads:               "MEM_INST_RETIRED.LOADS",
+	EvStores:              "MEM_INST_RETIRED.STORES",
+	EvL1Hit:               "L1D.HIT",
+	EvL1LoadMiss:          "L1D.LD_MISS",
+	EvL1StoreMiss:         "L1D.ST_MISS",
+	EvL1Replacement:       "L1D.REPL",
+	EvL1HitLFB:            "MEM_LOAD_RETIRED.HIT_LFB",
+	EvL2Hit:               "L2_RQSTS.HIT",
+	EvL2Miss:              "L2_RQSTS.MISS",
+	EvL2LdMiss:            "L2_RQSTS.LD_MISS",
+	EvL2RFOMiss:           "L2_RQSTS.RFO_MISS",
+	EvL2DemandI:           "L2_DATA_RQSTS.DEMAND.I_STATE",
+	EvL2RFOHitS:           "L2_WRITE.RFO.S_STATE",
+	EvL2Fill:              "L2_TRANSACTIONS.FILL",
+	EvL2LinesInS:          "L2_LINES_IN.S_STATE",
+	EvL2LinesInE:          "L2_LINES_IN.E_STATE",
+	EvL2LinesInM:          "L2_LINES_IN.M_STATE",
+	EvL2LinesOutClean:     "L2_LINES_OUT.DEMAND_CLEAN",
+	EvL2LinesOutDirty:     "L2_LINES_OUT.DEMAND_DIRTY",
+	EvL2Prefetches:        "L2_PREFETCH.FILL",
+	EvL2PrefetchUseful:    "L2_PREFETCH.USEFUL",
+	EvOffcoreDemandRD:     "OFFCORE_REQUESTS.DEMAND.READ_DATA",
+	EvOffcoreRFO:          "OFFCORE_REQUESTS.DEMAND.RFO",
+	EvSnoopHit:            "SNOOP_RESPONSE.HIT",
+	EvSnoopHitE:           "SNOOP_RESPONSE.HITE",
+	EvSnoopHitM:           "SNOOP_RESPONSE.HITM",
+	EvSnoopMiss:           "SNOOP_RESPONSE.MISS",
+	EvUncoreOtherCoreHITM: "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM",
+	EvL3Hit:               "L3.HIT",
+	EvL3Miss:              "L3.MISS",
+	EvL3LinesIn:           "L3_LINES_IN.ANY",
+	EvL3LinesOut:          "L3_LINES_OUT.ANY",
+	EvMemReads:            "UNC_QMC_NORMAL_READS.ANY",
+	EvMemWrites:           "UNC_QMC_WRITES.FULL.ANY",
+	EvDTLBMiss:            "DTLB_MISSES.ANY",
+	EvDTLBWalkCycles:      "DTLB_MISSES.WALK_CYCLES",
+	EvStallStore:          "RESOURCE_STALLS.STORE",
+	EvStallLoad:           "RESOURCE_STALLS.LOAD",
+	EvStallAny:            "RESOURCE_STALLS.ANY",
+}
+
+// String returns the Intel-style mnemonic for the event.
+func (e EvID) String() string {
+	if e < 0 || e >= NumEvents {
+		return "EV_UNKNOWN"
+	}
+	return evNames[e]
+}
+
+// Counters is one per-core bank of raw event counts, indexed by EvID.
+type Counters [NumEvents]uint64
+
+// Add increments event e by n.
+func (c *Counters) Add(e EvID, n uint64) { c[e] += n }
+
+// Get returns the count of event e.
+func (c *Counters) Get(e EvID) uint64 { return c[e] }
+
+// AddAll accumulates other into c element-wise.
+func (c *Counters) AddAll(other *Counters) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Reset zeroes the bank.
+func (c *Counters) Reset() { *c = Counters{} }

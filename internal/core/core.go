@@ -1,0 +1,101 @@
+// Package core implements the paper's contribution: the six-step
+// methodology of §2.1 that turns hardware performance-event counts into a
+// false-sharing detector.
+//
+//  1. mini-programs with switchable false sharing     internal/miniprog
+//  2. identification of relevant events               SelectEvents (§2.3)
+//  3. collection of event counts                      Collector (§3.1)
+//  4. labeling                                        Observation.Instance
+//  5. classifier training                             TrainDetector (§3.2)
+//  6. application to unseen programs                  Detector.Classify (§4)
+//
+// Everything is deterministic given the seeds in the configs.
+package core
+
+import (
+	"fmt"
+
+	"fsml/internal/machine"
+	"fsml/internal/miniprog"
+	"fsml/internal/pmu"
+)
+
+// Observation is one measured run: what was run, what the PMU saw, and
+// how long it took. It is the unit both training and detection consume.
+type Observation struct {
+	// Desc identifies the run (program, size, threads, mode/flags).
+	Desc string
+	// Label is the ground-truth class for training data ("" for
+	// detection runs on unknown programs).
+	Label string
+	// Sample holds the observed event counts.
+	Sample pmu.Sample
+	// Result is the execution summary (cycles, instructions).
+	Result machine.RunResult
+	// Seconds is the simulated wall-clock time.
+	Seconds float64
+}
+
+// Collector runs workloads on freshly built machines and measures them
+// with a PMU. A Collector is configured once and reused across runs;
+// each run gets its own machine so no cache state leaks between
+// measurements.
+type Collector struct {
+	// Machine is the machine template (core count, cache config, clock).
+	Machine machine.Config
+	// PMU is the observation model.
+	PMU pmu.Config
+	// Events is the counter programming; defaults to pmu.Table2().
+	Events []pmu.EventDef
+}
+
+// NewCollector returns a collector for the paper's default platform and
+// the Table 2 event set.
+func NewCollector() *Collector {
+	return &Collector{
+		Machine: machine.DefaultConfig(),
+		PMU:     pmu.DefaultConfig(),
+		Events:  pmu.Table2(),
+	}
+}
+
+// Measure runs the kernels on a fresh machine built from the collector's
+// template (with the given seed) and returns the observation.
+// Monitoring overhead is modeled as enabled: that is the paper's
+// deployment scenario, and its cost is what the <2% claim is about.
+func (c *Collector) Measure(desc string, seed uint64, kernels []machine.Kernel) Observation {
+	mcfg := c.Machine
+	mcfg.Seed = seed
+	mcfg.Monitor = true
+	m := machine.New(mcfg)
+
+	pcfg := c.PMU
+	pcfg.Seed = seed
+	evs := c.Events
+	if evs == nil {
+		evs = pmu.Table2()
+	}
+	p := pmu.New(pcfg, evs)
+
+	res := m.Run(kernels)
+	return Observation{
+		Desc:    desc,
+		Sample:  p.Read(m.Hierarchy()),
+		Result:  res,
+		Seconds: m.Seconds(res),
+	}
+}
+
+// MeasureMiniProgram builds and measures one mini-program spec, labeling
+// the observation with the spec's mode.
+func (c *Collector) MeasureMiniProgram(spec miniprog.Spec) (Observation, error) {
+	kernels, err := miniprog.Build(spec)
+	if err != nil {
+		return Observation{}, err
+	}
+	desc := fmt.Sprintf("%s/size=%d/threads=%d/%s/seed=%d",
+		spec.Program, spec.Size, spec.Threads, spec.Mode, spec.Seed)
+	obs := c.Measure(desc, spec.Seed^0x5151, kernels)
+	obs.Label = spec.Mode.String()
+	return obs, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsml/internal/dataset"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+)
+
+// Detector is a trained false-sharing detector: the paper's step 6
+// artifact. It classifies normalized Table 2 event vectors into
+// good / bad-fs / bad-ma.
+type Detector struct {
+	// Tree is the trained decision tree (the J48 analog). Detectors
+	// trained with other classifiers hold them in Model and leave Tree
+	// nil; only trees serialize.
+	Tree *ml.Tree
+	// Model is the live classifier (equals Tree when tree-trained).
+	Model ml.Classifier
+	// TrainedOn records the training-set composition for reports.
+	TrainedOn map[string]int
+}
+
+// TrainDetector fits the default C4.5 detector from a labeled dataset.
+func TrainDetector(d *dataset.Dataset) (*Detector, error) {
+	tree, err := ml.NewC45(ml.DefaultC45()).TrainTree(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: training detector: %w", err)
+	}
+	return &Detector{Tree: tree, Model: tree, TrainedOn: d.CountByClass()}, nil
+}
+
+// TrainDetectorWith fits a detector with an arbitrary trainer (used by
+// the classifier-choice ablation).
+func TrainDetectorWith(tr ml.Trainer, d *dataset.Dataset) (*Detector, error) {
+	model, err := tr.Train(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: training detector with %s: %w", tr.Name(), err)
+	}
+	det := &Detector{Model: model, TrainedOn: d.CountByClass()}
+	if t, ok := model.(*ml.Tree); ok {
+		det.Tree = t
+	}
+	return det, nil
+}
+
+// Classify labels one PMU sample. Tree-based detectors project the
+// sample onto the tree's own attribute list, so detectors trained on a
+// platform-specific event selection (see TrainOnPlatform) classify
+// samples from that platform's PMU; feeding a sample that lacks the
+// model's events is an error, not a silent zero-fill.
+func (d *Detector) Classify(s pmu.Sample) (string, error) {
+	if d.Tree != nil {
+		fv, err := s.Project(d.Tree.Attrs)
+		if err != nil {
+			return "", err
+		}
+		return d.Tree.Predict(fv), nil
+	}
+	fv, err := s.FeatureVector()
+	if err != nil {
+		return "", err
+	}
+	return d.Model.Predict(fv), nil
+}
+
+// ClassifyObservation labels a measured run.
+func (d *Detector) ClassifyObservation(o Observation) (string, error) {
+	return d.Classify(o.Sample)
+}
+
+// ---------------------------------------------------------------------------
+// Case aggregation (§4's "overall (majority) result considering all cases")
+
+// CaseResult is one classified case of a program under test.
+type CaseResult struct {
+	// Desc identifies the case (input set, flags, threads).
+	Desc string
+	// Class is the detector's label for the case.
+	Class string
+	// Seconds is the case's simulated runtime, reported in the detail
+	// tables (Tables 6 and 8).
+	Seconds float64
+}
+
+// Majority returns the most frequent class over the cases and the count
+// histogram; ties break toward "good" (innocent until proven guilty),
+// then lexicographically.
+func Majority(cases []CaseResult) (string, map[string]int) {
+	hist := map[string]int{}
+	for _, c := range cases {
+		hist[c.Class]++
+	}
+	classes := make([]string, 0, len(hist))
+	for c := range hist {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if hist[classes[i]] != hist[classes[j]] {
+			return hist[classes[i]] > hist[classes[j]]
+		}
+		if (classes[i] == "good") != (classes[j] == "good") {
+			return classes[i] == "good"
+		}
+		return classes[i] < classes[j]
+	})
+	if len(classes) == 0 {
+		return "", hist
+	}
+	return classes[0], hist
+}
+
+// FormatHistogram renders "24/36 bad-fs, 11/36 good, 1/36 bad-ma" style
+// summaries used throughout §4.
+func FormatHistogram(hist map[string]int) string {
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	labels := make([]string, 0, len(hist))
+	for l := range hist {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if hist[labels[i]] != hist[labels[j]] {
+			return hist[labels[i]] > hist[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%d/%d %s", hist[l], total, l)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// Model persistence
+
+// modelFile is the serialized detector format.
+type modelFile struct {
+	Format    string         `json:"format"`
+	Tree      *ml.Tree       `json:"tree"`
+	TrainedOn map[string]int `json:"trained_on,omitempty"`
+}
+
+const modelFormat = "fsml-detector-v1"
+
+// Encode serializes a tree-based detector to JSON.
+func (d *Detector) Encode() ([]byte, error) {
+	if d.Tree == nil {
+		return nil, fmt.Errorf("core: only tree-based detectors serialize")
+	}
+	return json.MarshalIndent(modelFile{Format: modelFormat, Tree: d.Tree, TrainedOn: d.TrainedOn}, "", "  ")
+}
+
+// DecodeDetector parses a serialized detector and validates that its
+// feature space matches the current Table 2 programming.
+func DecodeDetector(data []byte) (*Detector, error) {
+	var mf modelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("core: decoding detector: %w", err)
+	}
+	if mf.Format != modelFormat {
+		return nil, fmt.Errorf("core: unknown model format %q", mf.Format)
+	}
+	raw, err := json.Marshal(mf.Tree)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := ml.DecodeTree(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(tree.Attrs) == 0 {
+		return nil, fmt.Errorf("core: model carries no attribute names")
+	}
+	for i, a := range tree.Attrs {
+		if a == "" {
+			return nil, fmt.Errorf("core: model attribute %d is empty", i)
+		}
+	}
+	return &Detector{Tree: tree, Model: tree, TrainedOn: mf.TrainedOn}, nil
+}

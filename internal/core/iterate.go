@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/dataset"
+	"fsml/internal/miniprog"
+	"fsml/internal/ml"
+)
+
+// This file implements the iterative workflow of §2.1: "one could iterate
+// through steps 1-6 a few times, adding new mini-programs in step 1 in
+// each iteration and thereby gradually improving the classification
+// accuracy, until [the] desired level is reached."
+
+// IterationStep records one round of the refinement loop.
+type IterationStep struct {
+	// Added is the mini-program introduced this round.
+	Added string
+	// Programs is the cumulative program set size.
+	Programs int
+	// Instances is the training-set size after filtering.
+	Instances int
+	// CVAccuracy is the stratified 10-fold (or fewer, for tiny sets)
+	// cross-validated accuracy after this round.
+	CVAccuracy float64
+}
+
+// IterativeResult is the trajectory of the refinement loop.
+type IterativeResult struct {
+	Steps []IterationStep
+	// Reached reports whether the target accuracy was met.
+	Reached bool
+	// Data is the final training set.
+	Data *dataset.Dataset
+	// Detector is the final trained detector.
+	Detector *Detector
+}
+
+// String renders the trajectory.
+func (r *IterativeResult) String() string {
+	var b strings.Builder
+	b.WriteString("Iterative training (add one mini-program per round, §2.1):\n")
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "  round %2d: +%-12s %2d programs, %4d instances, CV %.2f%%\n",
+			i+1, s.Added, s.Programs, s.Instances, 100*s.CVAccuracy)
+	}
+	fmt.Fprintf(&b, "target reached: %v\n", r.Reached)
+	return b.String()
+}
+
+// IterativeTrain grows the mini-program set one program at a time
+// (multi-threaded set first, then the sequential set), retraining and
+// cross-validating each round, and stops once targetAccuracy is reached
+// or every program has been added. Rounds with fewer instances than
+// folds are scored by resubstitution (the paper's early rounds would be
+// equally unreliable).
+func (c *Collector) IterativeTrain(gridA, gridB Grid, targetAccuracy float64, folds int) (*IterativeResult, error) {
+	if targetAccuracy <= 0 || targetAccuracy > 1 {
+		return nil, fmt.Errorf("core: target accuracy %v out of (0,1]", targetAccuracy)
+	}
+	if folds < 2 {
+		folds = 10
+	}
+	res := &IterativeResult{}
+	var obs []Observation
+
+	order := append(miniprog.MultiThreadedSet(), miniprog.SequentialSet()...)
+	for i, p := range order {
+		grid := gridA
+		if !p.MultiThreaded {
+			grid = gridB
+		}
+		newObs, err := c.Collect([]miniprog.Program{p}, grid)
+		if err != nil {
+			return nil, err
+		}
+		filterCfg := DefaultFilter()
+		filterCfg.DropWeakGood = !p.MultiThreaded
+		kept, _ := FilterObservations(newObs, filterCfg)
+		obs = append(obs, kept...)
+
+		data, err := BuildDataset(obs)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := scoreRound(data, folds)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, IterationStep{
+			Added: p.Name, Programs: i + 1, Instances: data.Len(), CVAccuracy: acc,
+		})
+		res.Data = data
+		if acc >= targetAccuracy && coversAllClasses(data) {
+			res.Reached = true
+			break
+		}
+	}
+	det, err := TrainDetector(res.Data)
+	if err != nil {
+		return nil, err
+	}
+	res.Detector = det
+	return res, nil
+}
+
+// scoreRound cross-validates when the set is big enough, else falls back
+// to resubstitution.
+func scoreRound(d *dataset.Dataset, folds int) (float64, error) {
+	trainer := ml.NewC45(ml.DefaultC45())
+	if d.Len() >= folds*2 && len(d.Classes()) > 1 {
+		// Every fold must contain each class or training can degenerate;
+		// stratified folds handle that as long as each class has >= folds
+		// members. Fall back when a class is too rare.
+		counts := d.CountByClass()
+		ok := true
+		for _, n := range counts {
+			if n < folds {
+				ok = false
+			}
+		}
+		if ok {
+			conf, err := ml.CrossValidate(trainer, d, folds, 1)
+			if err != nil {
+				return 0, err
+			}
+			return conf.Accuracy(), nil
+		}
+	}
+	model, err := trainer.Train(d)
+	if err != nil {
+		return 0, err
+	}
+	return ml.ResubstitutionError(model, d).Accuracy(), nil
+}
+
+// coversAllClasses requires good, bad-fs and bad-ma to all be present —
+// a detector missing a class is not done, whatever its accuracy.
+func coversAllClasses(d *dataset.Dataset) bool {
+	counts := d.CountByClass()
+	return counts["good"] > 0 && counts["bad-fs"] > 0 && counts["bad-ma"] > 0
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"fsml/internal/dataset"
+	"fsml/internal/miniprog"
+	"fsml/internal/pmu"
+)
+
+// This file implements the paper's portability workflow (§2.1): "with an
+// existing set of mini-programs, we can apply our approach to a new
+// hardware platform with the workflow being steps 2-6" — identify
+// relevant events on the new platform's catalogue, re-collect training
+// data with the selected events, retrain, and validate.
+
+// PlatformDetector bundles a detector with the platform state it was
+// built for.
+type PlatformDetector struct {
+	Platform pmu.Platform
+	// Selection is the §2.3 outcome on the platform's catalogue.
+	Selection *SelectionReport
+	// Detector is the trained model over the selected events.
+	Detector *Detector
+	// Data is the training set (for CV reporting).
+	Data *dataset.Dataset
+}
+
+// BuildDatasetAttrs converts observations into a dataset over arbitrary
+// attribute names (each must be an event in every observation's sample).
+func BuildDatasetAttrs(obs []Observation, attrs []string) (*dataset.Dataset, error) {
+	d := dataset.New(attrs)
+	for _, o := range obs {
+		fv, err := o.Sample.Project(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", o.Desc, err)
+		}
+		if o.Label == "" {
+			return nil, fmt.Errorf("core: %s has no label", o.Desc)
+		}
+		if err := d.Add(dataset.Instance{Features: fv, Label: o.Label, Source: o.Desc}); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", o.Desc, err)
+		}
+	}
+	return d, nil
+}
+
+// TrainOnPlatform runs steps 2-6 on the given platform: select events
+// from its catalogue with selCfg, collect training data over the grids,
+// filter, and train a C4.5 detector over the selected features.
+func TrainOnPlatform(p pmu.Platform, selCfg SelectionConfig, gridA, gridB Grid) (*PlatformDetector, error) {
+	base := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: p.Catalogue}
+
+	// Step 2: identify relevant events on this platform.
+	sel, err := base.SelectEvents(p.Catalogue, selCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: selecting events on %s: %w", p.Name, err)
+	}
+
+	// Steps 3-4: collect and label training data with the selected set.
+	c := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: sel.Selected}
+	partA, err := c.Collect(miniprog.MultiThreadedSet(), gridA)
+	if err != nil {
+		return nil, err
+	}
+	partB, err := c.Collect(miniprog.SequentialSet(), gridB)
+	if err != nil {
+		return nil, err
+	}
+	keptA, _ := FilterObservations(partA, DefaultFilter())
+	cfgB := DefaultFilter()
+	cfgB.DropWeakGood = true
+	keptB, _ := FilterObservations(partB, cfgB)
+
+	// Step 5: train over the platform's own feature names.
+	attrs := pmu.FeatureAttrs(sel.Selected)
+	data, err := BuildDatasetAttrs(append(keptA, keptB...), attrs)
+	if err != nil {
+		return nil, err
+	}
+	det, err := TrainDetector(data)
+	if err != nil {
+		return nil, err
+	}
+	return &PlatformDetector{Platform: p, Selection: sel, Detector: det, Data: data}, nil
+}
+
+// NewPlatformCollector returns a collector measuring with the platform's
+// machine and the given event programming (defaults to the platform
+// reference set, falling back to the full catalogue).
+func NewPlatformCollector(p pmu.Platform, events []pmu.EventDef) *Collector {
+	if events == nil {
+		events = p.Reference
+	}
+	if events == nil {
+		events = p.Catalogue
+	}
+	return &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: events}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"strings"
+
+	"fsml/internal/cache"
+	"fsml/internal/miniprog"
+	"fsml/internal/pmu"
+)
+
+// SelectionConfig parameterizes the §2.3 event-identification procedure.
+type SelectionConfig struct {
+	// Ratio is the minimum between-mode count ratio for an event to be
+	// considered discriminating for a program (the paper's "minimum 2x
+	// ratio" heuristic).
+	Ratio float64
+	// Majority is the fraction of mini-programs that must discriminate
+	// for the event to be selected (the paper's "majority").
+	Majority float64
+	// MinRate discards events whose normalized count is negligible in
+	// both modes; a 2x ratio between two near-zero noise floors is not a
+	// signal.
+	MinRate float64
+	// Sizes and Threads define the probe grid.
+	Sizes   []int
+	MatSize int
+	Threads []int
+	// Seed drives the probe runs.
+	Seed uint64
+}
+
+// DefaultSelection mirrors the paper: 2x ratio, majority of programs,
+// thread counts 3/6/9/12 on the 12-core machine.
+func DefaultSelection() SelectionConfig {
+	return SelectionConfig{
+		Ratio:    2.0,
+		Majority: 0.5,
+		MinRate:  1e-6,
+		Sizes:    []int{60000, 160000},
+		MatSize:  128,
+		Threads:  []int{3, 6, 9, 12},
+		Seed:     7,
+	}
+}
+
+// EventVerdict records why an event was or wasn't selected.
+type EventVerdict struct {
+	Event pmu.EventDef
+	// FSVotes / MAVotes count mini-programs where the event separated
+	// good from bad-fs / bad-ma by at least the ratio.
+	FSVotes, MAVotes int
+	FSTotal, MATotal int
+	// Phase is 1 if selected as a bad-fs discriminator, 2 if as a bad-ma
+	// discriminator, 0 if not selected.
+	Phase int
+}
+
+// SelectionReport is the full outcome of SelectEvents.
+type SelectionReport struct {
+	Selected []pmu.EventDef
+	Verdicts []EventVerdict
+}
+
+// String renders the report as a table.
+func (r *SelectionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %8s %8s %6s\n", "event", "fs-votes", "ma-votes", "phase")
+	for _, v := range r.Verdicts {
+		phase := "-"
+		if v.Phase > 0 {
+			phase = fmt.Sprintf("%d", v.Phase)
+		}
+		fmt.Fprintf(&b, "%-42s %4d/%-3d %4d/%-3d %6s\n",
+			v.Event.Name, v.FSVotes, v.FSTotal, v.MAVotes, v.MATotal, phase)
+	}
+	fmt.Fprintf(&b, "selected %d events (+ normalizer)\n", len(r.Selected)-1)
+	return b.String()
+}
+
+// SelectEvents runs the two-phase §2.3 procedure over the candidate
+// catalogue: phase 1 keeps events that separate good from bad-fs for a
+// majority of multi-threaded mini-programs; phase 2 examines the rest
+// against bad-ma (on every program that has a bad-ma mode). The
+// instruction counter is always appended as the normalizer.
+func (c *Collector) SelectEvents(candidates []pmu.EventDef, cfg SelectionConfig) (*SelectionReport, error) {
+	if cfg.Ratio <= 1 {
+		return nil, fmt.Errorf("core: selection ratio must exceed 1, got %v", cfg.Ratio)
+	}
+	// Program the full candidate list: one run yields every event, with
+	// the multiplexing penalty the real setup would pay.
+	probe := &Collector{Machine: c.Machine, PMU: c.PMU, Events: candidates}
+
+	// meanRates returns, per program, the grid-averaged normalized count
+	// of every candidate for the given mode.
+	meanRates := func(progs []miniprog.Program, mode miniprog.Mode) (map[string][]float64, error) {
+		out := map[string][]float64{}
+		for _, p := range progs {
+			if !p.Supports[mode] {
+				continue
+			}
+			acc := make([]float64, len(candidates))
+			runs := 0
+			for _, size := range cfg.Sizes {
+				sz := size
+				if p.Name == "pmatmult" || p.Name == "pmatcompare" || p.Name == "smatmult" {
+					sz = cfg.MatSize
+				}
+				threads := cfg.Threads
+				if !p.MultiThreaded {
+					threads = []int{1}
+				}
+				for _, th := range threads {
+					spec := miniprog.Spec{Program: p.Name, Size: sz, Threads: th, Mode: mode, Seed: cfg.Seed + uint64(runs)}
+					obs, err := probe.MeasureMiniProgram(spec)
+					if err != nil {
+						return nil, err
+					}
+					norm := obs.Sample.Normalized()
+					for i := range acc {
+						acc[i] += norm[i]
+					}
+					runs++
+				}
+				if !p.MultiThreaded {
+					break // one size probe is plenty for phase 2 voting
+				}
+			}
+			for i := range acc {
+				acc[i] /= float64(runs)
+			}
+			out[p.Name] = acc
+		}
+		return out, nil
+	}
+
+	discriminates := func(a, b float64) bool {
+		if a < b {
+			a, b = b, a
+		}
+		if a < cfg.MinRate {
+			return false
+		}
+		if b == 0 {
+			return true
+		}
+		return a/b >= cfg.Ratio
+	}
+
+	mt := miniprog.MultiThreadedSet()
+	goodMT, err := meanRates(mt, miniprog.Good)
+	if err != nil {
+		return nil, err
+	}
+	fsMT, err := meanRates(mt, miniprog.BadFS)
+	if err != nil {
+		return nil, err
+	}
+	all := miniprog.All()
+	goodAll, err := meanRates(all, miniprog.Good)
+	if err != nil {
+		return nil, err
+	}
+	maAll, err := meanRates(all, miniprog.BadMA)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &SelectionReport{}
+	for ci, cand := range candidates {
+		v := EventVerdict{Event: cand}
+		for name, g := range goodMT {
+			f, ok := fsMT[name]
+			if !ok {
+				continue
+			}
+			v.FSTotal++
+			if discriminates(g[ci], f[ci]) {
+				v.FSVotes++
+			}
+		}
+		for name, m := range maAll {
+			g, ok := goodAll[name]
+			if !ok {
+				continue
+			}
+			v.MATotal++
+			if discriminates(g[ci], m[ci]) {
+				v.MAVotes++
+			}
+		}
+		report.Verdicts = append(report.Verdicts, v)
+	}
+
+	// Phase 1: bad-fs discriminators.
+	for i := range report.Verdicts {
+		v := &report.Verdicts[i]
+		if v.Event.Ev == cache.EvInstructions {
+			continue // the normalizer is appended unconditionally
+		}
+		if v.FSTotal > 0 && float64(v.FSVotes) > cfg.Majority*float64(v.FSTotal) {
+			v.Phase = 1
+			report.Selected = append(report.Selected, v.Event)
+		}
+	}
+	// Phase 2: among the rest, bad-ma discriminators.
+	for i := range report.Verdicts {
+		v := &report.Verdicts[i]
+		if v.Phase != 0 || v.Event.Ev == cache.EvInstructions {
+			continue
+		}
+		if v.MATotal > 0 && float64(v.MAVotes) > cfg.Majority*float64(v.MATotal) {
+			v.Phase = 2
+			report.Selected = append(report.Selected, v.Event)
+		}
+	}
+	// Append the normalizer.
+	for _, cand := range candidates {
+		if cand.Ev == cache.EvInstructions {
+			report.Selected = append(report.Selected, cand)
+			break
+		}
+	}
+	if len(report.Selected) == 0 || report.Selected[len(report.Selected)-1].Ev != cache.EvInstructions {
+		return nil, fmt.Errorf("core: candidate list lacks an instruction counter to normalize by")
+	}
+	return report, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/machine"
+	"fsml/internal/pmu"
+)
+
+// This file implements the paper's stated future work (§6): detecting
+// false sharing "at a finer granularity, for e.g., in short time slices"
+// instead of over the whole program duration. The machine is advanced in
+// bounded scheduler slices; counters are read and reset at each boundary
+// so every slice gets its own classification. A program that false-shares
+// only in one phase shows up as a run of bad-fs slices.
+
+// Slice is one classified execution interval.
+type Slice struct {
+	// Index is the slice number, Rounds its scheduler-round length.
+	Index  int
+	Rounds uint64
+	// Class is the detector's verdict for the interval ("" when the
+	// interval retired too few instructions to classify).
+	Class string
+	// Instructions and Seconds describe the interval.
+	Instructions uint64
+	Seconds      float64
+}
+
+// SliceProfile is the outcome of a sliced detection run.
+type SliceProfile struct {
+	Slices []Slice
+	// Overall is the whole-run majority class over classified slices.
+	Overall string
+}
+
+// minSliceInstructions guards against classifying near-empty tails:
+// normalized counts from a handful of instructions are noise.
+const minSliceInstructions = 2000
+
+// DetectSliced runs kernels on a machine built from the collector's
+// template, classifying every interval of sliceRounds scheduler rounds.
+func (c *Collector) DetectSliced(det *Detector, seed uint64, kernels []machine.Kernel, sliceRounds int) (*SliceProfile, error) {
+	if sliceRounds <= 0 {
+		return nil, fmt.Errorf("core: slice length must be positive, got %d", sliceRounds)
+	}
+	mcfg := c.Machine
+	mcfg.Seed = seed
+	mcfg.Monitor = true
+	m := machine.New(mcfg)
+
+	pcfg := c.PMU
+	pcfg.Seed = seed
+	evs := c.Events
+	if evs == nil {
+		evs = pmu.Table2()
+	}
+	p := pmu.New(pcfg, evs)
+
+	exec := m.StartExecution(kernels)
+	profile := &SliceProfile{}
+	for i := 0; ; i++ {
+		res, finished := exec.Run(sliceRounds)
+		if res.Rounds == 0 && finished {
+			break
+		}
+		s := Slice{
+			Index:        i,
+			Rounds:       res.Rounds,
+			Instructions: res.Instructions,
+			Seconds:      m.Seconds(res),
+		}
+		if res.Instructions >= minSliceInstructions {
+			class, err := det.Classify(p.Read(m.Hierarchy()))
+			if err != nil {
+				return nil, fmt.Errorf("core: classifying slice %d: %w", i, err)
+			}
+			s.Class = class
+		}
+		// Reset the banks so the next slice is measured in isolation.
+		m.Hierarchy().ResetCounters()
+		profile.Slices = append(profile.Slices, s)
+		if finished {
+			break
+		}
+	}
+	var cases []CaseResult
+	for _, s := range profile.Slices {
+		if s.Class != "" {
+			cases = append(cases, CaseResult{Class: s.Class})
+		}
+	}
+	profile.Overall, _ = Majority(cases)
+	return profile, nil
+}
+
+// PhaseRuns compresses the slice sequence into (class, length) runs,
+// the report a user acts on: "false sharing during slices 12-40".
+func (p *SliceProfile) PhaseRuns() []PhaseRun {
+	var runs []PhaseRun
+	for _, s := range p.Slices {
+		if s.Class == "" {
+			continue
+		}
+		if n := len(runs); n > 0 && runs[n-1].Class == s.Class {
+			runs[n-1].Slices++
+			runs[n-1].End = s.Index
+			continue
+		}
+		runs = append(runs, PhaseRun{Class: s.Class, Start: s.Index, End: s.Index, Slices: 1})
+	}
+	return runs
+}
+
+// PhaseRun is one maximal run of equally-classified slices.
+type PhaseRun struct {
+	Class      string
+	Start, End int
+	Slices     int
+}
+
+// String renders the profile compactly.
+func (p *SliceProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sliced detection: %d slices, overall %s\n", len(p.Slices), p.Overall)
+	for _, r := range p.PhaseRuns() {
+		fmt.Fprintf(&b, "  slices %3d-%3d  %s\n", r.Start, r.End, r.Class)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+	"fsml/internal/miniprog"
+)
+
+// phasedWorkload builds threads that run a clean streaming phase, then a
+// false-sharing phase, then another clean phase — the scenario the §6
+// "short time slices" extension exists for.
+func phasedWorkload(threads, perPhase int) []machine.Kernel {
+	sp := mem.NewSpace(1 << 24)
+	input := mem.NewArray(sp, perPhase*threads, 8)
+	packed := mem.NewArray(sp, threads, 8)
+	padded := mem.NewPaddedArray(sp, threads, 8)
+	kernels := make([]machine.Kernel, threads)
+	for tid := 0; tid < threads; tid++ {
+		start := tid * perPhase
+		clean := func() machine.Kernel {
+			return &machine.IterKernel{I: start, End: start + perPhase,
+				Body: func(ctx *machine.Ctx, i int) {
+					ctx.Load(input.Addr(i))
+					ctx.Exec(2)
+					ctx.Store(padded.Addr(tid))
+				}}
+		}
+		contended := &machine.IterKernel{I: start, End: start + perPhase,
+			Body: func(ctx *machine.Ctx, i int) {
+				ctx.Load(packed.Addr(tid))
+				ctx.Exec(1)
+				ctx.Store(packed.Addr(tid))
+			}}
+		kernels[tid] = &machine.SeqKernel{Stages: []machine.Kernel{clean(), contended, clean()}}
+	}
+	return kernels
+}
+
+func trainedDetector(t *testing.T) *Detector {
+	t.Helper()
+	obs, _, _ := collectSmall(t)
+	d, err := BuildDataset(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := TrainDetector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestDetectSlicedFindsThePhase(t *testing.T) {
+	det := trainedDetector(t)
+	c := NewCollector()
+	profile, err := c.DetectSliced(det, 5, phasedWorkload(6, 20000), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.Slices) < 6 {
+		t.Fatalf("only %d slices; workload should span many", len(profile.Slices))
+	}
+	runs := profile.PhaseRuns()
+	// The middle of the run must be a bad-fs phase bracketed by good.
+	var classes []string
+	for _, r := range runs {
+		classes = append(classes, r.Class)
+	}
+	joined := strings.Join(classes, ",")
+	if !strings.Contains(joined, "good,bad-fs,good") {
+		t.Errorf("phase runs = %v; want a bad-fs phase between good phases\n%s", classes, profile)
+	}
+	// Whole-run majority can legitimately be either class; what matters
+	// is that both phases are visible.
+	found := map[string]bool{}
+	for _, s := range profile.Slices {
+		found[s.Class] = true
+	}
+	if !found["good"] || !found["bad-fs"] {
+		t.Errorf("slices did not expose both phases: %v", found)
+	}
+}
+
+func TestDetectSlicedUniformWorkload(t *testing.T) {
+	det := trainedDetector(t)
+	c := NewCollector()
+	kernels, err := miniprog.Build(miniprog.Spec{Program: "pdot", Size: 60000, Threads: 6, Mode: miniprog.BadFS, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := c.DetectSliced(det, 3, kernels, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.Overall != "bad-fs" {
+		t.Errorf("uniform bad-fs workload sliced to %q\n%s", profile.Overall, profile)
+	}
+	badSlices := 0
+	classified := 0
+	for _, s := range profile.Slices {
+		if s.Class != "" {
+			classified++
+		}
+		if s.Class == "bad-fs" {
+			badSlices++
+		}
+	}
+	if classified == 0 || badSlices*10 < classified*8 {
+		t.Errorf("only %d/%d slices bad-fs", badSlices, classified)
+	}
+}
+
+func TestDetectSlicedValidation(t *testing.T) {
+	det := trainedDetector(t)
+	c := NewCollector()
+	if _, err := c.DetectSliced(det, 1, phasedWorkload(2, 100), 0); err == nil {
+		t.Errorf("zero slice length accepted")
+	}
+}
+
+func TestSliceAccountingConsistency(t *testing.T) {
+	// The sum of slice instruction counts must equal the whole run's.
+	kernels := phasedWorkload(4, 5000)
+	cfg := machine.DefaultConfig()
+	cfg.Seed = 7
+	m := machine.New(cfg)
+	exec := m.StartExecution(kernels)
+	var total uint64
+	for {
+		res, done := exec.Run(100)
+		total += res.Instructions
+		if done {
+			break
+		}
+	}
+	kernels2 := phasedWorkload(4, 5000)
+	cfg2 := machine.DefaultConfig()
+	cfg2.Seed = 7
+	m2 := machine.New(cfg2)
+	whole := m2.Run(kernels2)
+	if total != whole.Instructions {
+		t.Errorf("sliced instructions %d != whole-run %d", total, whole.Instructions)
+	}
+}

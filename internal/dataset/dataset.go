@@ -1,0 +1,323 @@
+// Package dataset holds labeled performance-event feature vectors — the
+// training and evaluation data of the classifier. It provides the
+// paper's workflow pieces around the raw numbers: class bookkeeping,
+// the manual-filtering rule of §3.1 (drop training instances whose mode
+// made no observable difference), stratified k-fold splits for the
+// §3.2 cross-validation, and a CSV interchange format.
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fsml/internal/xrand"
+)
+
+// Instance is one labeled observation.
+type Instance struct {
+	// Features are the normalized event counts, parallel to the owning
+	// dataset's Attrs.
+	Features []float64
+	// Label is the class ("good", "bad-fs", "bad-ma").
+	Label string
+	// Source records provenance (program/size/threads), used by the
+	// detection reports; it does not participate in training.
+	Source string
+}
+
+// Dataset is an ordered collection of instances over named attributes.
+type Dataset struct {
+	Attrs     []string
+	Instances []Instance
+}
+
+// New returns an empty dataset over the given attribute names.
+func New(attrs []string) *Dataset {
+	cp := make([]string, len(attrs))
+	copy(cp, attrs)
+	return &Dataset{Attrs: cp}
+}
+
+// Add appends an instance after validating its dimensionality.
+func (d *Dataset) Add(inst Instance) error {
+	if len(inst.Features) != len(d.Attrs) {
+		return fmt.Errorf("dataset: instance has %d features, want %d", len(inst.Features), len(d.Attrs))
+	}
+	if inst.Label == "" {
+		return fmt.Errorf("dataset: instance has empty label")
+	}
+	d.Instances = append(d.Instances, inst)
+	return nil
+}
+
+// Len returns the instance count.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// Classes returns the distinct labels in sorted order.
+func (d *Dataset) Classes() []string {
+	set := map[string]bool{}
+	for _, in := range d.Instances {
+		set[in.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountByClass returns per-label instance counts.
+func (d *Dataset) CountByClass() map[string]int {
+	m := map[string]int{}
+	for _, in := range d.Instances {
+		m[in.Label]++
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.Attrs)
+	out.Instances = make([]Instance, len(d.Instances))
+	for i, in := range d.Instances {
+		f := make([]float64, len(in.Features))
+		copy(f, in.Features)
+		out.Instances[i] = Instance{Features: f, Label: in.Label, Source: in.Source}
+	}
+	return out
+}
+
+// Filter returns a new dataset with the instances keep accepts.
+func (d *Dataset) Filter(keep func(Instance) bool) *Dataset {
+	out := New(d.Attrs)
+	for _, in := range d.Instances {
+		if keep(in) {
+			out.Instances = append(out.Instances, in)
+		}
+	}
+	return out
+}
+
+// Merge appends all instances of other (whose attributes must match).
+func (d *Dataset) Merge(other *Dataset) error {
+	if len(d.Attrs) != len(other.Attrs) {
+		return fmt.Errorf("dataset: merging %d-attr dataset into %d-attr dataset", len(other.Attrs), len(d.Attrs))
+	}
+	for i := range d.Attrs {
+		if d.Attrs[i] != other.Attrs[i] {
+			return fmt.Errorf("dataset: attribute %d mismatch: %q vs %q", i, d.Attrs[i], other.Attrs[i])
+		}
+	}
+	d.Instances = append(d.Instances, other.Instances...)
+	return nil
+}
+
+// Subset returns the dataset restricted to the given instance indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := New(d.Attrs)
+	for _, i := range idx {
+		out.Instances = append(out.Instances, d.Instances[i])
+	}
+	return out
+}
+
+// StratifiedFolds partitions instance indices into k folds with
+// near-equal class proportions, the standard protocol behind the paper's
+// "stratified 10-fold cross validation". The shuffle is seeded and
+// deterministic.
+func (d *Dataset) StratifiedFolds(k int, seed uint64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: need k >= 2 folds, got %d", k)
+	}
+	if k > d.Len() {
+		return nil, fmt.Errorf("dataset: %d folds for %d instances", k, d.Len())
+	}
+	rng := xrand.New(seed)
+	byClass := map[string][]int{}
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	folds := make([][]int, k)
+	// Deal each class's shuffled indices round-robin across folds.
+	classes := d.Classes()
+	next := 0
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			folds[next%k] = append(folds[next%k], i)
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// ---------------------------------------------------------------------------
+// CSV interchange
+
+// WriteCSV emits the dataset as CSV: a header of attribute names plus
+// "label" and "source" columns, then one row per instance.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, d.Attrs...), "label", "source")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, len(d.Attrs)+2)
+	for _, in := range d.Instances {
+		for i, f := range in.Features {
+			row[i] = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		row[len(d.Attrs)] = in.Label
+		row[len(d.Attrs)+1] = in.Source
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 3 || header[len(header)-2] != "label" || header[len(header)-1] != "source" {
+		return nil, fmt.Errorf("dataset: CSV header must end with label,source columns")
+	}
+	d := New(header[: len(header)-2 : len(header)-2])
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		feats := make([]float64, len(d.Attrs))
+		for i := range feats {
+			feats[i], err = strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %d: %w", line, i+1, err)
+			}
+		}
+		if err := d.Add(Instance{Features: feats, Label: row[len(d.Attrs)], Source: row[len(d.Attrs)+1]}); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}
+
+// WriteARFF emits the dataset in Weka's ARFF format, a nod to the paper's
+// toolchain; fsml itself only consumes CSV.
+func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@RELATION %s\n\n", relation)
+	for _, a := range d.Attrs {
+		fmt.Fprintf(bw, "@ATTRIBUTE %q NUMERIC\n", a)
+	}
+	fmt.Fprintf(bw, "@ATTRIBUTE class {")
+	for i, c := range d.Classes() {
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprint(bw, c)
+	}
+	fmt.Fprint(bw, "}\n\n@DATA\n")
+	for _, in := range d.Instances {
+		for _, f := range in.Features {
+			fmt.Fprintf(bw, "%s,", strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		fmt.Fprintf(bw, "%s\n", in.Label)
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses the subset of Weka's ARFF format WriteARFF emits:
+// numeric attributes, one nominal class attribute (which must be last),
+// and comma-separated data rows. Comment lines (%) and blank lines are
+// skipped; parsing is case-insensitive on keywords, as in Weka.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var attrs []string
+	classSeen := false
+	inData := false
+	var d *Dataset
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// Name only; nothing to keep.
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, fmt.Errorf("dataset: ARFF line %d: attribute after @DATA", lineNo)
+			}
+			rest := strings.TrimSpace(line[len("@attribute"):])
+			if strings.Contains(rest, "{") {
+				if classSeen {
+					return nil, fmt.Errorf("dataset: ARFF line %d: more than one nominal attribute", lineNo)
+				}
+				classSeen = true
+				continue
+			}
+			if classSeen {
+				return nil, fmt.Errorf("dataset: ARFF line %d: numeric attribute after the class", lineNo)
+			}
+			if !strings.HasSuffix(strings.ToLower(rest), "numeric") {
+				return nil, fmt.Errorf("dataset: ARFF line %d: only NUMERIC attributes supported", lineNo)
+			}
+			name := strings.TrimSpace(rest[:strings.LastIndex(strings.ToLower(rest), "numeric")])
+			name = strings.Trim(name, "\"")
+			if name == "" {
+				return nil, fmt.Errorf("dataset: ARFF line %d: attribute without a name", lineNo)
+			}
+			attrs = append(attrs, name)
+		case strings.HasPrefix(lower, "@data"):
+			if !classSeen || len(attrs) == 0 {
+				return nil, fmt.Errorf("dataset: ARFF line %d: @DATA before attributes/class", lineNo)
+			}
+			inData = true
+			d = New(attrs)
+		default:
+			if !inData {
+				return nil, fmt.Errorf("dataset: ARFF line %d: data outside @DATA section", lineNo)
+			}
+			fields := strings.Split(line, ",")
+			if len(fields) != len(attrs)+1 {
+				return nil, fmt.Errorf("dataset: ARFF line %d: %d fields, want %d", lineNo, len(fields), len(attrs)+1)
+			}
+			feats := make([]float64, len(attrs))
+			for i := range feats {
+				v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: ARFF line %d field %d: %v", lineNo, i+1, err)
+				}
+				feats[i] = v
+			}
+			if err := d.Add(Instance{Features: feats, Label: strings.TrimSpace(fields[len(attrs)])}); err != nil {
+				return nil, fmt.Errorf("dataset: ARFF line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading ARFF: %w", err)
+	}
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("dataset: ARFF carries no data rows")
+	}
+	return d, nil
+}

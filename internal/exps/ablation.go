@@ -1,0 +1,293 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/miniprog"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation: classifier choice (§3's "after experimenting with several
+// classifiers ... we selected J48")
+
+// ClassifierRow is one classifier's cross-validated accuracy.
+type ClassifierRow struct {
+	Name     string
+	Accuracy float64
+}
+
+// ClassifierAblation cross-validates the three classifiers on the same
+// training data.
+func (l *Lab) ClassifierAblation() ([]ClassifierRow, error) {
+	d, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	trainers := []ml.Trainer{
+		ml.NewC45(ml.DefaultC45()),
+		ml.NaiveBayes{},
+		ml.KNN{K: 3},
+		ml.OneR{},
+		ml.DecisionStump{},
+	}
+	var rows []ClassifierRow
+	for _, tr := range trainers {
+		conf, err := ml.CrossValidate(tr, d, 10, l.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClassifierRow{Name: tr.Name(), Accuracy: conf.Accuracy()})
+	}
+	return rows, nil
+}
+
+// RenderClassifierAblation formats the comparison.
+func RenderClassifierAblation(rows []ClassifierRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: classifier choice (10-fold CV accuracy)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6.2f%%\n", r.Name, 100*r.Accuracy)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: feature-set size (paper §6 future work: "how the
+// effectiveness depends on the number and types of performance events")
+
+// FeatureAblationRow reports CV accuracy for a restricted feature set.
+type FeatureAblationRow struct {
+	Desc     string
+	Features []string
+	Accuracy float64
+}
+
+// FeatureAblation compares the full 15-event feature vector against
+// restricted subsets: the four events the paper's tree uses, HITM alone,
+// and everything except HITM.
+func (l *Lab) FeatureAblation() ([]FeatureAblationRow, error) {
+	d, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	treeEvents := []string{"SNOOP_RESPONSE.HITM", "L2_TRANSACTIONS.FILL", "L1D.REPL", "DTLB_MISSES.ANY"}
+	sets := []FeatureAblationRow{
+		{Desc: "all 15 events", Features: pmu.FeatureNames()},
+		{Desc: "tree's 4 events (11,6,14,13)", Features: treeEvents},
+		{Desc: "HITM only", Features: []string{"SNOOP_RESPONSE.HITM"}},
+		{Desc: "without HITM", Features: withoutFeature(pmu.FeatureNames(), "SNOOP_RESPONSE.HITM")},
+	}
+	for i := range sets {
+		sub, err := projectDataset(d, sets[i].Features)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := ml.CrossValidate(ml.NewC45(ml.DefaultC45()), sub, 10, l.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sets[i].Accuracy = conf.Accuracy()
+	}
+	return sets, nil
+}
+
+func withoutFeature(names []string, drop string) []string {
+	out := make([]string, 0, len(names)-1)
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// projectDataset restricts a dataset to the named attributes.
+func projectDataset(d *dataset.Dataset, names []string) (*dataset.Dataset, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = -1
+		for j, a := range d.Attrs {
+			if a == n {
+				idx[i] = j
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("exps: dataset has no attribute %q", n)
+		}
+	}
+	out := dataset.New(names)
+	for _, in := range d.Instances {
+		f := make([]float64, len(idx))
+		for i, j := range idx {
+			f[i] = in.Features[j]
+		}
+		if err := out.Add(dataset.Instance{Features: f, Label: in.Label, Source: in.Source}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RenderFeatureAblation formats the comparison.
+func RenderFeatureAblation(rows []FeatureAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: feature-set size (10-fold CV accuracy)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %6.2f%%\n", r.Desc, 100*r.Accuracy)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: training-set composition (§2.2.2 claims the sequential
+// Part B set "indeed improved the classification accuracy")
+
+// PartBAblationRow reports CV accuracy with/without Part B.
+type PartBAblationRow struct {
+	Desc      string
+	Instances int
+	Accuracy  float64
+	// BadMARecall is the fraction of bad-ma instances recovered, the
+	// metric Part B exists to improve.
+	BadMARecall float64
+}
+
+// PartBAblation compares training on Part A alone against Part A+B.
+func (l *Lab) PartBAblation() ([]PartBAblationRow, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	dataAll, err := core.BuildDataset(append(append([]core.Observation{}, l.partA...), l.partB...))
+	if err != nil {
+		return nil, err
+	}
+	dataA, err := core.BuildDataset(l.partA)
+	if err != nil {
+		return nil, err
+	}
+	rows := []PartBAblationRow{
+		{Desc: "Part A only (multi-threaded)"},
+		{Desc: "Part A + Part B (paper)"},
+	}
+	for i, d := range []*dataset.Dataset{dataA, dataAll} {
+		conf, err := ml.CrossValidate(ml.NewC45(ml.DefaultC45()), d, 10, l.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Instances = d.Len()
+		rows[i].Accuracy = conf.Accuracy()
+		maTotal := 0
+		for _, pred := range conf.Classes {
+			maTotal += conf.Get("bad-ma", pred)
+		}
+		if maTotal > 0 {
+			rows[i].BadMARecall = float64(conf.Get("bad-ma", "bad-ma")) / float64(maTotal)
+		}
+	}
+	return rows, nil
+}
+
+// SequentialBadMAProbes measures unseen sequential bad-ma configurations
+// (fresh sizes and seeds) for the Part B generalization check.
+func (l *Lab) SequentialBadMAProbes(n int) ([]core.Observation, error) {
+	c := l.Collector()
+	progs := []string{"sread", "swrite", "srmw"}
+	var out []core.Observation
+	for i := 0; i < n; i++ {
+		spec := miniprog.Spec{
+			Program: progs[i%len(progs)],
+			Size:    150000 + 37000*i,
+			Threads: 1,
+			Mode:    miniprog.BadMA,
+			Seed:    5000 + uint64(i)*101,
+		}
+		obs, err := c.MeasureMiniProgram(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, obs)
+	}
+	return out, nil
+}
+
+// PredictWith classifies an observation using a model trained on the
+// combined set (withPartB) or Part A alone.
+func (l *Lab) PredictWith(withPartB bool, obs core.Observation) (string, error) {
+	if err := l.init(); err != nil {
+		return "", err
+	}
+	src := l.partA
+	if withPartB {
+		src = append(append([]core.Observation{}, l.partA...), l.partB...)
+	}
+	d, err := core.BuildDataset(src)
+	if err != nil {
+		return "", err
+	}
+	det, err := core.TrainDetector(d)
+	if err != nil {
+		return "", err
+	}
+	return det.ClassifyObservation(obs)
+}
+
+// RenderPartBAblation formats the comparison.
+func RenderPartBAblation(rows []PartBAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: training-set composition (10-fold CV)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %4d instances  accuracy %6.2f%%  bad-ma recall %6.2f%%\n",
+			r.Desc, r.Instances, 100*r.Accuracy, 100*r.BadMARecall)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: PMU observation quality
+
+// PMUAblationRow reports CV accuracy under one observation model.
+type PMUAblationRow struct {
+	Desc     string
+	Config   pmu.Config
+	Accuracy float64
+}
+
+// PMUAblation retrains under different PMU models: ideal counters, the
+// default noisy+multiplexed model, and an exaggeratedly noisy one.
+func (l *Lab) PMUAblation() ([]PMUAblationRow, error) {
+	rows := []PMUAblationRow{
+		{Desc: "ideal counters", Config: pmu.Ideal()},
+		{Desc: "noisy + multiplexed (default)", Config: pmu.DefaultConfig()},
+		{Desc: "4x noise", Config: pmu.Config{Multiplex: true, NoiseScale: 4, Seed: 1}},
+	}
+	for i := range rows {
+		lab := &Lab{Quick: l.Quick, Seed: l.Seed}
+		lab.collector = core.NewCollector()
+		lab.collector.PMU = rows[i].Config
+		d, err := lab.TrainingData()
+		if err != nil {
+			return nil, err
+		}
+		conf, err := ml.CrossValidate(ml.NewC45(ml.DefaultC45()), d, 10, l.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Accuracy = conf.Accuracy()
+	}
+	return rows, nil
+}
+
+// RenderPMUAblation formats the comparison.
+func RenderPMUAblation(rows []PMUAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: PMU observation quality (10-fold CV accuracy)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %6.2f%%\n", r.Desc, 100*r.Accuracy)
+	}
+	return b.String()
+}

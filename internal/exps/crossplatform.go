@@ -1,0 +1,98 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/core"
+	"fsml/internal/machine"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+	"fsml/internal/suite"
+)
+
+// CrossPlatformRow is one platform's end-to-end outcome: the event
+// selection, the cross-validated accuracy, and the detector's verdicts on
+// the two positive benchmarks plus a clean control.
+type CrossPlatformRow struct {
+	Platform      string
+	EventsPicked  int
+	HITMEvent     string // the platform's dirty-snoop event, if selected
+	CVAccuracy    float64
+	LinRegClass   string // expect bad-fs (at -O0, multi-threaded)
+	StreamClass   string // expect bad-fs
+	ControlClass  string // blackscholes, expect good
+	TreeUsesSnoop bool
+}
+
+// CrossPlatform runs the §2.1 portability workflow (steps 2-6) on every
+// modeled platform and probes the resulting detectors on benchmark cases.
+// It demonstrates the paper's central portability claim: nothing but the
+// event catalogue and the machine description changes.
+func (l *Lab) CrossPlatform() ([]CrossPlatformRow, error) {
+	selCfg := core.DefaultSelection()
+	gridA, gridB := l.gridA(), l.gridB()
+	if l.Quick {
+		selCfg.Sizes = []int{40000}
+		selCfg.MatSize = 96
+		selCfg.Threads = []int{6}
+	}
+	var rows []CrossPlatformRow
+	for _, p := range pmu.Platforms() {
+		pd, err := core.TrainOnPlatform(p, selCfg, gridA, gridB)
+		if err != nil {
+			return nil, err
+		}
+		row := CrossPlatformRow{Platform: p.Name, EventsPicked: len(pd.Selection.Selected) - 1}
+		for _, d := range pd.Selection.Selected {
+			if strings.Contains(d.Name, "HITM") {
+				row.HITMEvent = d.Name
+			}
+		}
+		conf, err := ml.CrossValidate(ml.NewC45(ml.DefaultC45()), pd.Data, 10, l.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.CVAccuracy = conf.Accuracy()
+		for _, a := range pd.Detector.Tree.UsedAttrs() {
+			if strings.Contains(pd.Detector.Tree.Attrs[a], "HITM") {
+				row.TreeUsesSnoop = true
+			}
+		}
+
+		collector := core.NewPlatformCollector(p, pd.Selection.Selected)
+		classify := func(name string, opt machine.OptLevel, threads int) (string, error) {
+			w, ok := suite.Lookup(name)
+			if !ok {
+				return "", fmt.Errorf("exps: unknown workload %q", name)
+			}
+			cs := suite.Case{Input: w.Inputs[0].Name, Threads: threads, Opt: opt, Seed: l.Seed * 7}
+			obs := collector.Measure(name, cs.Seed, w.Build(cs))
+			return pd.Detector.ClassifyObservation(obs)
+		}
+		if row.LinRegClass, err = classify("linear_regression", machine.O0, 6); err != nil {
+			return nil, err
+		}
+		if row.StreamClass, err = classify("streamcluster", machine.O2, 6); err != nil {
+			return nil, err
+		}
+		if row.ControlClass, err = classify("blackscholes", machine.O2, 6); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCrossPlatform formats the portability table.
+func RenderCrossPlatform(rows []CrossPlatformRow) string {
+	var b strings.Builder
+	b.WriteString("Cross-platform workflow (steps 2-6 per platform)\n")
+	fmt.Fprintf(&b, "%-16s %7s %8s %10s %10s %10s  %s\n",
+		"platform", "events", "CV acc", "lin_reg", "streamcl.", "blacksch.", "HITM-family event selected")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %7d %7.1f%% %10s %10s %10s  %s\n",
+			r.Platform, r.EventsPicked, 100*r.CVAccuracy, r.LinRegClass, r.StreamClass, r.ControlClass, r.HITMEvent)
+	}
+	return b.String()
+}

@@ -1,0 +1,654 @@
+package exps
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLab amortizes the quick training pipeline across tests.
+var (
+	labOnce sync.Once
+	lab     *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() { lab = NewQuickLab() })
+	return lab
+}
+
+// TestTable1Shape asserts the motivating result: good scales with
+// threads, bad-fs multi-threaded runs are slower than sequential, and
+// bad-ma is the slowest single-threaded method.
+func TestTable1Shape(t *testing.T) {
+	r, err := quickLab(t).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, fs, ma := r.Seconds[0], r.Seconds[1], r.Seconds[2]
+	last := len(r.Threads) - 1
+	if good[last] >= good[0]/2 {
+		t.Errorf("good method does not scale: %v", good)
+	}
+	if fs[last] < 2*good[last] {
+		t.Errorf("false-sharing method not clearly slower at high threads: fs=%v good=%v", fs, good)
+	}
+	// The paper's most striking cell: multi-threaded bad-fs slower than
+	// sequential good.
+	if fs[1] < good[0]*0.8 {
+		t.Errorf("bad-fs at %d threads (%v) should rival or exceed sequential good (%v)", r.Threads[1], fs[1], good[0])
+	}
+	if ma[0] < 2*good[0] {
+		t.Errorf("bad-ma sequential (%v) should be much slower than good sequential (%v)", ma[0], good[0])
+	}
+	if !strings.Contains(r.String(), "false sharing") {
+		t.Errorf("render broken:\n%s", r)
+	}
+}
+
+func TestTable3Counts(t *testing.T) {
+	r, err := quickLab(t).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PartA.Good == 0 || r.PartA.BadFS == 0 || r.PartA.BadMA == 0 {
+		t.Errorf("Part A missing a class: %+v", r.PartA)
+	}
+	if r.PartB.BadFS != 0 {
+		t.Errorf("Part B (sequential) cannot contain bad-fs: %+v", r.PartB)
+	}
+	if r.PartB.Good == 0 || r.PartB.BadMA == 0 {
+		t.Errorf("Part B missing a class: %+v", r.PartB)
+	}
+	// The paper's proportions: more good than bad-fs than bad-ma in A.
+	if !(r.PartA.Good > r.PartA.BadFS && r.PartA.BadFS > r.PartA.BadMA) {
+		t.Errorf("Part A proportions off: %+v (paper: 324 > 216 > 113)", r.PartA)
+	}
+	if !strings.Contains(r.String(), "Full training data set") {
+		t.Errorf("render broken:\n%s", r)
+	}
+}
+
+func TestTable4Accuracy(t *testing.T) {
+	conf, err := quickLab(t).Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.95 {
+		t.Errorf("CV accuracy %.3f below 0.95 (paper: 99.4%%)\n%s", conf.Accuracy(), conf)
+	}
+	// bad-fs must be almost perfectly separated (paper: 216/216).
+	fsTotal := 0
+	for _, pred := range conf.Classes {
+		fsTotal += conf.Get("bad-fs", pred)
+	}
+	if fsTotal == 0 {
+		t.Fatal("no bad-fs instances in CV")
+	}
+	if got := conf.Get("bad-fs", "bad-fs"); float64(got) < 0.97*float64(fsTotal) {
+		t.Errorf("bad-fs recall %d/%d below 97%%", got, fsTotal)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r, err := quickLab(t).Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Leaves > 16 || r.Size > 31 {
+		t.Errorf("tree too big: %d leaves / %d nodes (paper: 6/11)", r.Leaves, r.Size)
+	}
+	found := false
+	for _, n := range r.UsedNames {
+		if n == hitmEventName {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tree does not use %s:\n%s", hitmEventName, r.Tree)
+	}
+	if len(r.UsedNames) > 8 {
+		t.Errorf("tree uses %d attributes; paper's uses 4", len(r.UsedNames))
+	}
+	if !strings.Contains(r.String(), "Number of Leaves") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestTable5Verdicts is the headline reproduction: linear_regression and
+// streamcluster classified bad-fs, matrix_multiply bad-ma, everything
+// else good — zero false positives.
+func TestTable5Verdicts(t *testing.T) {
+	r, err := quickLab(t).Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ProgramClassification{}
+	for _, p := range r.Programs {
+		byName[p.Name] = p
+	}
+	if got := byName["linear_regression"].Class; got != "bad-fs" {
+		t.Errorf("linear_regression classified %q, want bad-fs (%v)", got, byName["linear_regression"].Histogram)
+	}
+	if got := byName["streamcluster"].Class; got != "bad-fs" {
+		t.Errorf("streamcluster classified %q, want bad-fs (%v)", got, byName["streamcluster"].Histogram)
+	}
+	if got := byName["matrix_multiply"].Class; got != "bad-ma" {
+		t.Errorf("matrix_multiply classified %q, want bad-ma (%v)", got, byName["matrix_multiply"].Histogram)
+	}
+	// Zero false positives at program granularity: nothing else bad-fs.
+	for _, p := range r.Programs {
+		if p.Name == "linear_regression" || p.Name == "streamcluster" {
+			continue
+		}
+		if p.Class == "bad-fs" {
+			t.Errorf("FALSE POSITIVE: %s classified bad-fs (%v)", p.Name, p.Histogram)
+		}
+	}
+	match, total := r.Agreement()
+	if match < total-1 {
+		t.Errorf("agreement with paper %d/%d; want near-perfect\n%s", match, total, r)
+	}
+}
+
+// TestTable6OptFlip asserts the detail-table mechanism: -O0 cases are
+// bad-fs at multi-thread, -O2 cases are good.
+func TestTable6OptFlip(t *testing.T) {
+	r, err := quickLab(t).Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := r.Inputs[0]
+	maxT := r.Threads[len(r.Threads)-1]
+	if c := r.Cells[in][0][maxT]; c.Class != "bad-fs" { // -O0
+		t.Errorf("linear_regression -O0 T=%d classified %q, want bad-fs", maxT, c.Class)
+	}
+	if c := r.Cells[in][2][maxT]; c.Class != "good" { // -O2
+		t.Errorf("linear_regression -O2 T=%d classified %q, want good", maxT, c.Class)
+	}
+	// The -O2 build must also be dramatically faster (Table 6's times).
+	if fast, slow := r.Cells[in][2][maxT].Seconds, r.Cells[in][0][maxT].Seconds; slow < 2*fast {
+		t.Errorf("-O0 (%vs) not much slower than -O2 (%vs)", slow, fast)
+	}
+	// Sequential (T=1) cases are never bad-fs.
+	for _, opt := range r.Flags {
+		if c := r.Cells[in][opt][1]; c.Class == "bad-fs" {
+			t.Errorf("sequential linear_regression %v classified bad-fs", opt)
+		}
+	}
+	if !strings.Contains(r.String(), "linear_regression") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestTable8Persistence asserts streamcluster's false sharing survives
+// optimization flags.
+func TestTable8Persistence(t *testing.T) {
+	r, err := quickLab(t).Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := r.Count()
+	if hist["bad-fs"] == 0 {
+		t.Fatalf("no streamcluster case detected bad-fs: %v", hist)
+	}
+	// The smallest input must be flagged at every flag level for T=8.
+	for _, opt := range r.Flags {
+		if c := r.Cells["simsmall"][opt][8]; c.Class != "bad-fs" {
+			t.Errorf("streamcluster simsmall %v T=8 classified %q, want bad-fs", opt, c.Class)
+		}
+	}
+}
+
+// TestTable7Rates asserts the Table 7 shape: -O0/-O1 rates are an order
+// of magnitude above -O2 rates, and -O2 rates still sit just above the
+// 1e-3 criterion (the paper's disagreement-with-[33] case).
+func TestTable7Rates(t *testing.T) {
+	r, err := quickLab(t).Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := r.Inputs[0]
+	for _, th := range r.Threads {
+		o0 := r.Cells[in][0][th].FSRate
+		o2 := r.Cells[in][2][th].FSRate
+		if o0 < 10*o2 {
+			t.Errorf("T=%d: -O0 rate %.5f not >= 10x -O2 rate %.5f (paper: 15x-25x)", th, o0, o2)
+		}
+		if !r.Cells[in][0][th].Detected {
+			t.Errorf("T=%d: -O0 rate %.5f under the 1e-3 criterion", th, o0)
+		}
+		if o2 < 5e-4 || o2 > 5e-3 {
+			t.Errorf("T=%d: -O2 residual rate %.5f not near the 1e-3 boundary (paper: ~1.45e-3)", th, o2)
+		}
+		if r.Cells[in][0][th].Class != "bad-fs" {
+			t.Errorf("T=%d: -O0 class %q, want bad-fs", th, r.Cells[in][0][th].Class)
+		}
+		if r.Cells[in][2][th].Class != "good" {
+			t.Errorf("T=%d: -O2 class %q, want good", th, r.Cells[in][2][th].Class)
+		}
+	}
+}
+
+// TestTable9Decline asserts the rate declines from simsmall to the next
+// input and that small-input cases cross the criterion.
+func TestTable9Decline(t *testing.T) {
+	r, err := quickLab(t).Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range r.Threads {
+		small := r.Cells["simsmall"][r.Flags[0]][th].FSRate
+		med := r.Cells["simmedium"][r.Flags[0]][th].FSRate
+		if small <= med {
+			t.Errorf("T=%d: rate did not decline with input size: simsmall %.5f vs simmedium %.5f", th, small, med)
+		}
+		if !r.Cells["simsmall"][r.Flags[0]][th].Detected {
+			t.Errorf("T=%d: simsmall rate %.5f under criterion", th, small)
+		}
+	}
+	if !strings.Contains(r.String(), "1e-3") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestTables10And11 asserts the verification outcome: zero false
+// positives and high correctness.
+func TestTables10And11(t *testing.T) {
+	t10, err := quickLab(t).Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t11 := Table11(t10)
+	if t11.FP != 0 {
+		t.Errorf("false positives = %d, want 0 (paper: 0)\n%s", t11.FP, t10)
+	}
+	if t11.Correctness() < 0.9 {
+		t.Errorf("correctness %.3f below 0.9 (paper: 97.8%%)\n%s\n%s", t11.Correctness(), t10, t11)
+	}
+	if t11.TP == 0 {
+		t.Errorf("no true positives; detector found nothing\n%s", t10)
+	}
+	totals := t10.Totals()
+	if totals.ActualFS == 0 {
+		t.Errorf("shadow tool found no false sharing anywhere; ground truth broken")
+	}
+	if !strings.Contains(t11.String(), "Correctness") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestOverheadComparison asserts the three-regime overhead story.
+func TestOverheadComparison(t *testing.T) {
+	r, err := quickLab(t).Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if o := row.MonitorOverhead(); o <= 0 || o > 0.02 {
+			t.Errorf("%s PMU overhead %.3f%% outside (0, 2%%]", row.Name, 100*o)
+		}
+		if s := row.SheriffSlowdown(); s < 1.05 || s > 2 {
+			t.Errorf("%s SHERIFF-like slowdown %.2fx outside [1.05, 2]", row.Name, s)
+		}
+		if s := row.ShadowSlowdown(); s < 2 {
+			t.Errorf("%s shadow slowdown %.2fx; should be multi-x", row.Name, s)
+		}
+		if row.ShadowSlowdown() < row.SheriffSlowdown() {
+			t.Errorf("%s: shadow (%.2fx) should cost more than SHERIFF-like", row.Name, row.ShadowSlowdown())
+		}
+	}
+	if !strings.Contains(r.String(), "PMU") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestClassifierAblation: the tree should be at least as good as the
+// alternatives (the paper picked J48 for a reason).
+func TestClassifierAblation(t *testing.T) {
+	rows, err := quickLab(t).ClassifierAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]float64{}
+	for _, r := range rows {
+		acc[r.Name] = r.Accuracy
+	}
+	if acc["C4.5"] < 0.95 {
+		t.Errorf("C4.5 accuracy %.3f too low", acc["C4.5"])
+	}
+	if acc["C4.5"]+0.02 < acc["NaiveBayes"] && acc["C4.5"]+0.02 < acc["3-NN"] {
+		t.Errorf("C4.5 (%.3f) clearly worse than both alternatives (%v)", acc["C4.5"], acc)
+	}
+	if out := RenderClassifierAblation(rows); !strings.Contains(out, "C4.5") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestFeatureAblation: dropping HITM must hurt bad-fs detection; the
+// tree's four events should nearly match the full set.
+func TestFeatureAblation(t *testing.T) {
+	rows, err := quickLab(t).FeatureAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDesc := map[string]float64{}
+	for _, r := range rows {
+		byDesc[r.Desc] = r.Accuracy
+	}
+	if byDesc["tree's 4 events (11,6,14,13)"] < byDesc["all 15 events"]-0.05 {
+		t.Errorf("4-event subset much worse than full set: %v", byDesc)
+	}
+	if byDesc["HITM only"] > byDesc["all 15 events"] {
+		t.Errorf("HITM alone beats the full set; bad-ma separation should need more: %v", byDesc)
+	}
+	if out := RenderFeatureAblation(rows); !strings.Contains(out, "HITM") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestPartBAblation verifies §2.2.2's claim in its generalization form:
+// the sequential Part B set exists to "improve the training on bad-ma
+// mode", so the combined training set must classify unseen sequential
+// bad-ma programs at least as well as Part A alone — and the combined
+// set must remain accurate overall.
+func TestPartBAblation(t *testing.T) {
+	l := quickLab(t)
+	rows, err := l.PartBAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	aOnly, both := rows[0], rows[1]
+	if both.Instances <= aOnly.Instances {
+		t.Errorf("Part A+B (%d) should have more instances than A alone (%d)", both.Instances, aOnly.Instances)
+	}
+	if both.Accuracy < 0.92 {
+		t.Errorf("combined training set CV accuracy %.3f too low", both.Accuracy)
+	}
+	if out := RenderPartBAblation(rows); !strings.Contains(out, "Part A") {
+		t.Errorf("render broken")
+	}
+	// Generalization probe: unseen sequential bad-ma runs.
+	probes, err := l.SequentialBadMAProbes(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctA, correctBoth := 0, 0
+	for _, p := range probes {
+		if pred, err := l.PredictWith(true, p); err == nil && pred == "bad-ma" {
+			correctBoth++
+		}
+		if pred, err := l.PredictWith(false, p); err == nil && pred == "bad-ma" {
+			correctA++
+		}
+	}
+	if correctBoth < correctA {
+		t.Errorf("Part A+B recognized %d/%d sequential bad-ma probes vs %d for A alone; Part B should not hurt",
+			correctBoth, len(probes), correctA)
+	}
+	if correctBoth*2 < len(probes) {
+		t.Errorf("combined set recognized only %d/%d sequential bad-ma probes", correctBoth, len(probes))
+	}
+}
+
+// TestCrossPlatform verifies the §2.1 portability claim end to end: on a
+// platform with a different event vocabulary (Sandy Bridge's XSNP_HITM
+// instead of Westmere's SNOOP_RESPONSE.HITM), re-running steps 2-6
+// produces a detector that still catches both positive benchmarks with a
+// clean control.
+func TestCrossPlatform(t *testing.T) {
+	rows, err := quickLab(t).CrossPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("platforms = %v", rows)
+	}
+	for _, r := range rows {
+		if r.CVAccuracy < 0.93 {
+			t.Errorf("%s: CV accuracy %.3f too low", r.Platform, r.CVAccuracy)
+		}
+		if r.HITMEvent == "" {
+			t.Errorf("%s: no HITM-family event survived selection", r.Platform)
+		}
+		if !r.TreeUsesSnoop {
+			t.Errorf("%s: tree does not test a HITM-family event", r.Platform)
+		}
+		if r.LinRegClass != "bad-fs" {
+			t.Errorf("%s: linear_regression(-O0) classified %q", r.Platform, r.LinRegClass)
+		}
+		if r.StreamClass != "bad-fs" {
+			t.Errorf("%s: streamcluster classified %q", r.Platform, r.StreamClass)
+		}
+		if r.ControlClass != "good" {
+			t.Errorf("%s: blackscholes classified %q", r.Platform, r.ControlClass)
+		}
+	}
+	want := map[string]string{
+		"Westmere DP":     "SNOOP_RESPONSE.HITM",
+		"Sandy Bridge EP": "MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_HITM",
+	}
+	for _, r := range rows {
+		if w := want[r.Platform]; w != "" && r.HITMEvent != w {
+			t.Errorf("%s selected %q as its HITM event, want %q", r.Platform, r.HITMEvent, w)
+		}
+	}
+	if out := RenderCrossPlatform(rows); !strings.Contains(out, "Sandy Bridge") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestBaselineComparison reproduces the related-work story: agreement on
+// the positives, and SHERIFF-style over-reporting on the
+// insignificant-FS Phoenix programs that §4.1 calls out.
+func TestBaselineComparison(t *testing.T) {
+	rows, err := quickLab(t).BaselineComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"linear_regression", "streamcluster"} {
+		r := byName[name]
+		if r.Ours != "bad-fs" || !r.ShadowDetected || !r.SheriffDetected {
+			t.Errorf("%s: systems disagree on a clear positive: ours=%s shadow=%v sheriff=%v",
+				name, r.Ours, r.ShadowDetected, r.SheriffDetected)
+		}
+	}
+	for _, name := range []string{"word_count", "reverse_index"} {
+		r := byName[name]
+		if r.Ours == "bad-fs" {
+			t.Errorf("%s: our classifier flagged insignificant FS", name)
+		}
+		if r.ShadowDetected {
+			t.Errorf("%s: shadow rate %.5f crossed the criterion; should be insignificant", name, r.ShadowRate)
+		}
+		if !r.SheriffDetected {
+			t.Errorf("%s: SHERIFF-style baseline should over-report this program (§4.1)", name)
+		}
+	}
+	for _, name := range []string{"blackscholes", "string_match", "swaptions"} {
+		r := byName[name]
+		if r.Ours != "good" || r.ShadowDetected || r.SheriffDetected {
+			t.Errorf("%s: clean program flagged by someone: ours=%s shadow=%v sheriff=%v",
+				name, r.Ours, r.ShadowDetected, r.SheriffDetected)
+		}
+	}
+	if out := RenderBaselineComparison(rows); !strings.Contains(out, "SHERIFF") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestQuantumAblation: the HITM signature must weaken monotonically-ish
+// as the quantum coarsens, but remain present at every granularity.
+func TestQuantumAblation(t *testing.T) {
+	rows, err := quickLab(t).QuantumAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.HITMRate <= last.HITMRate {
+		t.Errorf("HITM rate did not weaken with coarser quanta: q=%d %.5f vs q=%d %.5f",
+			first.Quantum, first.HITMRate, last.Quantum, last.HITMRate)
+	}
+	for _, r := range rows {
+		if r.HITMRate < 0.001 {
+			t.Errorf("quantum %d: HITM rate %.5f vanished entirely", r.Quantum, r.HITMRate)
+		}
+		if r.Slowdown < 1 {
+			t.Errorf("quantum %d: bad-fs faster than good (%.2fx)", r.Quantum, r.Slowdown)
+		}
+	}
+	if out := RenderQuantumAblation(rows); !strings.Contains(out, "quantum") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestCacheFeatureAblation: disabling the prefetcher must raise the
+// streaming miss rate; disabling the LFB window must zero HIT_LFB; the
+// coherence signal must be unaffected by either.
+func TestCacheFeatureAblation(t *testing.T) {
+	rows, err := quickLab(t).CacheFeatureAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDesc := map[string]CacheFeatureRow{}
+	for _, r := range rows {
+		byDesc[r.Desc] = r
+	}
+	full := byDesc["full model (prefetch + LFB)"]
+	noPf := byDesc["no prefetcher"]
+	noLFB := byDesc["no fill-buffer window"]
+	if noPf.GoodLdMissRate < 2*full.GoodLdMissRate {
+		t.Errorf("disabling the prefetcher did not raise the streaming miss rate: %.5f -> %.5f",
+			full.GoodLdMissRate, noPf.GoodLdMissRate)
+	}
+	if noLFB.GoodLFBRate != 0 {
+		t.Errorf("LFB disabled but HIT_LFB rate = %.5f", noLFB.GoodLFBRate)
+	}
+	if full.GoodLFBRate == 0 {
+		t.Errorf("full model shows no HIT_LFB events on a streaming scan")
+	}
+	for _, r := range rows {
+		if r.BadFSHITM < 0.01 {
+			t.Errorf("%s: HITM rate %.5f; the coherence signal must not depend on these features", r.Desc, r.BadFSHITM)
+		}
+	}
+	if out := RenderCacheFeatureAblation(rows); !strings.Contains(out, "prefetch") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestProtocolAblation: MSI pays upgrades on private first-writes that
+// MESI's Exclusive state makes silent; the false-sharing HITM signal is
+// protocol-invariant.
+func TestProtocolAblation(t *testing.T) {
+	rows, err := quickLab(t).ProtocolAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesi, msi := rows[0], rows[1]
+	if msi.UpgradeRate < 10*mesi.UpgradeRate+1e-6 {
+		t.Errorf("MSI upgrade rate %.5f not >> MESI %.5f", msi.UpgradeRate, mesi.UpgradeRate)
+	}
+	if msi.PrivateScanCycles <= mesi.PrivateScanCycles {
+		t.Errorf("MSI private scan (%d cyc) should cost more than MESI (%d)", msi.PrivateScanCycles, mesi.PrivateScanCycles)
+	}
+	if msi.BadFSHITM < mesi.BadFSHITM/2 || msi.BadFSHITM > mesi.BadFSHITM*2 {
+		t.Errorf("HITM signal not protocol-invariant: MESI %.5f vs MSI %.5f", mesi.BadFSHITM, msi.BadFSHITM)
+	}
+	if out := RenderProtocolAblation(rows); !strings.Contains(out, "MESI") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestTrueSharingLimitation documents the method's boundary: a shared
+// atomic counter (pure true sharing) triggers the HITM signature and is
+// reported bad-fs by the classifier, while the word-level shadow tool
+// correctly attributes the contention to true sharing.
+func TestTrueSharingLimitation(t *testing.T) {
+	r, err := quickLab(t).TrueSharingLimitation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClassifierVerdict != "bad-fs" {
+		t.Errorf("atomic counter classified %q; the documented limitation expects bad-fs", r.ClassifierVerdict)
+	}
+	if r.ShadowTS == 0 || r.ShadowFS > r.ShadowTS/10 {
+		t.Errorf("shadow tool did not attribute contention to true sharing: ts=%d fs=%d", r.ShadowTS, r.ShadowFS)
+	}
+	if out := r.String(); !strings.Contains(out, "true sharing") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestPlacementAblation: cross-socket false sharing costs more wall
+// clock (QPI) at the same HITM rate.
+func TestPlacementAblation(t *testing.T) {
+	rows, err := quickLab(t).PlacementAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, cross := rows[0], rows[1]
+	if cross.WallCycles <= same.WallCycles {
+		t.Errorf("cross-socket (%d cyc) should cost more than same-socket (%d cyc)", cross.WallCycles, same.WallCycles)
+	}
+	ratio := cross.HITMRate / same.HITMRate
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("HITM rate should be placement-insensitive: same %.5f vs cross %.5f", same.HITMRate, cross.HITMRate)
+	}
+	if out := RenderPlacementAblation(rows); !strings.Contains(out, "socket") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestStabilityStudy reruns the two §4.3 unstable cells across seeds.
+// histogram must be overwhelmingly good; streamcluster's spin-inflated
+// cell may flip, and when it does the paper's diagnosis must hold: runs
+// classified good carry more instructions than runs classified bad-fs.
+func TestStabilityStudy(t *testing.T) {
+	l := quickLab(t)
+	for _, sc := range DefaultStabilityCases() {
+		repeats := 8
+		r, err := l.StabilityStudy(sc.Program, sc.Case, repeats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Runs) != repeats {
+			t.Fatalf("%s: %d runs", sc.Program, len(r.Runs))
+		}
+		switch sc.Program {
+		case "histogram":
+			if r.Histogram["good"] < repeats-1 {
+				t.Errorf("histogram stability: %v; want nearly all good", r.Histogram)
+			}
+			if r.Histogram["bad-fs"] > 1 {
+				t.Errorf("histogram flipped to bad-fs %d times", r.Histogram["bad-fs"])
+			}
+		case "streamcluster":
+			for class := range r.Histogram {
+				if class != "good" && class != "bad-fs" {
+					t.Errorf("streamcluster cell classified %q", class)
+				}
+			}
+			if r.Histogram["good"] > 0 && r.Histogram["bad-fs"] > 0 {
+				if r.InstrByClass["good"].Mean <= r.InstrByClass["bad-fs"].Mean {
+					t.Errorf("flip diagnosis inverted: good runs mean %v instructions vs bad-fs %v",
+						r.InstrByClass["good"].Mean, r.InstrByClass["bad-fs"].Mean)
+				}
+			}
+		}
+		if !strings.Contains(r.String(), "Stability") {
+			t.Errorf("render broken")
+		}
+	}
+}

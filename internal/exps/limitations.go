@@ -1,0 +1,88 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+	"fsml/internal/shadow"
+)
+
+// LimitationResult documents the method's inherent boundary: the
+// performance-event signature of heavy *true* sharing (all threads
+// read-modify-writing the same word — an unsynchronized shared counter)
+// is the same HITM storm as false sharing, so the classifier reports
+// bad-fs. The shadow-memory tool, which sees word addresses, correctly
+// splits the contention into true-sharing events. The paper's evaluation
+// never hits this case because PARSEC/Phoenix contain no such hot
+// word-shared counters; it is the price of the approach's <2% overhead
+// and is worth stating plainly.
+type LimitationResult struct {
+	// ClassifierVerdict is what the detector says about the
+	// atomic-counter workload (expected: bad-fs, a known false alarm in
+	// the word-level sense).
+	ClassifierVerdict string
+	// ShadowFS / ShadowTS are the tool's event counts: TS must dominate.
+	ShadowFS, ShadowTS uint64
+}
+
+// atomicCounterKernels builds the true-sharing workload: every thread
+// increments one shared word.
+func atomicCounterKernels(threads, iters int, seed uint64) []machine.Kernel {
+	sp := mem.NewSpace(1 << 20)
+	counter := sp.AllocLines(1)
+	kernels := make([]machine.Kernel, threads)
+	for tid := 0; tid < threads; tid++ {
+		kernels[tid] = &machine.IterKernel{End: iters, Body: func(ctx *machine.Ctx, i int) {
+			ctx.Load(counter)
+			ctx.Exec(1)
+			ctx.Store(counter)
+		}}
+	}
+	_ = seed
+	return kernels
+}
+
+// TrueSharingLimitation runs the boundary case through both systems.
+func (l *Lab) TrueSharingLimitation() (*LimitationResult, error) {
+	iters := 20000
+	if l.Quick {
+		iters = 8000
+	}
+	det, err := l.Detector()
+	if err != nil {
+		return nil, err
+	}
+	obs := l.Collector().Measure("atomic-counter", l.Seed*61, atomicCounterKernels(6, iters, l.Seed))
+	verdict, err := det.ClassifyObservation(obs)
+	if err != nil {
+		return nil, err
+	}
+
+	tool, err := shadow.NewTool(6)
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.machineConfig(l.Seed * 61)
+	cfg.Tracer = tool.Tracer()
+	m := machine.New(cfg)
+	res := m.Run(atomicCounterKernels(6, iters, l.Seed))
+	rep := tool.Report(res.Instructions)
+
+	return &LimitationResult{
+		ClassifierVerdict: verdict,
+		ShadowFS:          rep.FalseSharing,
+		ShadowTS:          rep.TrueSharing,
+	}, nil
+}
+
+// String renders the boundary case.
+func (r *LimitationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Limitation: heavy true sharing (shared atomic counter, 6 threads)\n")
+	fmt.Fprintf(&b, "classifier verdict:   %s (the HITM signature cannot tell true from false sharing)\n", r.ClassifierVerdict)
+	fmt.Fprintf(&b, "shadow tool events:   %d true-sharing vs %d false-sharing (word-level view is correct)\n", r.ShadowTS, r.ShadowFS)
+	b.WriteString("either way the line is a contention bottleneck worth fixing; only the\nrepair differs (restructure the shared counter vs pad the layout).\n")
+	return b.String()
+}

@@ -1,0 +1,277 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/cache"
+	"fsml/internal/machine"
+	"fsml/internal/miniprog"
+)
+
+// QuantumRow reports how the scheduler quantum — the interleaving
+// granularity of the simulated threads — shapes the false-sharing
+// signature. Coarser quanta let each thread amortize its line ownership
+// over more consecutive writes, weakening the HITM storm exactly the way
+// coarser OS timeslices would on real hardware.
+type QuantumRow struct {
+	Quantum  int
+	HITMRate float64
+	// Slowdown is bad-fs wall-clock relative to good at this quantum.
+	Slowdown float64
+}
+
+// QuantumAblation sweeps the scheduler quantum for pdot good/bad-fs.
+func (l *Lab) QuantumAblation() ([]QuantumRow, error) {
+	size := 40000
+	if l.Quick {
+		size = 20000
+	}
+	var rows []QuantumRow
+	for _, q := range []int{1, 2, 4, 8, 16, 32} {
+		run := func(mode miniprog.Mode) (float64, uint64, error) {
+			spec := miniprog.Spec{Program: "pdot", Size: size, Threads: 6, Mode: mode, Seed: 17}
+			kernels, err := miniprog.Build(spec)
+			if err != nil {
+				return 0, 0, err
+			}
+			cfg := l.Collector().Machine
+			cfg.Quantum = q
+			cfg.Seed = 17
+			m := machine.New(cfg)
+			res := m.Run(kernels)
+			tot := m.Hierarchy().TotalCounters()
+			return float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions), res.WallCycles, nil
+		}
+		badRate, badCycles, err := run(miniprog.BadFS)
+		if err != nil {
+			return nil, err
+		}
+		_, goodCycles, err := run(miniprog.Good)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QuantumRow{
+			Quantum:  q,
+			HITMRate: badRate,
+			Slowdown: float64(badCycles) / float64(goodCycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderQuantumAblation formats the sweep.
+func RenderQuantumAblation(rows []QuantumRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: scheduler quantum vs false-sharing signature (pdot, T=6)\n")
+	fmt.Fprintf(&b, "%8s %14s %12s\n", "quantum", "HITM/instr", "fs slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %14.5f %11.2fx\n", r.Quantum, r.HITMRate, r.Slowdown)
+	}
+	return b.String()
+}
+
+// CacheFeatureRow reports the effect of disabling a cache-model feature
+// on the signatures the classifier depends on.
+type CacheFeatureRow struct {
+	Desc string
+	// GoodFillRate is the streaming ("good" pdot) L2 demand-miss rate:
+	// the prefetcher's job is to keep it near zero.
+	GoodLdMissRate float64
+	// GoodLFBRate is the streaming HIT_LFB rate: the fill-buffer model's
+	// signature.
+	GoodLFBRate float64
+	// BadFSHITM confirms the coherence signal is feature-independent.
+	BadFSHITM float64
+}
+
+// CacheFeatureAblation toggles the prefetcher and the line-fill-buffer
+// window and measures the signature events.
+func (l *Lab) CacheFeatureAblation() ([]CacheFeatureRow, error) {
+	size := 40000
+	if l.Quick {
+		size = 20000
+	}
+	variants := []struct {
+		desc   string
+		mutate func(*cache.Config)
+	}{
+		{"full model (prefetch + LFB)", func(c *cache.Config) {}},
+		{"no prefetcher", func(c *cache.Config) { c.Prefetch = false }},
+		{"no fill-buffer window", func(c *cache.Config) { c.LFBWindow = 0 }},
+		{"neither", func(c *cache.Config) { c.Prefetch = false; c.LFBWindow = 0 }},
+	}
+	var rows []CacheFeatureRow
+	for _, v := range variants {
+		run := func(mode miniprog.Mode) (*cache.Counters, uint64, error) {
+			spec := miniprog.Spec{Program: "pdot", Size: size, Threads: 6, Mode: mode, Seed: 23}
+			kernels, err := miniprog.Build(spec)
+			if err != nil {
+				return nil, 0, err
+			}
+			cfg := l.Collector().Machine
+			cfg.Seed = 23
+			v.mutate(&cfg.Cache)
+			m := machine.New(cfg)
+			res := m.Run(kernels)
+			tot := m.Hierarchy().TotalCounters()
+			return &tot, res.Instructions, nil
+		}
+		goodTot, goodInstr, err := run(miniprog.Good)
+		if err != nil {
+			return nil, err
+		}
+		badTot, badInstr, err := run(miniprog.BadFS)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CacheFeatureRow{
+			Desc:           v.desc,
+			GoodLdMissRate: float64(goodTot.Get(cache.EvL2LdMiss)) / float64(goodInstr),
+			GoodLFBRate:    float64(goodTot.Get(cache.EvL1HitLFB)) / float64(goodInstr),
+			BadFSHITM:      float64(badTot.Get(cache.EvSnoopHitM)) / float64(badInstr),
+		})
+	}
+	return rows, nil
+}
+
+// RenderCacheFeatureAblation formats the toggle matrix.
+func RenderCacheFeatureAblation(rows []CacheFeatureRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: cache-model features vs event signatures (pdot, T=6)\n")
+	fmt.Fprintf(&b, "%-30s %14s %14s %14s\n", "model", "good L2-miss", "good HIT_LFB", "bad-fs HITM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %14.5f %14.5f %14.5f\n", r.Desc, r.GoodLdMissRate, r.GoodLFBRate, r.BadFSHITM)
+	}
+	return b.String()
+}
+
+// ProtocolRow compares MESI against MSI on the signatures and runtime of
+// one workload pattern.
+type ProtocolRow struct {
+	Desc string
+	// UpgradeRate is L2_WRITE.RFO.S per instruction on a private
+	// read-modify-write scan: MESI's Exclusive state makes it ~0, MSI
+	// pays it on every first store.
+	UpgradeRate float64
+	// BadFSHITM confirms the false-sharing signal is protocol-invariant.
+	BadFSHITM float64
+	// PrivateScanCycles is the wall-clock of the private RMW scan.
+	PrivateScanCycles uint64
+}
+
+// ProtocolAblation quantifies what MESI's Exclusive state buys over MSI:
+// silent first-writes to private data. The false-sharing signature is
+// protocol-invariant — dirty ping-pong is HITM under both — which is why
+// the detector does not depend on this microarchitectural choice.
+func (l *Lab) ProtocolAblation() ([]ProtocolRow, error) {
+	size := 30000
+	if l.Quick {
+		size = 15000
+	}
+	var rows []ProtocolRow
+	for _, msi := range []bool{false, true} {
+		desc := "MESI (default)"
+		if msi {
+			desc = "MSI (no Exclusive state)"
+		}
+		cfg := l.Collector().Machine
+		cfg.Cache.MSI = msi
+		cfg.Seed = 29
+
+		// Private RMW scan: each thread loads then stores its own fresh
+		// region (first-touch writes dominate).
+		kernels, err := miniprog.Build(miniprog.Spec{Program: "srmw", Size: size, Threads: 1, Mode: miniprog.Good, Seed: 29})
+		if err != nil {
+			return nil, err
+		}
+		m := machine.New(cfg)
+		res := m.Run(kernels)
+		tot := m.Hierarchy().TotalCounters()
+		row := ProtocolRow{
+			Desc:              desc,
+			UpgradeRate:       float64(tot.Get(cache.EvL2RFOHitS)) / float64(res.Instructions),
+			PrivateScanCycles: res.WallCycles,
+		}
+
+		kernels, err = miniprog.Build(miniprog.Spec{Program: "pdot", Size: size, Threads: 6, Mode: miniprog.BadFS, Seed: 29})
+		if err != nil {
+			return nil, err
+		}
+		m2 := machine.New(cfg)
+		res2 := m2.Run(kernels)
+		tot2 := m2.Hierarchy().TotalCounters()
+		row.BadFSHITM = float64(tot2.Get(cache.EvSnoopHitM)) / float64(res2.Instructions)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderProtocolAblation formats the comparison.
+func RenderProtocolAblation(rows []ProtocolRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: coherence protocol (MESI vs MSI)\n")
+	fmt.Fprintf(&b, "%-26s %16s %14s %16s\n", "protocol", "upgrade/instr", "bad-fs HITM", "private-scan cyc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %16.5f %14.5f %16d\n", r.Desc, r.UpgradeRate, r.BadFSHITM, r.PrivateScanCycles)
+	}
+	return b.String()
+}
+
+// PlacementRow compares false-sharing cost for two thread placements on
+// the two-socket machine.
+type PlacementRow struct {
+	Desc       string
+	WallCycles uint64
+	HITMRate   float64
+}
+
+// PlacementAblation runs a 2-thread false-sharing ping-pong with both
+// threads on one package and split across packages, on the 2x6-core
+// Westmere DP topology. Cross-socket false sharing pays the QPI
+// round-trip on every transfer — the reason NUMA machines suffer even
+// more from the bug.
+func (l *Lab) PlacementAblation() ([]PlacementRow, error) {
+	size := 30000
+	if l.Quick {
+		size = 15000
+	}
+	placements := []struct {
+		desc     string
+		affinity []int
+	}{
+		{"same socket (cores 0,1)", []int{0, 1}},
+		{"cross socket (cores 0,6)", []int{0, 6}},
+	}
+	var rows []PlacementRow
+	for _, p := range placements {
+		kernels, err := miniprog.Build(miniprog.Spec{Program: "pdot", Size: size, Threads: 2, Mode: miniprog.BadFS, Seed: 37})
+		if err != nil {
+			return nil, err
+		}
+		cfg := l.Collector().Machine
+		cfg.Cache.Sockets = 2
+		cfg.Affinity = p.affinity
+		cfg.Seed = 37
+		m := machine.New(cfg)
+		res := m.Run(kernels)
+		tot := m.Hierarchy().TotalCounters()
+		rows = append(rows, PlacementRow{
+			Desc:       p.desc,
+			WallCycles: res.WallCycles,
+			HITMRate:   float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions),
+		})
+	}
+	return rows, nil
+}
+
+// RenderPlacementAblation formats the comparison.
+func RenderPlacementAblation(rows []PlacementRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: thread placement on the 2-socket machine (pdot bad-fs, T=2)\n")
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "placement", "wall cycles", "HITM/instr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %14d %14.5f\n", r.Desc, r.WallCycles, r.HITMRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"fsml/internal/core"
+	"fsml/internal/machine"
+	"fsml/internal/miniprog"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — the motivating dot-product experiment
+
+// Table1Result holds execution times (simulated seconds) of the three
+// pdot methods of Figure 1 across thread counts on the 32-core machine.
+type Table1Result struct {
+	Threads []int
+	// Seconds[method][i] is the runtime for Threads[i]; methods are
+	// 1=good, 2=bad-fs, 3=bad-ma.
+	Seconds [3][]float64
+}
+
+// methodNames matches the paper's row labels.
+var methodNames = [3]string{"1: Good", "2: Bad, false sharing", "3: Bad, memory access"}
+
+// Table1 reproduces Table 1: parallel dot-product with a per-thread
+// register accumulator (good), a packed shared psum[] updated every
+// iteration (false sharing), and non-sequential element access (bad
+// memory access), on a 32-core machine.
+func (l *Lab) Table1() (*Table1Result, error) {
+	size := 400000
+	if l.Quick {
+		size = 40000
+	}
+	res := &Table1Result{Threads: []int{1, 4, 8, 12, 16}}
+	if l.Quick {
+		res.Threads = []int{1, 4, 8}
+	}
+	modes := []miniprog.Mode{miniprog.Good, miniprog.BadFS, miniprog.BadMA}
+	for mi, mode := range modes {
+		for _, th := range res.Threads {
+			spec := miniprog.Spec{Program: "pdot", Size: size, Threads: th, Mode: mode, Seed: 42}
+			kernels, err := miniprog.Build(spec)
+			if err != nil {
+				return nil, err
+			}
+			cfg := machine.DefaultConfig()
+			cfg.Cores = 32
+			cfg.Seed = 42
+			m := machine.New(cfg)
+			r := m.Run(kernels)
+			res.Seconds[mi] = append(res.Seconds[mi], m.Seconds(r))
+		}
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: pdot execution time (simulated seconds), 32-core machine\n")
+	fmt.Fprintf(&b, "%-24s", "Method / #Threads")
+	for _, t := range r.Threads {
+		fmt.Fprintf(&b, "%10d", t)
+	}
+	b.WriteString("\n")
+	for mi, name := range methodNames {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, s := range r.Seconds[mi] {
+			fmt.Fprintf(&b, "%10.4f", s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — event selection
+
+// Table2 runs the §2.3 selection procedure over the candidate catalogue.
+func (l *Lab) Table2() (*core.SelectionReport, error) {
+	cfg := core.DefaultSelection()
+	if l.Quick {
+		cfg.Sizes = []int{40000}
+		cfg.MatSize = 96
+		cfg.Threads = []int{6, 12}
+	}
+	return l.Collector().SelectEvents(pmu.Catalogue(), cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — training data summary
+
+// Table3Result mirrors the paper's training-data bookkeeping.
+type Table3Result struct {
+	PartA, PartB core.TrainingSummary
+}
+
+// Table3 collects (or reuses) the training data and reports the counts.
+func (l *Lab) Table3() (*Table3Result, error) {
+	a, b, err := l.Summaries()
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{PartA: a, PartB: b}, nil
+}
+
+// String renders the table with the paper's reference counts alongside.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: training data (kept after filtering; removed in parens)\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %8s\n", "", "good", "bad-fs", "bad-ma", "total")
+	row := func(s core.TrainingSummary) {
+		fmt.Fprintf(&b, "%-28s %6d(-%d) %6d(-%d) %6d(-%d) %8d\n",
+			s.Name, s.Good, s.RemovedGood, s.BadFS, s.RemovedFS, s.BadMA, s.RemovedMA, s.Total())
+	}
+	row(r.PartA)
+	row(r.PartB)
+	total := core.TrainingSummary{Name: "Full training data set",
+		Good: r.PartA.Good + r.PartB.Good, BadFS: r.PartA.BadFS + r.PartB.BadFS,
+		BadMA: r.PartA.BadMA + r.PartB.BadMA}
+	fmt.Fprintf(&b, "%-28s %6d     %6d     %6d     %8d\n", total.Name, total.Good, total.BadFS, total.BadMA, total.Total())
+	b.WriteString("(paper: Part A 324/216/113 = 653; Part B 130/-/97 = 227; total 880)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — stratified 10-fold cross-validation
+
+// Table4 cross-validates the J48-analog on the training data.
+func (l *Lab) Table4() (*ml.Confusion, error) {
+	d, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	return ml.CrossValidate(ml.NewC45(ml.DefaultC45()), d, 10, l.Seed)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — the decision tree
+
+// Figure2Result carries the trained tree and its headline statistics.
+type Figure2Result struct {
+	Tree      *ml.Tree
+	Leaves    int
+	Size      int
+	UsedNames []string
+	// RootIsHITM reports whether SNOOP_RESPONSE.HITM is tested at the
+	// root, the paper's "event 11 alone determines bad-fs" observation.
+	RootIsHITM bool
+}
+
+// Figure2 trains (or reuses) the detector and summarizes its tree.
+func (l *Lab) Figure2() (*Figure2Result, error) {
+	det, err := l.Detector()
+	if err != nil {
+		return nil, err
+	}
+	t := det.Tree
+	r := &Figure2Result{Tree: t, Leaves: t.Leaves(), Size: t.Size()}
+	for _, a := range t.UsedAttrs() {
+		r.UsedNames = append(r.UsedNames, t.Attrs[a])
+	}
+	r.RootIsHITM = !t.Root.Leaf && t.Attrs[t.Root.Attr] == "SNOOP_RESPONSE.HITM"
+	return r, nil
+}
+
+// String renders the figure as the J48 text dump plus the statistics.
+func (r *Figure2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: learned decision tree (J48 text form)\n\n")
+	b.WriteString(r.Tree.String())
+	fmt.Fprintf(&b, "\nEvents used: %s\n", strings.Join(r.UsedNames, ", "))
+	fmt.Fprintf(&b, "Root tests SNOOP_RESPONSE.HITM: %v\n", r.RootIsHITM)
+	b.WriteString("(paper: 6 leaves, 11 nodes, events 11/6/14/13, HITM determines bad-fs)\n")
+	return b.String()
+}
+
+// hitmEventName is the attribute name tests use to inspect the tree.
+const hitmEventName = "SNOOP_RESPONSE.HITM"

@@ -1,0 +1,129 @@
+package machine
+
+// Kernel is one software thread of a workload, written as a resumable
+// state machine: the scheduler calls Step repeatedly, and the kernel
+// issues operations through ctx until the turn budget runs out, keeping
+// its loop indices in its own fields. Step returns true once the thread
+// has finished all its work.
+//
+// This representation — rather than goroutines — is what makes the
+// simulator deterministic and fast: interleaving is a property of the
+// scheduler, not of the Go runtime.
+type Kernel interface {
+	Step(ctx *Ctx) bool
+}
+
+// IterKernel runs Body for every i in [I, End), then OnDone once. It is
+// the workhorse for loop-shaped thread bodies.
+type IterKernel struct {
+	I, End int
+	// Body issues the operations of one loop iteration.
+	Body func(ctx *Ctx, i int)
+	// OnDone, if non-nil, runs after the final iteration (loop-exit
+	// stores, for example). It is cleared after running.
+	OnDone func(ctx *Ctx)
+}
+
+// Step implements Kernel.
+func (k *IterKernel) Step(ctx *Ctx) bool {
+	for k.I < k.End {
+		if ctx.Budget() <= 0 {
+			return false
+		}
+		k.Body(ctx, k.I)
+		k.I++
+	}
+	if k.OnDone != nil {
+		k.OnDone(ctx)
+		k.OnDone = nil
+	}
+	return true
+}
+
+// SeqKernel chains sub-kernels: each runs to completion before the next
+// starts. It models a thread with several phases.
+type SeqKernel struct {
+	Stages []Kernel
+	idx    int
+}
+
+// Step implements Kernel.
+func (k *SeqKernel) Step(ctx *Ctx) bool {
+	for k.idx < len(k.Stages) {
+		if !k.Stages[k.idx].Step(ctx) {
+			return false
+		}
+		k.idx++
+		if ctx.Budget() <= 0 && k.idx < len(k.Stages) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncKernel adapts a resumable closure: it is called until it returns
+// true.
+type FuncKernel func(ctx *Ctx) bool
+
+// Step implements Kernel.
+func (f FuncKernel) Step(ctx *Ctx) bool { return f(ctx) }
+
+// Barrier synchronizes a fixed set of threads the way pthread spin
+// barriers do: arrivals increment a shared counter; waiting threads spin
+// on it, burning instructions, until the last thread arrives. The spin
+// traffic is real — waiting threads issue loads on the barrier line, and
+// the releasing thread's store invalidates them — so barriers produce the
+// instruction-count variance and light coherence traffic the paper
+// observes around streamcluster's spin locks (§4.3).
+type Barrier struct {
+	// N is the number of participating threads.
+	N int
+	// Addr is the simulated address of the barrier word.
+	Addr uint64
+	// Generation counting lets one Barrier be reused across phases.
+	arrived int
+	gen     int
+}
+
+// NewBarrier returns a barrier for n threads at the given address.
+func NewBarrier(n int, addr uint64) *Barrier {
+	return &Barrier{N: n, Addr: addr}
+}
+
+// Wait returns a Kernel stage that arrives at the barrier and spins until
+// released.
+func (b *Barrier) Wait() Kernel {
+	return &barrierWait{b: b, gen: -1}
+}
+
+type barrierWait struct {
+	b   *Barrier
+	gen int // generation this waiter belongs to; -1 before arrival
+}
+
+// Step implements Kernel.
+func (w *barrierWait) Step(ctx *Ctx) bool {
+	b := w.b
+	if w.gen == -1 {
+		w.gen = b.gen
+		b.arrived++
+		// Arrival is a read-modify-write of the shared barrier word.
+		ctx.Load(b.Addr)
+		ctx.Store(b.Addr)
+		if b.arrived == b.N {
+			// Last arriver releases the generation.
+			b.arrived = 0
+			b.gen++
+			return true
+		}
+		return false
+	}
+	if b.gen != w.gen {
+		return true // released
+	}
+	// Spin: test the barrier word, loop.
+	ctx.Load(b.Addr)
+	ctx.Branch(1)
+	ctx.Exec(1)
+	return false
+}

@@ -1,0 +1,75 @@
+package machine
+
+import "fmt"
+
+// OptLevel models the compiler optimization level a workload was built
+// with. The paper runs every benchmark under gcc -O0..-O3 because
+// optimization changes the *memory behaviour* of the same source: at -O0
+// an accumulator lives in memory and is loaded and stored every loop
+// iteration, at -O1 it is stored each iteration, and at -O2/-O3 it is
+// register-allocated and written back once at loop exit. That is exactly
+// the mechanism by which -O2 eliminates the false sharing in Phoenix
+// linear_regression (Table 6) while leaving streamcluster's — which
+// writes a genuinely shared padded array — intact (Table 8).
+type OptLevel int
+
+const (
+	O0 OptLevel = iota
+	O1
+	O2
+	O3
+)
+
+// String returns the gcc-style flag name.
+func (o OptLevel) String() string {
+	if o < O0 || o > O3 {
+		return fmt.Sprintf("O?%d", int(o))
+	}
+	return [...]string{"-O0", "-O1", "-O2", "-O3"}[o]
+}
+
+// Levels returns all four levels in order.
+func Levels() []OptLevel { return []OptLevel{O0, O1, O2, O3} }
+
+// AccumPlan describes how a loop-carried accumulator behaves per
+// iteration at this optimization level.
+type AccumPlan struct {
+	// LoadEach and StoreEach say whether the accumulator's memory
+	// location is read / written every iteration.
+	LoadEach, StoreEach bool
+	// ALU is the bookkeeping instruction count added per iteration
+	// (address arithmetic, loop control the optimizer failed to fold).
+	ALU int
+}
+
+// Accum returns the accumulator plan for the level.
+func (o OptLevel) Accum() AccumPlan {
+	switch o {
+	case O0:
+		return AccumPlan{LoadEach: true, StoreEach: true, ALU: 4}
+	case O1:
+		return AccumPlan{StoreEach: true, ALU: 2}
+	default: // O2, O3: register allocated
+		return AccumPlan{ALU: 1}
+	}
+}
+
+// UpdateAccum issues one accumulator update at address addr according to
+// the plan: the per-iteration memory traffic plus bookkeeping ALU work.
+func (ctx *Ctx) UpdateAccum(p AccumPlan, addr uint64) {
+	if p.LoadEach {
+		ctx.Load(addr)
+	}
+	ctx.Exec(1 + p.ALU)
+	if p.StoreEach {
+		ctx.Store(addr)
+	}
+}
+
+// FlushAccum issues the loop-exit store for register-allocated
+// accumulators (a no-op for levels that already store every iteration).
+func (ctx *Ctx) FlushAccum(p AccumPlan, addr uint64) {
+	if !p.StoreEach {
+		ctx.Store(addr)
+	}
+}

@@ -1,0 +1,48 @@
+package machine
+
+import "fsml/internal/mem"
+
+// DTLB parameters: a 64-entry, 4-way first-level data TLB over 4 KiB
+// pages, with a flat page-walk cost on miss. (Westmere's second-level TLB
+// is folded into the walk cost; the classifier only needs DTLB_MISSES.ANY
+// to scale with the page-locality of the access stream.)
+const (
+	tlbSets       = 16
+	tlbWays       = 4
+	tlbWalkCycles = 30
+)
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+type tlb struct {
+	sets [tlbSets][tlbWays]tlbEntry
+	tick uint64
+}
+
+func newTLB() *tlb { return &tlb{} }
+
+// access looks up the page of addr, installing it on miss.
+// It reports whether the lookup hit.
+func (t *tlb) access(addr uint64) bool {
+	page := mem.PageOf(addr)
+	set := &t.sets[page%tlbSets]
+	t.tick++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].lru = t.tick
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{page: page, valid: true, lru: t.tick}
+	return false
+}

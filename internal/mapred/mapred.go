@@ -1,0 +1,156 @@
+// Package mapred is a miniature Phoenix-style MapReduce runtime on the
+// simulator: the substrate the paper's Phoenix benchmarks actually run
+// on. Map workers scan disjoint input splits and emit keyed records into
+// per-(mapper, reducer) partition buffers; a barrier separates the
+// phases; reduce workers merge their partitions into the output.
+//
+// The runtime reproduces Phoenix's false-sharing hazard faithfully: the
+// framework keeps a per-worker bookkeeping struct (records processed,
+// emit count) in one packed array — the same layout that makes Phoenix
+// linear_regression false-share — switchable to padded, so MapReduce
+// jobs built on this substrate can be used as detector subjects with a
+// known ground truth.
+package mapred
+
+import (
+	"fmt"
+
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+	"fsml/internal/xrand"
+)
+
+// Config shapes the runtime.
+type Config struct {
+	// Workers is the number of map (and reduce) workers.
+	Workers int
+	// PackedCounters selects the buggy layout for the per-worker
+	// bookkeeping structs (false sharing); padded otherwise.
+	PackedCounters bool
+	// CounterEvery is how many records separate bookkeeping updates
+	// (Phoenix updates per record; larger values dilute the signal).
+	CounterEvery int
+	// Seed drives layout jitter and the emit key distribution.
+	Seed uint64
+}
+
+// Job describes the computation.
+type Job struct {
+	// Records is the input size.
+	Records int
+	// MapCost is the ALU work per record.
+	MapCost int
+	// EmitEvery: a record emits one keyed value every EmitEvery records
+	// (1 = every record).
+	EmitEvery int
+	// Keys is the key-space size (reducer partitioning granularity).
+	Keys int
+	// ReduceCost is the ALU work per emitted value during reduction.
+	ReduceCost int
+}
+
+// Validate checks the job/config combination.
+func Validate(job Job, cfg Config) error {
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("mapred: need positive worker count")
+	}
+	if job.Records <= 0 || job.Keys <= 0 {
+		return fmt.Errorf("mapred: job needs positive records and keys")
+	}
+	if job.EmitEvery <= 0 || cfg.CounterEvery <= 0 {
+		return fmt.Errorf("mapred: EmitEvery and CounterEvery must be positive")
+	}
+	return nil
+}
+
+// Build lays out the job in space and returns one kernel per worker.
+// Worker i runs its map split, waits at the phase barrier, then reduces
+// partition i of every mapper's emit buffers.
+func Build(sp *mem.Space, job Job, cfg Config) ([]machine.Kernel, error) {
+	if err := Validate(job, cfg); err != nil {
+		return nil, err
+	}
+	w := cfg.Workers
+	input := mem.NewArray(sp, job.Records, 8)
+
+	// Per-(mapper, reducer) partition buffers, line-separated.
+	partCap := job.Records/(job.EmitEvery*w) + 2
+	parts := make([][]mem.Array, w)
+	for m := 0; m < w; m++ {
+		parts[m] = make([]mem.Array, w)
+		for r := 0; r < w; r++ {
+			parts[m][r] = mem.NewArray(sp, partCap, 8)
+			sp.Skip(mem.LineSize)
+		}
+	}
+	// Per-reducer output accumulators (private lines).
+	output := mem.NewPaddedArray(sp, w, 8)
+
+	// The framework bookkeeping structs: the false-sharing dial.
+	fields := []mem.Field{{Name: "processed", Size: 8}, {Name: "emitted", Size: 8}}
+	var counters mem.StructArray
+	if cfg.PackedCounters {
+		counters = mem.NewStructArray(sp, w, fields, 64)
+	} else {
+		// Padded: one struct per line via a stride-64 array pair.
+		counters = mem.NewStructArray(sp, w, []mem.Field{
+			{Name: "processed", Size: 8}, {Name: "emitted", Size: 8}, {Name: "pad", Size: 48},
+		}, 64)
+	}
+
+	barrier := machine.NewBarrier(w, sp.AllocLines(1))
+	kernels := make([]machine.Kernel, w)
+	for wid := 0; wid < w; wid++ {
+		wid := wid
+		start := wid * (job.Records / w)
+		end := start + job.Records/w
+		if wid == w-1 {
+			end = job.Records
+		}
+		rng := xrand.New(cfg.Seed ^ uint64(wid)*977)
+		emitPos := make([]int, w)
+
+		mapPhase := &machine.IterKernel{
+			I: start, End: end,
+			Body: func(ctx *machine.Ctx, i int) {
+				ctx.Load(input.Addr(i))
+				ctx.Exec(job.MapCost)
+				ctx.Branch(1)
+				if i%job.EmitEvery == 0 {
+					key := rng.Intn(job.Keys)
+					r := key % w
+					slot := emitPos[r] % partCap
+					ctx.Store(parts[wid][r].Addr(slot))
+					emitPos[r]++
+				}
+				if i%cfg.CounterEvery == 0 {
+					// Framework bookkeeping: the contended (or padded)
+					// read-modify-write.
+					ctx.Load(counters.FieldAddr(wid, "processed"))
+					ctx.Exec(1)
+					ctx.Store(counters.FieldAddr(wid, "processed"))
+				}
+			},
+		}
+		reducePhase := &machine.IterKernel{
+			End: w * partCap,
+			Body: func(ctx *machine.Ctx, it int) {
+				m, slot := it/partCap, it%partCap
+				ctx.Load(parts[m][wid].Addr(slot))
+				ctx.Exec(job.ReduceCost)
+				if slot%8 == 0 {
+					ctx.Store(output.Addr(wid))
+				}
+			},
+		}
+		kernels[wid] = &machine.SeqKernel{Stages: []machine.Kernel{mapPhase, barrier.Wait(), reducePhase}}
+	}
+	return kernels, nil
+}
+
+// SpaceFor sizes an address space for the job.
+func SpaceFor(job Job, cfg Config) *mem.Space {
+	partCap := uint64(job.Records/(job.EmitEvery*cfg.Workers) + 2)
+	need := uint64(job.Records)*8 + uint64(cfg.Workers*cfg.Workers)*(partCap*8+mem.LineSize)
+	return mem.NewSpace(need + (1 << 20))
+}

@@ -1,0 +1,268 @@
+// Package mem models the simulated process address space.
+//
+// The false-sharing detector cares about one thing the Go runtime hides:
+// exactly which variables land on which cache line. This package gives
+// workloads explicit control over data layout — packed per-thread slots
+// that share a line (the false-sharing layout), padded slots that own a
+// line each, row-major matrices, and page-aligned regions — expressed as
+// plain uint64 addresses that the cache simulator consumes.
+//
+// Addresses are virtual and data-free: the simulator models where accesses
+// go, not what they compute. Workloads keep their real computational state
+// in ordinary Go variables and mirror only the access pattern into the
+// address space.
+package mem
+
+import "fmt"
+
+// Architectural constants shared with the cache model. LineSize matches the
+// 64-byte lines of the paper's Westmere platform; PageSize is the 4 KiB
+// small page used by the DTLB model.
+const (
+	LineSize     = 64
+	LineShift    = 6
+	PageSize     = 4096
+	PageShift    = 12
+	WordSize     = 8
+	WordsPerLine = LineSize / WordSize
+)
+
+// LineOf returns the cache-line number containing addr.
+func LineOf(addr uint64) uint64 { return addr >> LineShift }
+
+// PageOf returns the page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// WordInLine returns the word index (0..7) of addr within its line.
+func WordInLine(addr uint64) int { return int(addr%LineSize) / WordSize }
+
+// Space is a simulated virtual address space with a bump allocator.
+// The zero value is not usable; call NewSpace.
+type Space struct {
+	base uint64
+	next uint64
+	end  uint64
+}
+
+// DefaultBase is where allocation starts. A non-zero base keeps address 0
+// free so it can serve as a sentinel in workloads.
+const DefaultBase = 0x10000
+
+// NewSpace returns an address space of the given size in bytes.
+func NewSpace(size uint64) *Space {
+	return &Space{base: DefaultBase, next: DefaultBase, end: DefaultBase + size}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two,
+// or zero for word alignment) and returns the starting address.
+// Alloc panics if the space is exhausted or align is invalid: workload
+// construction is deterministic, so either is a programming error rather
+// than a runtime condition.
+func (s *Space) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = WordSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	addr := (s.next + align - 1) &^ (align - 1)
+	if addr+size > s.end {
+		panic(fmt.Sprintf("mem: out of address space (want %d bytes at %#x, end %#x)", size, addr, s.end))
+	}
+	s.next = addr + size
+	return addr
+}
+
+// AllocLines reserves n whole cache lines and returns the line-aligned base.
+func (s *Space) AllocLines(n int) uint64 {
+	return s.Alloc(uint64(n)*LineSize, LineSize)
+}
+
+// Skip advances the allocation cursor by n bytes without returning a
+// region. Seeded layout perturbation uses it so that consecutive runs see
+// different page colors, like a real allocator with ASLR would give.
+func (s *Space) Skip(n uint64) {
+	if s.next+n > s.end {
+		panic("mem: Skip past end of address space")
+	}
+	s.next += n
+}
+
+// Used reports the number of bytes allocated so far.
+func (s *Space) Used() uint64 { return s.next - s.base }
+
+// Array is a contiguous region of fixed-size elements.
+type Array struct {
+	Base uint64
+	// Stride is the distance in bytes between consecutive element
+	// addresses. For packed arrays it equals Elem; padded layouts use a
+	// larger stride.
+	Stride uint64
+	// Elem is the logical element size in bytes.
+	Elem uint64
+	// N is the number of elements.
+	N int
+}
+
+// NewArray allocates a packed array of n elements of elemSize bytes.
+func NewArray(s *Space, n int, elemSize uint64) Array {
+	base := s.Alloc(uint64(n)*elemSize, elemSize)
+	return Array{Base: base, Stride: elemSize, Elem: elemSize, N: n}
+}
+
+// NewPaddedArray allocates n elements of elemSize bytes where every element
+// starts on its own cache line. This is the classic fix for false sharing:
+// per-thread slots that no longer share lines.
+func NewPaddedArray(s *Space, n int, elemSize uint64) Array {
+	stride := uint64(LineSize)
+	for stride < elemSize {
+		stride += LineSize
+	}
+	base := s.Alloc(uint64(n)*stride, LineSize)
+	return Array{Base: base, Stride: stride, Elem: elemSize, N: n}
+}
+
+// NewStridedArray allocates n elements of elemSize bytes spaced stride bytes
+// apart, aligned to align. streamcluster's CACHE_LINE=32 work_mem layout is
+// expressed this way: stride 32 puts two thread slots on each 64-byte line.
+func NewStridedArray(s *Space, n int, elemSize, stride, align uint64) Array {
+	if stride < elemSize {
+		panic("mem: stride smaller than element size")
+	}
+	base := s.Alloc(uint64(n)*stride, align)
+	return Array{Base: base, Stride: stride, Elem: elemSize, N: n}
+}
+
+// Addr returns the address of element i.
+func (a Array) Addr(i int) uint64 {
+	if i < 0 || i >= a.N {
+		panic(fmt.Sprintf("mem: array index %d out of range [0,%d)", i, a.N))
+	}
+	return a.Base + uint64(i)*a.Stride
+}
+
+// Bytes returns the total footprint of the array in bytes.
+func (a Array) Bytes() uint64 { return uint64(a.N) * a.Stride }
+
+// Matrix is a row-major two-dimensional region.
+type Matrix struct {
+	Base       uint64
+	Rows, Cols int
+	Elem       uint64
+}
+
+// NewMatrix allocates a rows x cols row-major matrix with elemSize-byte
+// elements, aligned to a cache line.
+func NewMatrix(s *Space, rows, cols int, elemSize uint64) Matrix {
+	base := s.Alloc(uint64(rows)*uint64(cols)*elemSize, LineSize)
+	return Matrix{Base: base, Rows: rows, Cols: cols, Elem: elemSize}
+}
+
+// Addr returns the address of element (r, c).
+func (m Matrix) Addr(r, c int) uint64 {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("mem: matrix index (%d,%d) out of range %dx%d", r, c, m.Rows, m.Cols))
+	}
+	return m.Base + (uint64(r)*uint64(m.Cols)+uint64(c))*m.Elem
+}
+
+// Struct describes a fixed layout of named fields, used for per-thread
+// argument blocks like Phoenix linear_regression's lreg_args. Fields are
+// packed in declaration order with natural (size) alignment.
+type Struct struct {
+	Base   uint64
+	Size   uint64
+	offset map[string]uint64
+}
+
+// Field defines one struct field: a name and a size in bytes.
+type Field struct {
+	Name string
+	Size uint64
+}
+
+// Layout computes the packed size of a sequence of fields with natural
+// alignment, without allocating.
+func Layout(fields []Field) uint64 {
+	var off uint64
+	for _, f := range fields {
+		align := f.Size
+		if align == 0 || align&(align-1) != 0 {
+			align = WordSize
+		}
+		off = (off + align - 1) &^ (align - 1)
+		off += f.Size
+	}
+	return off
+}
+
+// NewStruct allocates one struct with the given fields at the given
+// alignment (zero means word alignment).
+func NewStruct(s *Space, fields []Field, align uint64) Struct {
+	size := Layout(fields)
+	base := s.Alloc(size, align)
+	st := Struct{Base: base, Size: size, offset: make(map[string]uint64, len(fields))}
+	var off uint64
+	for _, f := range fields {
+		a := f.Size
+		if a == 0 || a&(a-1) != 0 {
+			a = WordSize
+		}
+		off = (off + a - 1) &^ (a - 1)
+		st.offset[f.Name] = off
+		off += f.Size
+	}
+	return st
+}
+
+// FieldAddr returns the address of the named field. It panics on unknown
+// names; struct shapes are fixed at construction time.
+func (st Struct) FieldAddr(name string) uint64 {
+	off, ok := st.offset[name]
+	if !ok {
+		panic("mem: unknown struct field " + name)
+	}
+	return st.Base + off
+}
+
+// StructArray is an array of identically-shaped structs, the layout that
+// produces Phoenix-style false sharing when Stride*i crosses line
+// boundaries mid-struct.
+type StructArray struct {
+	Base   uint64
+	Stride uint64
+	N      int
+	proto  Struct
+}
+
+// NewStructArray allocates n structs of the given shape packed with stride
+// equal to the struct size (rounded to word alignment), starting at align.
+func NewStructArray(s *Space, n int, fields []Field, align uint64) StructArray {
+	size := Layout(fields)
+	stride := (size + WordSize - 1) &^ (WordSize - 1)
+	base := s.Alloc(uint64(n)*stride, align)
+	proto := Struct{Base: 0, Size: size, offset: make(map[string]uint64, len(fields))}
+	var off uint64
+	for _, f := range fields {
+		a := f.Size
+		if a == 0 || a&(a-1) != 0 {
+			a = WordSize
+		}
+		off = (off + a - 1) &^ (a - 1)
+		proto.offset[f.Name] = off
+		off += f.Size
+	}
+	return StructArray{Base: base, Stride: stride, N: n, proto: proto}
+}
+
+// FieldAddr returns the address of field name in struct i.
+func (sa StructArray) FieldAddr(i int, name string) uint64 {
+	if i < 0 || i >= sa.N {
+		panic(fmt.Sprintf("mem: struct index %d out of range [0,%d)", i, sa.N))
+	}
+	off, ok := sa.proto.offset[name]
+	if !ok {
+		panic("mem: unknown struct field " + name)
+	}
+	return sa.Base + uint64(i)*sa.Stride + off
+}

@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsml/internal/xrand"
+)
+
+func TestAddressHelpers(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 {
+		t.Errorf("LineOf boundary behaviour wrong")
+	}
+	if PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Errorf("PageOf boundary behaviour wrong")
+	}
+	if WordInLine(0) != 0 || WordInLine(8) != 1 || WordInLine(63) != 7 {
+		t.Errorf("WordInLine wrong")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewSpace(1 << 20)
+		rng := xrand.New(seed)
+		aligns := []uint64{0, 8, 16, 64, 128, 4096}
+		for i := 0; i < 50; i++ {
+			align := aligns[rng.Intn(len(aligns))]
+			size := 1 + rng.Uint64n(300)
+			addr := s.Alloc(size, align)
+			a := align
+			if a == 0 {
+				a = WordSize
+			}
+			if addr%a != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocRegionsDisjoint(t *testing.T) {
+	s := NewSpace(1 << 20)
+	type region struct{ lo, hi uint64 }
+	var regions []region
+	rng := xrand.New(77)
+	for i := 0; i < 100; i++ {
+		size := 1 + rng.Uint64n(200)
+		addr := s.Alloc(size, 8)
+		regions = append(regions, region{addr, addr + size})
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("regions %d and %d overlap: [%#x,%#x) vs [%#x,%#x)", i, j, a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+func TestAllocPanicsWhenExhausted(t *testing.T) {
+	s := NewSpace(128)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("exhausted Alloc did not panic")
+		}
+	}()
+	s.Alloc(1024, 8)
+}
+
+func TestAllocPanicsOnBadAlign(t *testing.T) {
+	s := NewSpace(1024)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Alloc with non-power-of-two align did not panic")
+		}
+	}()
+	s.Alloc(8, 24)
+}
+
+func TestSkipAdvancesCursor(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := s.Alloc(8, 8)
+	s.Skip(100)
+	b := s.Alloc(8, 8)
+	if b < a+8+100 {
+		t.Errorf("Skip did not advance: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestPackedArraySharesLines(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := NewArray(s, 8, 8)
+	if LineOf(a.Addr(0)) != LineOf(a.Addr(7)) {
+		t.Errorf("8 packed 8-byte elements should share one line")
+	}
+}
+
+func TestPaddedArraySeparatesLines(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := NewPaddedArray(s, 8, 8)
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		l := LineOf(a.Addr(i))
+		if seen[l] {
+			t.Fatalf("padded elements %v share line %d", a, l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestPaddedArrayLargeElement(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := NewPaddedArray(s, 4, 100) // needs 2 lines per element
+	if a.Stride != 128 {
+		t.Errorf("stride for 100-byte padded element = %d, want 128", a.Stride)
+	}
+}
+
+func TestStridedArrayStreamclusterLayout(t *testing.T) {
+	s := NewSpace(1 << 16)
+	// CACHE_LINE=32 layout: two thread slots per 64-byte line.
+	a := NewStridedArray(s, 4, 8, 32, 64)
+	if LineOf(a.Addr(0)) != LineOf(a.Addr(1)) {
+		t.Errorf("slots 0 and 1 should share a line under 32-byte stride")
+	}
+	if LineOf(a.Addr(1)) == LineOf(a.Addr(2)) {
+		t.Errorf("slots 1 and 2 should not share a line")
+	}
+}
+
+func TestStridedArrayRejectsTightStride(t *testing.T) {
+	s := NewSpace(1 << 16)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("stride < elem did not panic")
+		}
+	}()
+	NewStridedArray(s, 4, 16, 8, 8)
+}
+
+func TestArrayBoundsPanic(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := NewArray(s, 4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range Addr did not panic")
+		}
+	}()
+	a.Addr(4)
+}
+
+func TestMatrixRowMajor(t *testing.T) {
+	s := NewSpace(1 << 20)
+	m := NewMatrix(s, 4, 8, 8)
+	if m.Addr(0, 1)-m.Addr(0, 0) != 8 {
+		t.Errorf("column step != elem size")
+	}
+	if m.Addr(1, 0)-m.Addr(0, 0) != 64 {
+		t.Errorf("row step != cols*elem")
+	}
+}
+
+func TestMatrixBoundsPanic(t *testing.T) {
+	s := NewSpace(1 << 20)
+	m := NewMatrix(s, 4, 4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("matrix out-of-range did not panic")
+		}
+	}()
+	m.Addr(4, 0)
+}
+
+func TestLayoutNaturalAlignment(t *testing.T) {
+	fields := []Field{{"a", 1}, {"b", 8}, {"c", 4}}
+	// a at 0, b aligned to 8, c at 16..20 -> size 20.
+	if got := Layout(fields); got != 20 {
+		t.Errorf("Layout = %d, want 20", got)
+	}
+}
+
+func TestStructFieldAddresses(t *testing.T) {
+	s := NewSpace(1 << 16)
+	st := NewStruct(s, []Field{{"x", 8}, {"y", 8}}, 64)
+	if st.FieldAddr("y")-st.FieldAddr("x") != 8 {
+		t.Errorf("field offsets wrong")
+	}
+	if st.FieldAddr("x")%64 != 0 {
+		t.Errorf("struct not aligned as requested")
+	}
+}
+
+func TestStructUnknownFieldPanics(t *testing.T) {
+	s := NewSpace(1 << 16)
+	st := NewStruct(s, []Field{{"x", 8}}, 8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown field did not panic")
+		}
+	}()
+	st.FieldAddr("nope")
+}
+
+// TestStructArrayFalseSharingLayout verifies the linear_regression
+// scenario: packed 40-byte per-thread structs straddle cache lines, so
+// adjacent threads' fields share lines.
+func TestStructArrayFalseSharingLayout(t *testing.T) {
+	s := NewSpace(1 << 16)
+	fields := []Field{{"sx", 8}, {"sy", 8}, {"sxx", 8}, {"syy", 8}, {"sxy", 8}}
+	sa := NewStructArray(s, 4, fields, 64)
+	if sa.Stride != 40 {
+		t.Fatalf("stride = %d, want 40", sa.Stride)
+	}
+	// Thread 0's last field and thread 1's first field must share a line.
+	if LineOf(sa.FieldAddr(0, "sxy")) != LineOf(sa.FieldAddr(1, "sx")) {
+		t.Errorf("packed struct array does not straddle lines; false-sharing layout broken")
+	}
+}
+
+func TestStructArrayBounds(t *testing.T) {
+	s := NewSpace(1 << 16)
+	sa := NewStructArray(s, 2, []Field{{"x", 8}}, 8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("struct array out-of-range did not panic")
+		}
+	}()
+	sa.FieldAddr(2, "x")
+}
+
+func TestUsedTracksAllocation(t *testing.T) {
+	s := NewSpace(1 << 16)
+	if s.Used() != 0 {
+		t.Errorf("fresh space Used() = %d", s.Used())
+	}
+	s.Alloc(100, 8)
+	if s.Used() < 100 {
+		t.Errorf("Used() = %d after 100-byte alloc", s.Used())
+	}
+}

@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsml/internal/dataset"
+)
+
+// Confusion is a confusion matrix over a fixed class list:
+// Counts[i][j] is the number of instances of actual class i predicted as
+// class j. It renders in the layout of the paper's Table 4.
+type Confusion struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// NewConfusion returns an empty matrix over the given classes (sorted).
+func NewConfusion(classes []string) *Confusion {
+	cs := append([]string{}, classes...)
+	sort.Strings(cs)
+	counts := make([][]int, len(cs))
+	for i := range counts {
+		counts[i] = make([]int, len(cs))
+	}
+	return &Confusion{Classes: cs, Counts: counts}
+}
+
+func (c *Confusion) index(class string) int {
+	for i, x := range c.Classes {
+		if x == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record tallies one (actual, predicted) pair. It panics on a class
+// outside the matrix: a classifier predicting a label absent from
+// training indicates a bug, not a data condition.
+func (c *Confusion) Record(actual, predicted string) {
+	i, j := c.index(actual), c.index(predicted)
+	if i < 0 || j < 0 {
+		panic(fmt.Sprintf("ml: confusion matrix got unknown class (actual=%q predicted=%q, classes=%v)", actual, predicted, c.Classes))
+	}
+	c.Counts[i][j]++
+}
+
+// Total returns the number of recorded instances.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, row := range c.Counts {
+		for _, n := range row {
+			t += n
+		}
+	}
+	return t
+}
+
+// Correct returns the diagonal sum.
+func (c *Confusion) Correct() int {
+	t := 0
+	for i := range c.Counts {
+		t += c.Counts[i][i]
+	}
+	return t
+}
+
+// Accuracy returns Correct/Total (zero for an empty matrix).
+func (c *Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Correct()) / float64(c.Total())
+}
+
+// Get returns the count for (actual, predicted).
+func (c *Confusion) Get(actual, predicted string) int {
+	i, j := c.index(actual), c.index(predicted)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return c.Counts[i][j]
+}
+
+// String renders the matrix in the Table 4 layout.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	b.WriteString("                 Predicted\nActual      ")
+	for _, cl := range c.Classes {
+		fmt.Fprintf(&b, "%10s", cl)
+	}
+	b.WriteString("\n")
+	for i, cl := range c.Classes {
+		fmt.Fprintf(&b, "%-12s", cl)
+		for j := range c.Classes {
+			fmt.Fprintf(&b, "%10d", c.Counts[i][j])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Accuracy: %d/%d = %.1f%%\n", c.Correct(), c.Total(), 100*c.Accuracy())
+	return b.String()
+}
+
+// Add accumulates another matrix over the same classes.
+func (c *Confusion) Add(other *Confusion) error {
+	if len(c.Classes) != len(other.Classes) {
+		return fmt.Errorf("ml: adding confusion matrices over different classes")
+	}
+	for i := range c.Classes {
+		if c.Classes[i] != other.Classes[i] {
+			return fmt.Errorf("ml: adding confusion matrices over different classes")
+		}
+		for j := range c.Classes {
+			c.Counts[i][j] += other.Counts[i][j]
+		}
+	}
+	return nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the trainer
+// over the dataset (the paper's §3.2 protocol) and returns the pooled
+// confusion matrix.
+func CrossValidate(tr Trainer, d *dataset.Dataset, k int, seed uint64) (*Confusion, error) {
+	folds, err := d.StratifiedFolds(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	conf := NewConfusion(d.Classes())
+	for fi, test := range folds {
+		inTest := map[int]bool{}
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var train []int
+		for i := 0; i < d.Len(); i++ {
+			if !inTest[i] {
+				train = append(train, i)
+			}
+		}
+		model, err := tr.Train(d.Subset(train))
+		if err != nil {
+			return nil, fmt.Errorf("ml: training fold %d: %w", fi, err)
+		}
+		for _, i := range test {
+			conf.Record(d.Instances[i].Label, model.Predict(d.Instances[i].Features))
+		}
+	}
+	return conf, nil
+}
+
+// ResubstitutionError evaluates a classifier on its own training data and
+// returns the confusion matrix (a sanity check, not a performance claim).
+func ResubstitutionError(c Classifier, d *dataset.Dataset) *Confusion {
+	conf := NewConfusion(d.Classes())
+	for _, in := range d.Instances {
+		conf.Record(in.Label, c.Predict(in.Features))
+	}
+	return conf
+}
+
+// Kappa returns Cohen's kappa statistic — chance-corrected agreement —
+// the second headline number Weka prints next to accuracy.
+func (c *Confusion) Kappa() float64 {
+	total := float64(c.Total())
+	if total == 0 {
+		return 0
+	}
+	po := c.Accuracy()
+	var pe float64
+	for i := range c.Classes {
+		var rowSum, colSum float64
+		for j := range c.Classes {
+			rowSum += float64(c.Counts[i][j])
+			colSum += float64(c.Counts[j][i])
+		}
+		pe += (rowSum / total) * (colSum / total)
+	}
+	if pe >= 1 {
+		return 1
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// ClassMetrics holds one class's detection quality.
+type ClassMetrics struct {
+	Class             string
+	Precision, Recall float64
+	F1                float64
+	Support           int
+}
+
+// PerClass returns precision/recall/F1 per class, in class order.
+func (c *Confusion) PerClass() []ClassMetrics {
+	out := make([]ClassMetrics, len(c.Classes))
+	for i, cl := range c.Classes {
+		tp := float64(c.Counts[i][i])
+		var rowSum, colSum float64
+		for j := range c.Classes {
+			rowSum += float64(c.Counts[i][j])
+			colSum += float64(c.Counts[j][i])
+		}
+		m := ClassMetrics{Class: cl, Support: int(rowSum)}
+		if colSum > 0 {
+			m.Precision = tp / colSum
+		}
+		if rowSum > 0 {
+			m.Recall = tp / rowSum
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// DetailedString renders the Weka-style evaluation block: the matrix,
+// accuracy, kappa, and per-class metrics.
+func (c *Confusion) DetailedString() string {
+	var b strings.Builder
+	b.WriteString(c.String())
+	fmt.Fprintf(&b, "Kappa statistic: %.4f\n", c.Kappa())
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s\n", "class", "precision", "recall", "F1", "support")
+	for _, m := range c.PerClass() {
+		fmt.Fprintf(&b, "%-12s %10.3f %10.3f %10.3f %10d\n", m.Class, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	return b.String()
+}

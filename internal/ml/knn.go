@@ -1,0 +1,117 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fsml/internal/dataset"
+)
+
+// KNN is a k-nearest-neighbors trainer over z-score standardized
+// features (the event-count scales span orders of magnitude, so raw
+// Euclidean distance would be dominated by a single attribute).
+type KNN struct {
+	// K is the neighbor count; 0 means the default of 3.
+	K int
+}
+
+// Name implements Trainer.
+func (k KNN) Name() string { return fmt.Sprintf("%d-NN", k.k()) }
+
+func (k KNN) k() int {
+	if k.K <= 0 {
+		return 3
+	}
+	return k.K
+}
+
+type knnModel struct {
+	k        int
+	mean, sd []float64
+	feats    [][]float64 // standardized
+	labels   []string
+}
+
+var _ Classifier = (*knnModel)(nil)
+
+// Train implements Trainer.
+func (k KNN) Train(d *dataset.Dataset) (Classifier, error) {
+	if err := validateTrainable(d); err != nil {
+		return nil, err
+	}
+	na := len(d.Attrs)
+	m := &knnModel{k: k.k(), mean: make([]float64, na), sd: make([]float64, na)}
+	for a := 0; a < na; a++ {
+		var sum float64
+		for _, in := range d.Instances {
+			sum += in.Features[a]
+		}
+		m.mean[a] = sum / float64(d.Len())
+		var sq float64
+		for _, in := range d.Instances {
+			dv := in.Features[a] - m.mean[a]
+			sq += dv * dv
+		}
+		m.sd[a] = math.Sqrt(sq / float64(d.Len()))
+		if m.sd[a] == 0 {
+			m.sd[a] = 1
+		}
+	}
+	for _, in := range d.Instances {
+		m.feats = append(m.feats, m.standardize(in.Features))
+		m.labels = append(m.labels, in.Label)
+	}
+	return m, nil
+}
+
+func (m *knnModel) standardize(f []float64) []float64 {
+	out := make([]float64, len(m.mean))
+	for a := range out {
+		x := 0.0
+		if a < len(f) {
+			x = f[a]
+		}
+		out[a] = (x - m.mean[a]) / m.sd[a]
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (m *knnModel) Predict(features []float64) string {
+	q := m.standardize(features)
+	type nd struct {
+		dist  float64
+		label string
+	}
+	nds := make([]nd, len(m.feats))
+	for i, f := range m.feats {
+		var s float64
+		for a := range f {
+			dv := f[a] - q[a]
+			s += dv * dv
+		}
+		nds[i] = nd{s, m.labels[i]}
+	}
+	sort.Slice(nds, func(i, j int) bool {
+		if nds[i].dist != nds[j].dist {
+			return nds[i].dist < nds[j].dist
+		}
+		return nds[i].label < nds[j].label
+	})
+	k := m.k
+	if k > len(nds) {
+		k = len(nds)
+	}
+	votes := map[string]int{}
+	for _, n := range nds[:k] {
+		votes[n.label]++
+	}
+	best, bestN := "", -1
+	for label, n := range votes {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,56 @@
+// Package ml implements the machine-learning half of the paper from
+// scratch: a C4.5 decision-tree learner (the algorithm behind Weka's J48,
+// which the paper selected), plus Gaussian naive Bayes and k-nearest-
+// neighbors classifiers standing in for the "several classifiers available
+// in the public domain" the authors experimented with before settling on
+// J48 (§3), and the evaluation machinery (stratified cross-validation and
+// confusion matrices) behind Table 4.
+package ml
+
+import (
+	"fmt"
+
+	"fsml/internal/dataset"
+)
+
+// Classifier predicts a class label from a feature vector.
+type Classifier interface {
+	Predict(features []float64) string
+}
+
+// Trainer builds a Classifier from a labeled dataset.
+type Trainer interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Train fits a classifier. Implementations must not retain the
+	// dataset; they copy what they need.
+	Train(d *dataset.Dataset) (Classifier, error)
+}
+
+// validateTrainable rejects datasets no learner here can fit.
+func validateTrainable(d *dataset.Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	if len(d.Attrs) == 0 {
+		return fmt.Errorf("ml: dataset has no attributes")
+	}
+	return nil
+}
+
+// majorityLabel returns the most frequent label among the given instance
+// indices, breaking ties toward the lexicographically smaller label so
+// training is deterministic.
+func majorityLabel(d *dataset.Dataset, idx []int) string {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[d.Instances[i].Label]++
+	}
+	best, bestN := "", -1
+	for label, n := range counts {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"fsml/internal/dataset"
+)
+
+// NaiveBayes is a Gaussian naive Bayes trainer: per class and attribute,
+// a normal density with a variance floor, combined with class priors.
+// It is one of the "other classifiers" the paper compared J48 against.
+type NaiveBayes struct{}
+
+// Name implements Trainer.
+func (NaiveBayes) Name() string { return "NaiveBayes" }
+
+type nbClass struct {
+	label string
+	prior float64
+	mean  []float64
+	vari  []float64
+}
+
+type nbModel struct {
+	classes []nbClass
+}
+
+var _ Classifier = (*nbModel)(nil)
+
+// varianceFloor keeps degenerate (constant) attributes from producing
+// infinite densities.
+const varianceFloor = 1e-12
+
+// Train implements Trainer.
+func (NaiveBayes) Train(d *dataset.Dataset) (Classifier, error) {
+	if err := validateTrainable(d); err != nil {
+		return nil, err
+	}
+	byClass := map[string][]int{}
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	labels := make([]string, 0, len(byClass))
+	for l := range byClass {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	m := &nbModel{}
+	na := len(d.Attrs)
+	for _, label := range labels {
+		idx := byClass[label]
+		cl := nbClass{
+			label: label,
+			prior: float64(len(idx)) / float64(d.Len()),
+			mean:  make([]float64, na),
+			vari:  make([]float64, na),
+		}
+		for a := 0; a < na; a++ {
+			var sum float64
+			for _, i := range idx {
+				sum += d.Instances[i].Features[a]
+			}
+			mean := sum / float64(len(idx))
+			var sq float64
+			for _, i := range idx {
+				dv := d.Instances[i].Features[a] - mean
+				sq += dv * dv
+			}
+			v := sq / float64(len(idx))
+			if v < varianceFloor {
+				v = varianceFloor
+			}
+			cl.mean[a] = mean
+			cl.vari[a] = v
+		}
+		m.classes = append(m.classes, cl)
+	}
+	return m, nil
+}
+
+// Predict implements Classifier.
+func (m *nbModel) Predict(features []float64) string {
+	best, bestLL := "", math.Inf(-1)
+	for _, cl := range m.classes {
+		ll := math.Log(cl.prior)
+		for a, x := range features {
+			if a >= len(cl.mean) {
+				break
+			}
+			dv := x - cl.mean[a]
+			ll += -0.5*math.Log(2*math.Pi*cl.vari[a]) - dv*dv/(2*cl.vari[a])
+		}
+		if ll > bestLL {
+			best, bestLL = cl.label, ll
+		}
+	}
+	return best
+}

@@ -1,0 +1,124 @@
+package pmu
+
+import (
+	"fmt"
+
+	"fsml/internal/cache"
+	"fsml/internal/machine"
+)
+
+// Platform bundles a machine model with its performance-event catalogue.
+// The paper stresses that the methodology is portable: "with an existing
+// set of mini-programs, we can apply our approach to a new hardware
+// platform with the workflow being steps 2-6" (§2.1) — i.e. re-run event
+// identification and training, reusing the mini-programs. A Platform is
+// exactly the input that workflow needs.
+type Platform struct {
+	// Name identifies the microarchitecture.
+	Name string
+	// Machine is the platform's hardware configuration.
+	Machine machine.Config
+	// Catalogue is the full candidate event list for selection (§2.3).
+	Catalogue []EventDef
+	// Reference is the platform's known-good selected set (for Westmere,
+	// the paper's Table 2); nil when only selection-derived sets exist.
+	Reference []EventDef
+}
+
+// Westmere returns the paper's platform: the 12-core Xeon X5690
+// (Westmere DP) with the Table 2 reference events.
+func Westmere() Platform {
+	return Platform{
+		Name:      "Westmere DP",
+		Machine:   machine.DefaultConfig(),
+		Catalogue: Catalogue(),
+		Reference: Table2(),
+	}
+}
+
+// SandyBridge returns a Sandy Bridge EP-style platform: 8 cores, a
+// 20 MiB LLC, a faster uncore, and a differently-named, differently-
+// encoded event catalogue — the situation a user faces when moving the
+// detector to a new machine. Snoop responses are reported through the
+// MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_* events rather than
+// SNOOP_RESPONSE.*, and several Westmere events have no direct
+// equivalent, so the §2.3 selection genuinely has to be redone.
+func SandyBridge() Platform {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 8
+	mcfg.ClockGHz = 2.9
+	mcfg.Cache = cache.Config{
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		L3Size: 20 << 20, L3Ways: 20,
+		Prefetch:  true,
+		LFBWindow: 8,
+	}
+	return Platform{
+		Name:      "Sandy Bridge EP",
+		Machine:   mcfg,
+		Catalogue: sandyBridgeCatalogue(),
+	}
+}
+
+// Platforms returns every modeled platform.
+func Platforms() []Platform { return []Platform{Westmere(), SandyBridge()} }
+
+// LookupPlatform finds a platform by name.
+func LookupPlatform(name string) (Platform, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("pmu: unknown platform %q", name)
+}
+
+// sandyBridgeCatalogue maps the micro-events onto Sandy Bridge's event
+// vocabulary. Encodings and names follow the SNB PMU guide's style; the
+// catalogue deliberately differs from Westmere's in composition (no
+// SNOOP_RESPONSE.* block, XSNP_* load-source events instead, LLC
+// references via OFFCORE_RESPONSE) so cross-platform selection is a real
+// exercise rather than a rename.
+func sandyBridgeCatalogue() []EventDef {
+	return []EventDef{
+		{0xC0, 0x00, "INST_RETIRED.ANY", "Instructions retired", cache.EvInstructions, 0.005, 1},
+		{0x3C, 0x00, "CPU_CLK_UNHALTED.THREAD", "Unhalted core cycles", cache.EvCycles, 0.01, 1},
+		{0xC2, 0x01, "UOPS_RETIRED.ALL", "Micro-ops retired", cache.EvUopsRetired, 0.01, 1},
+		{0xC4, 0x00, "BR_INST_RETIRED.ALL_BRANCHES", "Branches retired", cache.EvBranches, 0.01, 1},
+		{0xC5, 0x00, "BR_MISP_RETIRED.ALL_BRANCHES", "Mispredicted branches", cache.EvBranchMisses, 0.05, 1},
+		{0xD0, 0x81, "MEM_UOPS_RETIRED.ALL_LOADS", "Load uops retired", cache.EvLoads, 0.01, 1},
+		{0xD0, 0x82, "MEM_UOPS_RETIRED.ALL_STORES", "Store uops retired", cache.EvStores, 0.01, 1},
+		// Load-source breakdown (the SNB way to see coherence traffic).
+		{0xD2, 0x01, "MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_MISS", "LLC hit, no snoop needed", cache.EvSnoopMiss, 0.03, 1},
+		{0xD2, 0x02, "MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_HIT", "LLC hit, clean snoop hit", cache.EvSnoopHit, 0.03, 1},
+		{0xD2, 0x04, "MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_HITM", "LLC hit, dirty cross-core snoop (HITM)", cache.EvSnoopHitM, 0.03, 1},
+		{0xD2, 0x08, "MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_NONE", "LLC hit, exclusive snoop", cache.EvSnoopHitE, 0.03, 1},
+		{0xD1, 0x01, "MEM_LOAD_UOPS_RETIRED.L1_HIT", "Loads served by L1D", cache.EvL1Hit, 0.12, 1},
+		{0xD1, 0x02, "MEM_LOAD_UOPS_RETIRED.L2_HIT", "Loads served by L2", cache.EvL2Hit, 0.04, 1},
+		{0xD1, 0x20, "MEM_LOAD_UOPS_RETIRED.LLC_MISS", "Loads missing the LLC", cache.EvL3Miss, 0.03, 1},
+		{0xD1, 0x40, "MEM_LOAD_UOPS_RETIRED.HIT_LFB", "Loads hitting a fill buffer", cache.EvL1HitLFB, 0.03, 1},
+		{0x51, 0x01, "L1D.REPLACEMENT", "L1D lines replaced", cache.EvL1Replacement, 0.06, 1},
+		{0x24, 0x21, "L2_RQSTS.DEMAND_DATA_RD_MISS", "L2 demand load misses", cache.EvL2LdMiss, 0.02, 1},
+		{0x24, 0x22, "L2_RQSTS.RFO_MISS", "L2 RFO misses", cache.EvL2RFOMiss, 0.02, 1},
+		{0x24, 0x27, "L2_RQSTS.ALL_DEMAND_MISS", "All L2 demand misses", cache.EvL2Miss, 0.02, 1},
+		{0x27, 0x02, "L2_STORE_LOCK_RQSTS.HIT_S", "Store-lock RFO hit S in L2", cache.EvL2RFOHitS, 0.02, 1},
+		{0xF1, 0x07, "L2_LINES_IN.ALL", "Lines allocated into L2", cache.EvL2Fill, 0.02, 1},
+		{0xF1, 0x02, "L2_LINES_IN.S", "L2 lines in, S state", cache.EvL2LinesInS, 0.02, 1},
+		{0xF1, 0x04, "L2_LINES_IN.E", "L2 lines in, E state", cache.EvL2LinesInE, 0.02, 1},
+		{0xF2, 0x05, "L2_LINES_OUT.DEMAND_CLEAN", "Clean L2 evictions", cache.EvL2LinesOutClean, 0.02, 1},
+		{0xF2, 0x06, "L2_LINES_OUT.DEMAND_DIRTY", "Dirty L2 evictions", cache.EvL2LinesOutDirty, 0.02, 1},
+		{0xB0, 0x01, "OFFCORE_REQUESTS.DEMAND_DATA_RD", "Offcore demand data reads", cache.EvOffcoreDemandRD, 0.02, 1},
+		{0xB0, 0x04, "OFFCORE_REQUESTS.DEMAND_RFO", "Offcore demand RFOs", cache.EvOffcoreRFO, 0.02, 1},
+		{0x48, 0x01, "L1D_PEND_MISS.PENDING", "L1D miss-pending cycles", cache.EvStallLoad, 0.05, 1},
+		{0xA2, 0x08, "RESOURCE_STALLS.SB", "Store-buffer stall cycles", cache.EvStallStore, 0.03, 1},
+		{0xA2, 0x01, "RESOURCE_STALLS.ANY", "Any resource stall cycles", cache.EvStallAny, 0.03, 1},
+		{0x08, 0x81, "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", "DTLB misses causing walks", cache.EvDTLBMiss, 0.02, 1},
+		{0x08, 0x84, "DTLB_LOAD_MISSES.WALK_DURATION", "Page-walk cycles", cache.EvDTLBWalkCycles, 0.03, 1},
+		{0x2E, 0x41, "LONGEST_LAT_CACHE.MISS", "LLC misses", cache.EvL3Miss, 0.03, 1},
+		{0x2E, 0x4F, "LONGEST_LAT_CACHE.REFERENCE", "LLC references", cache.EvL3Hit, 0.03, 1},
+		{0xF0, 0x80, "L2_TRANS.ALL_PF", "L2 prefetcher transactions", cache.EvL2Prefetches, 0.04, 1},
+		{0x2C, 0x01, "UNC_M_CAS_COUNT.RD", "Memory controller reads", cache.EvMemReads, 0.02, 1},
+		{0x2F, 0x01, "UNC_M_CAS_COUNT.WR", "Memory controller writes", cache.EvMemWrites, 0.02, 1},
+	}
+}

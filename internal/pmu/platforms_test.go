@@ -1,0 +1,129 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+
+	"fsml/internal/cache"
+)
+
+func TestPlatformsRegistry(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("Platforms() = %d entries", len(ps))
+	}
+	if ps[0].Name != "Westmere DP" || ps[1].Name != "Sandy Bridge EP" {
+		t.Errorf("platform names: %s, %s", ps[0].Name, ps[1].Name)
+	}
+	for _, p := range ps {
+		if p.Machine.Cores <= 0 {
+			t.Errorf("%s has no cores", p.Name)
+		}
+		if len(p.Catalogue) < 30 {
+			t.Errorf("%s catalogue too small: %d", p.Name, len(p.Catalogue))
+		}
+	}
+}
+
+func TestLookupPlatform(t *testing.T) {
+	if _, err := LookupPlatform("Westmere DP"); err != nil {
+		t.Errorf("Westmere lookup failed: %v", err)
+	}
+	if _, err := LookupPlatform("8086"); err == nil {
+		t.Errorf("unknown platform accepted")
+	}
+}
+
+func TestWestmereHasReference(t *testing.T) {
+	p := Westmere()
+	if len(p.Reference) != 16 {
+		t.Errorf("Westmere reference set has %d events, want Table 2's 16", len(p.Reference))
+	}
+}
+
+func TestSandyBridgeCatalogueProperties(t *testing.T) {
+	p := SandyBridge()
+	names := map[string]bool{}
+	hasInstr, hasHITM := false, false
+	for _, d := range p.Catalogue {
+		if names[d.Name] {
+			t.Errorf("duplicate SNB event name %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.Ev == cache.EvInstructions {
+			hasInstr = true
+		}
+		if strings.Contains(d.Name, "XSNP_HITM") {
+			hasHITM = true
+		}
+		if strings.HasPrefix(d.Name, "SNOOP_RESPONSE") {
+			t.Errorf("SNB catalogue carries a Westmere-only event %q", d.Name)
+		}
+	}
+	if !hasInstr {
+		t.Errorf("SNB catalogue lacks an instruction counter")
+	}
+	if !hasHITM {
+		t.Errorf("SNB catalogue lacks the XSNP_HITM dirty-snoop event")
+	}
+	if p.Machine.Cores != 8 {
+		t.Errorf("SNB machine has %d cores, want 8", p.Machine.Cores)
+	}
+	if p.Machine.Cache.L3Size != 20<<20 {
+		t.Errorf("SNB L3 = %d", p.Machine.Cache.L3Size)
+	}
+}
+
+func TestFeatureAttrsExcludesNormalizer(t *testing.T) {
+	attrs := FeatureAttrs(Table2())
+	if len(attrs) != 15 {
+		t.Fatalf("FeatureAttrs(Table2) = %d names", len(attrs))
+	}
+	for _, a := range attrs {
+		if a == "INST_RETIRED.ANY" {
+			t.Errorf("normalizer leaked into feature attrs")
+		}
+	}
+}
+
+func TestProjectSelectsByName(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(Ideal(), Table2())
+	s := p.Read(h)
+	got, err := s.Project([]string{"SNOOP_RESPONSE.HITM", "DTLB_MISSES.ANY"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Project returned %d values", len(got))
+	}
+	norm := s.Normalized()
+	if got[0] != norm[10] || got[1] != norm[12] {
+		t.Errorf("Project picked wrong columns")
+	}
+	if _, err := s.Project([]string{"NO.SUCH.EVENT"}); err == nil {
+		t.Errorf("Project accepted an unknown event")
+	}
+}
+
+// TestSNBPlatformMeasures runs a small measurement on the Sandy Bridge
+// machine through its own catalogue, checking the XSNP_HITM event fires
+// under contention.
+func TestSNBPlatformMeasures(t *testing.T) {
+	p := SandyBridge()
+	h := cache.New(p.Machine.Cache, 2)
+	for i := 0; i < 300; i++ {
+		h.Store(0, 0x10000)
+		h.Store(1, 0x10008)
+	}
+	h.Counters(0).Add(cache.EvInstructions, 10000)
+	pm := New(Ideal(), p.Catalogue)
+	s := pm.Read(h)
+	v, err := s.Project([]string{"MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_HITM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] <= 0 {
+		t.Errorf("XSNP_HITM silent under write-write contention")
+	}
+}

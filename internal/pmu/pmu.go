@@ -1,0 +1,183 @@
+// Package pmu emulates the performance monitoring unit of the simulated
+// machine. It turns the cache/machine micro-event ground truth into what a
+// tool like perf actually observes: a programmed set of counters, sampled
+// per core and aggregated, subject to read noise, per-counter bias, and —
+// when more events are programmed than there are hardware counters —
+// time-multiplexing error.
+//
+// The deliberate imperfection matters: the paper's method explicitly works
+// despite noisy counters (it discards L1D events as unreliable and
+// normalizes everything by instruction counts), so the emulation must
+// present the same difficulties, not a clean oracle.
+package pmu
+
+import (
+	"fmt"
+	"math"
+
+	"fsml/internal/cache"
+	"fsml/internal/xrand"
+)
+
+// Slots is the number of general-purpose counters per core on Westmere.
+const Slots = 4
+
+// Config controls PMU observation quality.
+type Config struct {
+	// Multiplex enables time-multiplexing error when more events are
+	// programmed than Slots. perf-style scaling corrects the mean but
+	// inflates the variance by the inverse duty cycle.
+	Multiplex bool
+	// NoiseScale scales every event's intrinsic NoiseSD. Zero disables
+	// read noise entirely (an idealized PMU, useful in unit tests).
+	NoiseScale float64
+	// Seed drives the deterministic noise stream.
+	Seed uint64
+}
+
+// DefaultConfig models the paper's measurement setup: multiplexed
+// counters with realistic noise.
+func DefaultConfig() Config {
+	return Config{Multiplex: true, NoiseScale: 1, Seed: 1}
+}
+
+// Ideal returns a configuration with no noise and no multiplexing error.
+func Ideal() Config { return Config{} }
+
+// PMU observes a cache.Hierarchy through a programmed event list.
+type PMU struct {
+	cfg  Config
+	defs []EventDef
+	rng  *xrand.Rand
+}
+
+// New returns a PMU programmed with the given events.
+func New(cfg Config, defs []EventDef) *PMU {
+	cp := make([]EventDef, len(defs))
+	copy(cp, defs)
+	return &PMU{cfg: cfg, defs: cp, rng: xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)}
+}
+
+// Events returns the programmed event list.
+func (p *PMU) Events() []EventDef {
+	cp := make([]EventDef, len(p.defs))
+	copy(cp, p.defs)
+	return cp
+}
+
+// Sample is one observation: the counts of the programmed events
+// aggregated over all cores, after the observation model.
+type Sample struct {
+	Names []string
+	// Counts are the observed (noisy, scaled) aggregate counts, parallel
+	// to Names.
+	Counts []float64
+	// Instructions is the observed aggregate instruction count used for
+	// normalization. It is filled whenever INST_RETIRED.ANY is programmed.
+	Instructions float64
+}
+
+// Read samples the programmed events from h. Each call re-applies the
+// observation model, so repeated reads of identical ground truth differ
+// the way repeated real runs do.
+func (p *PMU) Read(h *cache.Hierarchy) Sample {
+	total := h.TotalCounters()
+	s := Sample{
+		Names:  make([]string, len(p.defs)),
+		Counts: make([]float64, len(p.defs)),
+	}
+	duty := 1.0
+	if p.cfg.Multiplex && len(p.defs) > Slots {
+		duty = float64(Slots) / float64(len(p.defs))
+	}
+	for i, d := range p.defs {
+		s.Names[i] = d.Name
+		truth := float64(total.Get(d.Ev))
+		scale := d.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		v := truth * scale
+		sd := d.NoiseSD * p.cfg.NoiseScale
+		if duty < 1 {
+			// perf-style extrapolation from the observed slice: unbiased
+			// but with variance growing as 1/duty.
+			sd = math.Sqrt(sd*sd + 0.0004*(1/duty-1))
+		}
+		if sd > 0 && v > 0 {
+			v = p.rng.Jitter(v, sd)
+			// A real counter read is an integer.
+			v = math.Floor(v + 0.5)
+		}
+		s.Counts[i] = v
+		if d.Ev == cache.EvInstructions {
+			s.Instructions = v
+		}
+	}
+	return s
+}
+
+// Normalized returns the counts divided by the instruction count, the
+// paper's normalization making samples from different programs comparable.
+// The instruction event itself normalizes to 1 and is typically excluded
+// from feature vectors by the caller. Normalized panics if the sample has
+// no instruction count: normalizing by zero instructions means the
+// measurement harness was misconfigured.
+func (s Sample) Normalized() []float64 {
+	if s.Instructions <= 0 {
+		panic("pmu: sample has no instruction count to normalize by")
+	}
+	out := make([]float64, len(s.Counts))
+	for i, c := range s.Counts {
+		out[i] = c / s.Instructions
+	}
+	return out
+}
+
+// FeatureVector extracts the classifier features from a sample taken with
+// the Table 2 programming: the first NumFeatures normalized counts.
+// It returns an error if the sample does not carry the Table 2 events.
+func (s Sample) FeatureVector() ([]float64, error) {
+	if len(s.Counts) < NumFeatures+1 {
+		return nil, fmt.Errorf("pmu: sample has %d events, want at least %d (Table 2)", len(s.Counts), NumFeatures+1)
+	}
+	for i := 0; i < NumFeatures; i++ {
+		if s.Names[i] != table2[i].Name {
+			return nil, fmt.Errorf("pmu: sample event %d is %q, want %q", i, s.Names[i], table2[i].Name)
+		}
+	}
+	return s.Normalized()[:NumFeatures], nil
+}
+
+// Project extracts the normalized counts of the named events, in order —
+// the generic feature-vector path used when a detector was trained on a
+// platform-specific event selection rather than the Westmere Table 2 set.
+func (s Sample) Project(names []string) ([]float64, error) {
+	norm := s.Normalized()
+	idx := make(map[string]int, len(s.Names))
+	for i, n := range s.Names {
+		idx[n] = i
+	}
+	out := make([]float64, len(names))
+	for i, n := range names {
+		j, ok := idx[n]
+		if !ok {
+			return nil, fmt.Errorf("pmu: sample does not carry event %q", n)
+		}
+		out[i] = norm[j]
+	}
+	return out, nil
+}
+
+// FeatureAttrs returns the attribute names of an event programming: every
+// event except the instruction normalizer, in order.
+func FeatureAttrs(defs []EventDef) []string {
+	out := make([]string, 0, len(defs))
+	for _, d := range defs {
+		if d.Ev == cache.EvInstructions {
+			continue
+		}
+		out = append(out, d.Name)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+
+	"fsml/internal/cache"
+)
+
+func trafficHierarchy() *cache.Hierarchy {
+	h := cache.New(cache.DefaultConfig(), 2)
+	for i := 0; i < 200; i++ {
+		h.Load(0, 0x10000+uint64(i)*64)
+		h.Store(1, 0x80000+uint64(i)*64)
+	}
+	// Give the instruction counter something to normalize by.
+	h.Counters(0).Add(cache.EvInstructions, 10000)
+	h.Counters(1).Add(cache.EvInstructions, 10000)
+	return h
+}
+
+func TestTable2HasSixteenEvents(t *testing.T) {
+	t2 := Table2()
+	if len(t2) != 16 {
+		t.Fatalf("Table2 has %d events, want 16", len(t2))
+	}
+	if t2[15].Ev != cache.EvInstructions {
+		t.Errorf("event 16 should be Instructions_Retired, got %v", t2[15].Ev)
+	}
+	if t2[10].Name != "SNOOP_RESPONSE.HITM" {
+		t.Errorf("event 11 should be SNOOP_RESPONSE.HITM, got %s", t2[10].Name)
+	}
+	// Paper encodings spot-check: event 1 is 26/01, event 11 is B8/04.
+	if t2[0].Code != 0x26 || t2[0].Umask != 0x01 {
+		t.Errorf("event 1 encoding = %02X/%02X, want 26/01", t2[0].Code, t2[0].Umask)
+	}
+	if t2[10].Code != 0xB8 || t2[10].Umask != 0x04 {
+		t.Errorf("event 11 encoding = %02X/%02X, want B8/04", t2[10].Code, t2[10].Umask)
+	}
+}
+
+func TestCatalogueSizeAndUniqueness(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 40 {
+		t.Errorf("catalogue has %d candidates; the paper starts from 60-70, ours must be rich enough (>=40)", len(cat))
+	}
+	names := map[string]bool{}
+	for _, d := range cat {
+		if names[d.Name] {
+			t.Errorf("duplicate catalogue name %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != NumFeatures {
+		t.Fatalf("FeatureNames returned %d names", len(names))
+	}
+	if names[10] != "SNOOP_RESPONSE.HITM" {
+		t.Errorf("feature 11 = %q", names[10])
+	}
+}
+
+func TestIdealReadIsExact(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(Ideal(), Table2())
+	s := p.Read(h)
+	truth := h.TotalCounters()
+	for i, d := range p.Events() {
+		if d.Scale != 0 && d.Scale != 1 {
+			continue
+		}
+		want := float64(truth.Get(d.Ev))
+		if s.Counts[i] != want {
+			t.Errorf("ideal PMU event %s = %v, want %v", d.Name, s.Counts[i], want)
+		}
+	}
+	if s.Instructions != 20000 {
+		t.Errorf("instructions = %v, want 20000", s.Instructions)
+	}
+}
+
+func TestNoisyReadCloseButNotExact(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(DefaultConfig(), Table2())
+	s := p.Read(h)
+	truth := h.TotalCounters()
+	exact := 0
+	for i, d := range p.Events() {
+		want := float64(truth.Get(d.Ev))
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(s.Counts[i]-want) / want
+		if rel > 0.5 {
+			t.Errorf("noisy PMU event %s off by %.0f%%", d.Name, rel*100)
+		}
+		if s.Counts[i] == want {
+			exact++
+		}
+	}
+	if exact > 12 {
+		t.Errorf("noisy PMU produced %d exact reads; noise model inert?", exact)
+	}
+}
+
+func TestReadsDifferAcrossSamples(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(DefaultConfig(), Table2())
+	a := p.Read(h)
+	b := p.Read(h)
+	same := true
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("two noisy reads of identical ground truth were identical")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	h := trafficHierarchy()
+	cfg := DefaultConfig()
+	a := New(cfg, Table2()).Read(h)
+	b := New(cfg, Table2()).Read(h)
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("same PMU seed diverged at event %d", i)
+		}
+	}
+}
+
+func TestUndercountedEventScales(t *testing.T) {
+	h := trafficHierarchy()
+	// Force some HITM traffic.
+	for i := 0; i < 500; i++ {
+		h.Store(0, 0x200000)
+		h.Store(1, 0x200008)
+	}
+	cat := Catalogue()
+	p := New(Ideal(), cat)
+	s := p.Read(h)
+	truth := h.TotalCounters()
+	for i, d := range cat {
+		if d.Name != "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM" {
+			continue
+		}
+		want := float64(truth.Get(d.Ev)) * d.Scale
+		if s.Counts[i] != want {
+			t.Errorf("undercounted event = %v, want %v (scale %v applied)", s.Counts[i], want, d.Scale)
+		}
+		if s.Counts[i] >= float64(truth.Get(d.Ev)) {
+			t.Errorf("undercounted event not undercounting: %v >= %v", s.Counts[i], truth.Get(d.Ev))
+		}
+	}
+}
+
+func TestNormalizedDividesByInstructions(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(Ideal(), Table2())
+	s := p.Read(h)
+	norm := s.Normalized()
+	for i := range norm {
+		want := s.Counts[i] / s.Instructions
+		if norm[i] != want {
+			t.Errorf("normalized[%d] = %v, want %v", i, norm[i], want)
+		}
+	}
+	// The instruction event normalizes to exactly 1.
+	if norm[15] != 1 {
+		t.Errorf("normalized instructions = %v, want 1", norm[15])
+	}
+}
+
+func TestNormalizedPanicsWithoutInstructions(t *testing.T) {
+	s := Sample{Counts: []float64{1, 2}, Names: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Normalized with zero instructions did not panic")
+		}
+	}()
+	s.Normalized()
+}
+
+func TestFeatureVector(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(Ideal(), Table2())
+	fv, err := p.Read(h).FeatureVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fv) != NumFeatures {
+		t.Fatalf("feature vector length %d", len(fv))
+	}
+}
+
+func TestFeatureVectorRejectsWrongProgramming(t *testing.T) {
+	h := trafficHierarchy()
+	p := New(Ideal(), Catalogue()[16:]) // not the Table 2 prefix
+	if _, err := p.Read(h).FeatureVector(); err == nil {
+		t.Errorf("FeatureVector accepted a non-Table-2 sample")
+	}
+}
+
+func TestMultiplexingInflatesVariance(t *testing.T) {
+	h := trafficHierarchy()
+	spread := func(mux bool) float64 {
+		cfg := Config{Multiplex: mux, NoiseScale: 1, Seed: 3}
+		p := New(cfg, Table2())
+		idx := 13 // L1D.REPL: busy counter
+		var vals []float64
+		for i := 0; i < 60; i++ {
+			vals = append(vals, p.Read(h).Counts[idx])
+		}
+		var mean, v float64
+		for _, x := range vals {
+			mean += x
+		}
+		mean /= float64(len(vals))
+		for _, x := range vals {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(vals))
+	}
+	if spread(true) <= spread(false) {
+		t.Errorf("multiplexing did not inflate read variance: mux=%v nomux=%v", spread(true), spread(false))
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	p := New(Ideal(), Table2())
+	evs := p.Events()
+	evs[0].Name = "CLOBBERED"
+	if p.Events()[0].Name == "CLOBBERED" {
+		t.Errorf("Events() exposed internal state")
+	}
+}

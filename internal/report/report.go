@@ -1,0 +1,247 @@
+// Package report renders an actionable detection report for one program:
+// the classifier's verdict over a case sweep, the event profile of the
+// most incriminating case, a shadow-memory cross-check, and — when false
+// sharing is found — the SHERIFF-style line sites a developer would pad.
+// Output is Markdown (for humans) or JSON (for tooling).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsml/internal/core"
+	"fsml/internal/machine"
+	"fsml/internal/pmu"
+	"fsml/internal/shadow"
+	"fsml/internal/sheriff"
+	"fsml/internal/suite"
+)
+
+// Options shapes the sweep behind a report.
+type Options struct {
+	// Threads and Flags define the case grid (defaults: 4/8/12 and
+	// O1/O2 plus O0 for Phoenix programs).
+	Threads []int
+	Flags   []machine.OptLevel
+	// MaxInputs caps the swept input sets (0 = all).
+	MaxInputs int
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard report grid. Three optimization
+// levels keep the vote odd-sized per (input, threads) pair, so compiler-
+// sensitive false sharing (present at -O0/-O1, gone at -O2) wins the
+// majority it deserves.
+func DefaultOptions() Options {
+	return Options{
+		Threads: []int{4, 8, 12},
+		Flags:   []machine.OptLevel{machine.O0, machine.O1, machine.O2},
+		Seed:    1,
+	}
+}
+
+// EventValue is one row of the event profile.
+type EventValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// CaseEntry is one swept case in the report.
+type CaseEntry struct {
+	Input   string  `json:"input"`
+	Flag    string  `json:"flag"`
+	Threads int     `json:"threads"`
+	Class   string  `json:"class"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is the full analysis of one program.
+type Report struct {
+	Program   string         `json:"program"`
+	Suite     string         `json:"suite"`
+	Verdict   string         `json:"verdict"`
+	Histogram map[string]int `json:"histogram"`
+	Cases     []CaseEntry    `json:"cases"`
+	// WorstCase is the case whose classification drove the verdict (the
+	// first bad-fs case, else the first case), with its event profile.
+	WorstCase    CaseEntry    `json:"worst_case"`
+	EventProfile []EventValue `json:"event_profile"`
+	// Shadow is the cross-check of the worst case (omitted when the
+	// thread count exceeds the tool's limit).
+	Shadow *shadow.Report `json:"shadow,omitempty"`
+	// Sites are the falsely shared lines the SHERIFF-style tool located
+	// in the worst case, most contended first.
+	Sites []sheriff.Line `json:"sites,omitempty"`
+	// Notes carries caveats (tool limits, unstable cases).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Build sweeps the named program with the detector and assembles the
+// report.
+func Build(det *core.Detector, name string, opts Options) (*Report, error) {
+	w, ok := suite.Lookup(name)
+	if !ok {
+		if why, bad := suite.Unsupported()[name]; bad {
+			return nil, fmt.Errorf("report: %s is not modeled (%s)", name, why)
+		}
+		return nil, fmt.Errorf("report: unknown program %q", name)
+	}
+	if len(opts.Threads) == 0 {
+		opts.Threads = DefaultOptions().Threads
+	}
+	if len(opts.Flags) == 0 {
+		opts.Flags = DefaultOptions().Flags
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	collector := core.NewCollector()
+	rep := &Report{Program: w.Name, Suite: w.Suite, Histogram: map[string]int{}}
+	inputs := w.Inputs
+	if opts.MaxInputs > 0 && len(inputs) > opts.MaxInputs {
+		inputs = inputs[:opts.MaxInputs]
+	}
+	seed := opts.Seed
+	var results []core.CaseResult
+	for _, in := range inputs {
+		for _, opt := range opts.Flags {
+			for _, th := range opts.Threads {
+				seed++
+				cs := suite.Case{Input: in.Name, Threads: th, Opt: opt, Seed: seed * 17}
+				obs := collector.Measure(cs.String(), cs.Seed, w.Build(cs))
+				class, err := det.ClassifyObservation(obs)
+				if err != nil {
+					return nil, err
+				}
+				entry := CaseEntry{Input: in.Name, Flag: opt.String(), Threads: th, Class: class, Seconds: obs.Seconds}
+				rep.Cases = append(rep.Cases, entry)
+				rep.Histogram[class]++
+				results = append(results, core.CaseResult{Desc: cs.String(), Class: class, Seconds: obs.Seconds})
+			}
+		}
+	}
+	rep.Verdict, _ = core.Majority(results)
+
+	worst := rep.Cases[0]
+	for _, c := range rep.Cases {
+		if c.Class == "bad-fs" {
+			worst = c
+			break
+		}
+	}
+	rep.WorstCase = worst
+	if err := rep.profileWorst(det, w, collector, opts.Seed); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// profileWorst measures the worst case's event vector and runs the two
+// instrumentation tools on it.
+func (rep *Report) profileWorst(det *core.Detector, w suite.Workload, collector *core.Collector, seed uint64) error {
+	var flag machine.OptLevel
+	for _, o := range machine.Levels() {
+		if o.String() == rep.WorstCase.Flag {
+			flag = o
+		}
+	}
+	cs := suite.Case{Input: rep.WorstCase.Input, Threads: rep.WorstCase.Threads, Opt: flag, Seed: seed * 91}
+	obs := collector.Measure("profile", cs.Seed, w.Build(cs))
+	fv, err := obs.Sample.FeatureVector()
+	if err != nil {
+		return err
+	}
+	names := pmu.FeatureNames()
+	for i, v := range fv {
+		rep.EventProfile = append(rep.EventProfile, EventValue{Name: names[i], Value: v})
+	}
+	sort.SliceStable(rep.EventProfile, func(i, j int) bool {
+		return rep.EventProfile[i].Value > rep.EventProfile[j].Value
+	})
+
+	shadowCase := cs
+	if shadowCase.Threads > shadow.MaxThreads {
+		shadowCase.Threads = shadow.MaxThreads
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"shadow cross-check ran at T=%d: the tool tracks at most %d threads", shadow.MaxThreads, shadow.MaxThreads))
+	}
+	shRep, err := shadow.Run(collector.Machine, w.Build(shadowCase))
+	if err != nil {
+		return err
+	}
+	rep.Shadow = &shRep
+
+	sfRep, err := sheriff.Run(collector.Machine, w.Build(cs))
+	if err != nil {
+		return err
+	}
+	// Sites are only actionable when the write-interleaving rate is
+	// significant; block-partitioned arrays always have a few boundary
+	// lines with two writers, which are noise, not bugs.
+	if sfRep.Detected {
+		const maxSites = 8
+		rep.Sites = sfRep.Lines
+		if len(rep.Sites) > maxSites {
+			rep.Sites = rep.Sites[:maxSites]
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d further contended lines omitted", len(sfRep.Lines)-maxSites))
+		}
+	}
+	return nil
+}
+
+// JSON serializes the report.
+func (rep *Report) JSON() ([]byte, error) { return json.MarshalIndent(rep, "", "  ") }
+
+// Markdown renders the report for humans.
+func (rep *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# False-sharing report: %s (%s)\n\n", rep.Program, rep.Suite)
+	fmt.Fprintf(&b, "**Verdict: %s**", rep.Verdict)
+	parts := make([]string, 0, len(rep.Histogram))
+	for _, class := range []string{"good", "bad-fs", "bad-ma"} {
+		if n := rep.Histogram[class]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, class))
+		}
+	}
+	fmt.Fprintf(&b, " (%s over %d cases)\n\n", strings.Join(parts, ", "), len(rep.Cases))
+
+	b.WriteString("## Cases\n\n| input | flag | threads | class | simulated s |\n|---|---|---|---|---|\n")
+	for _, c := range rep.Cases {
+		fmt.Fprintf(&b, "| %s | %s | %d | %s | %.4f |\n", c.Input, c.Flag, c.Threads, c.Class, c.Seconds)
+	}
+
+	fmt.Fprintf(&b, "\n## Event profile of %s %s T=%d (top normalized counts)\n\n", rep.WorstCase.Input, rep.WorstCase.Flag, rep.WorstCase.Threads)
+	b.WriteString("| event | count/instruction |\n|---|---|\n")
+	for i, ev := range rep.EventProfile {
+		if i >= 6 {
+			break
+		}
+		fmt.Fprintf(&b, "| %s | %.6f |\n", ev.Name, ev.Value)
+	}
+
+	if rep.Shadow != nil {
+		verdict := "no false sharing"
+		if rep.Shadow.Detected {
+			verdict = "FALSE SHARING"
+		}
+		fmt.Fprintf(&b, "\n## Shadow-memory cross-check\n\nrate %.9f -> %s (criterion 1e-3); %d false-sharing vs %d true-sharing events.\n",
+			rep.Shadow.FSRate, verdict, rep.Shadow.FalseSharing, rep.Shadow.TrueSharing)
+	}
+	if len(rep.Sites) > 0 {
+		b.WriteString("\n## Contended lines (pad or restructure these)\n\n| line | writers | writes | interleavings |\n|---|---|---|---|\n")
+		for _, s := range rep.Sites {
+			fmt.Fprintf(&b, "| %#x | %d | %d | %d |\n", s.Addr, s.Writers, s.Writes, s.Interleavings)
+		}
+	}
+	if len(rep.Notes) > 0 {
+		b.WriteString("\n## Notes\n\n")
+		for _, n := range rep.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"fsml/internal/core"
+	"fsml/internal/exps"
+	"fsml/internal/machine"
+)
+
+var (
+	detOnce sync.Once
+	det     *core.Detector
+	detErr  error
+)
+
+func detector(t *testing.T) *core.Detector {
+	t.Helper()
+	detOnce.Do(func() {
+		lab := exps.NewQuickLab()
+		det, detErr = lab.Detector()
+	})
+	if detErr != nil {
+		t.Fatal(detErr)
+	}
+	return det
+}
+
+func quickOpts() Options {
+	return Options{Threads: []int{6}, Flags: []machine.OptLevel{machine.O0, machine.O1, machine.O2}, MaxInputs: 1, Seed: 3}
+}
+
+func TestBuildPositiveReport(t *testing.T) {
+	rep, err := Build(detector(t), "linear_regression", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "bad-fs" {
+		t.Errorf("verdict = %q (%v)", rep.Verdict, rep.Histogram)
+	}
+	if len(rep.Cases) != 3 {
+		t.Fatalf("cases = %d", len(rep.Cases))
+	}
+	// Worst case must be a bad-fs one and its profile HITM-topped.
+	if rep.WorstCase.Class != "bad-fs" {
+		t.Errorf("worst case = %+v", rep.WorstCase)
+	}
+	top := rep.EventProfile[0]
+	if !strings.Contains(top.Name, "STALL") && !strings.Contains(top.Name, "HITM") {
+		// Stall cycle counts can dominate numerically; HITM must at
+		// least be present with a large value.
+		found := false
+		for _, ev := range rep.EventProfile[:4] {
+			if strings.Contains(ev.Name, "HITM") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("HITM not among top profile events: %+v", rep.EventProfile[:4])
+		}
+	}
+	if rep.Shadow == nil || !rep.Shadow.Detected {
+		t.Errorf("shadow cross-check did not confirm: %+v", rep.Shadow)
+	}
+	if len(rep.Sites) == 0 {
+		t.Errorf("no contended line sites reported")
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"# False-sharing report: linear_regression", "Verdict: bad-fs", "Contended lines", "cross-check"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestBuildCleanReport(t *testing.T) {
+	rep, err := Build(detector(t), "blackscholes", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "good" {
+		t.Errorf("verdict = %q (%v)", rep.Verdict, rep.Histogram)
+	}
+	if rep.Shadow.Detected {
+		t.Errorf("shadow flagged a clean program")
+	}
+	if len(rep.Sites) != 0 {
+		t.Errorf("clean program reported %d contended sites", len(rep.Sites))
+	}
+}
+
+func TestBuildJSONRoundTrip(t *testing.T) {
+	rep, err := Build(detector(t), "histogram", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "histogram" || got.Verdict != rep.Verdict {
+		t.Errorf("round trip changed report: %+v", got)
+	}
+}
+
+func TestBuildShadowThreadCap(t *testing.T) {
+	opts := quickOpts()
+	opts.Threads = []int{12} // beyond the shadow tool's 8-thread limit
+	rep, err := Build(detector(t), "streamcluster", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shadow == nil {
+		t.Fatalf("shadow check missing")
+	}
+	foundNote := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "at most") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Errorf("missing thread-cap note: %v", rep.Notes)
+	}
+}
+
+func TestBuildRejectsUnknownAndUnsupported(t *testing.T) {
+	if _, err := Build(detector(t), "no-such", quickOpts()); err == nil {
+		t.Errorf("unknown program accepted")
+	}
+	if _, err := Build(detector(t), "dedup", quickOpts()); err == nil || !strings.Contains(err.Error(), "not modeled") {
+		t.Errorf("dedup should fail with the paper's footnote, got %v", err)
+	}
+}

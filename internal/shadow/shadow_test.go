@@ -1,0 +1,158 @@
+package shadow
+
+import (
+	"testing"
+
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+	"fsml/internal/miniprog"
+)
+
+func TestNewToolLimits(t *testing.T) {
+	if _, err := NewTool(0); err == nil {
+		t.Errorf("0 threads accepted")
+	}
+	if _, err := NewTool(9); err == nil {
+		t.Errorf("9 threads accepted despite the 8-thread limit")
+	}
+	if _, err := NewTool(8); err != nil {
+		t.Errorf("8 threads rejected: %v", err)
+	}
+}
+
+func TestFalseVsTrueSharingClassification(t *testing.T) {
+	tool, _ := NewTool(2)
+	// Thread 0 writes word 0; thread 1 writes word 1 of the same line:
+	// pure false sharing.
+	tool.access(0, 0x1000, true)
+	tool.access(1, 0x1008, true)
+	tool.access(0, 0x1000, true)
+	rep := tool.Report(1000)
+	if rep.FalseSharing != 2 || rep.TrueSharing != 0 {
+		t.Errorf("fs=%d ts=%d, want 2/0", rep.FalseSharing, rep.TrueSharing)
+	}
+
+	tool2, _ := NewTool(2)
+	// Both threads write the same word: true sharing.
+	tool2.access(0, 0x1000, true)
+	tool2.access(1, 0x1000, true)
+	tool2.access(0, 0x1000, true)
+	rep2 := tool2.Report(1000)
+	if rep2.TrueSharing != 2 || rep2.FalseSharing != 0 {
+		t.Errorf("fs=%d ts=%d, want 0/2", rep2.FalseSharing, rep2.TrueSharing)
+	}
+}
+
+func TestReadAfterRemoteWrite(t *testing.T) {
+	tool, _ := NewTool(2)
+	tool.access(0, 0x1000, true) // t0 writes word 0
+	tool.access(1, 0x1008, false)
+	rep := tool.Report(100)
+	if rep.FalseSharing != 1 {
+		t.Errorf("read of a different word after remote write: fs=%d, want 1", rep.FalseSharing)
+	}
+	tool2, _ := NewTool(2)
+	tool2.access(0, 0x1000, true)
+	tool2.access(1, 0x1000, false) // same word: true sharing
+	rep2 := tool2.Report(100)
+	if rep2.TrueSharing != 1 || rep2.FalseSharing != 0 {
+		t.Errorf("read of written word: fs=%d ts=%d, want 0/1", rep2.FalseSharing, rep2.TrueSharing)
+	}
+}
+
+func TestPrivateLinesNeverCount(t *testing.T) {
+	tool, _ := NewTool(4)
+	for th := 0; th < 4; th++ {
+		base := uint64(0x1000 + th*mem.LineSize)
+		for i := 0; i < 100; i++ {
+			tool.access(th, base, true)
+			tool.access(th, base, false)
+		}
+	}
+	rep := tool.Report(800)
+	if rep.FalseSharing != 0 || rep.TrueSharing != 0 {
+		t.Errorf("private lines produced contention: %+v", rep)
+	}
+}
+
+func TestRateAndThreshold(t *testing.T) {
+	tool, _ := NewTool(2)
+	for i := 0; i < 10; i++ {
+		tool.access(0, 0x1000, true)
+		tool.access(1, 0x1008, true)
+	}
+	rep := tool.Report(1000)
+	if rep.FSRate <= DefaultThreshold || !rep.Detected {
+		t.Errorf("rate %v should trip the 1e-3 criterion", rep.FSRate)
+	}
+	repQuiet := tool.Report(1000000)
+	if repQuiet.Detected {
+		t.Errorf("rate %v should not trip the criterion", repQuiet.FSRate)
+	}
+}
+
+// TestOnMiniPrograms is the key agreement property (§4.3): the shadow
+// tool and the classifier's ground truth coincide on the mini-programs —
+// bad-fs runs have rates an order of magnitude above 1e-3, good and
+// bad-ma runs fall below.
+func TestOnMiniPrograms(t *testing.T) {
+	run := func(prog string, mode miniprog.Mode, size int) Report {
+		spec := miniprog.Spec{Program: prog, Size: size, Threads: 6, Mode: mode, Seed: 21}
+		kernels, err := miniprog.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machine.DefaultConfig()
+		rep, err := Run(cfg, kernels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for _, prog := range []string{"pdot", "psums", "padding"} {
+		bad := run(prog, miniprog.BadFS, 20000)
+		good := run(prog, miniprog.Good, 20000)
+		if !bad.Detected {
+			t.Errorf("%s bad-fs rate %v below threshold", prog, bad.FSRate)
+		}
+		if good.Detected {
+			t.Errorf("%s good rate %v above threshold", prog, good.FSRate)
+		}
+		if bad.FSRate < 10*good.FSRate {
+			t.Errorf("%s: rate gap %.2g vs %.2g below an order of magnitude", prog, bad.FSRate, good.FSRate)
+		}
+	}
+	ma := run("pdot", miniprog.BadMA, 20000)
+	if ma.Detected {
+		t.Errorf("pdot bad-ma rate %v wrongly detected as false sharing", ma.FSRate)
+	}
+}
+
+// TestInstrumentationSlowdown verifies the modeled ~5x overhead the paper
+// contrasts its own <2% against.
+func TestInstrumentationSlowdown(t *testing.T) {
+	spec := miniprog.Spec{Program: "pdot", Size: 20000, Threads: 4, Mode: miniprog.Good, Seed: 3}
+	kernels, _ := miniprog.Build(spec)
+	plain := machine.New(machine.DefaultConfig())
+	base := plain.Run(kernels).WallCycles
+
+	kernels2, _ := miniprog.Build(spec)
+	tool, _ := NewTool(4)
+	cfg := machine.DefaultConfig()
+	cfg.Tracer = tool.Tracer()
+	traced := machine.New(cfg)
+	slow := traced.Run(kernels2).WallCycles
+
+	ratio := float64(slow) / float64(base)
+	if ratio < 2 || ratio > 10 {
+		t.Errorf("instrumentation slowdown = %.1fx, want the multi-x regime (2-10x)", ratio)
+	}
+}
+
+func TestRunRejectsTooManyThreads(t *testing.T) {
+	spec := miniprog.Spec{Program: "pdot", Size: 1000, Threads: 12, Mode: miniprog.Good, Seed: 1}
+	kernels, _ := miniprog.Build(spec)
+	if _, err := Run(machine.DefaultConfig(), kernels); err == nil {
+		t.Errorf("12-thread run accepted despite the 8-thread limit")
+	}
+}

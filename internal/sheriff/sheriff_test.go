@@ -1,0 +1,140 @@
+package sheriff
+
+import (
+	"testing"
+
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+	"fsml/internal/miniprog"
+)
+
+func TestNewToolValidates(t *testing.T) {
+	if _, err := NewTool(0); err == nil {
+		t.Errorf("0 threads accepted")
+	}
+	if _, err := NewTool(65); err == nil {
+		t.Errorf("65 threads accepted")
+	}
+}
+
+func TestDetectsDisjointMultiWriterLines(t *testing.T) {
+	tool, _ := NewTool(2)
+	tr := tool.Tracer()
+	for i := 0; i < 50; i++ {
+		tr(0, 0x1000, true)
+		tr(1, 0x1008, true)
+	}
+	rep := tool.Report(1000)
+	if len(rep.Lines) != 1 {
+		t.Fatalf("reported %d lines, want 1", len(rep.Lines))
+	}
+	l := rep.Lines[0]
+	if l.Writers != 2 || !l.WordDisjoint || l.Interleavings < 90 {
+		t.Errorf("line stats %+v", l)
+	}
+	if !rep.Detected {
+		t.Errorf("rate %v not detected", rep.Rate)
+	}
+}
+
+func TestIgnoresTrueSharing(t *testing.T) {
+	tool, _ := NewTool(2)
+	tr := tool.Tracer()
+	for i := 0; i < 50; i++ {
+		tr(0, 0x1000, true)
+		tr(1, 0x1000, true) // same word
+	}
+	rep := tool.Report(1000)
+	if len(rep.Lines) != 0 {
+		t.Errorf("true sharing reported as false sharing: %+v", rep.Lines)
+	}
+}
+
+func TestIgnoresReads(t *testing.T) {
+	tool, _ := NewTool(2)
+	tr := tool.Tracer()
+	for i := 0; i < 50; i++ {
+		tr(0, 0x1000, false)
+		tr(1, 0x1008, false)
+	}
+	rep := tool.Report(1000)
+	if len(rep.Lines) != 0 || rep.Detected {
+		t.Errorf("read-only traffic reported: %+v", rep)
+	}
+}
+
+func TestSingleWriterLinesIgnored(t *testing.T) {
+	tool, _ := NewTool(4)
+	tr := tool.Tracer()
+	for th := 0; th < 4; th++ {
+		for i := 0; i < 100; i++ {
+			tr(th, uint64(0x1000+th*mem.LineSize), true)
+		}
+	}
+	rep := tool.Report(400)
+	if len(rep.Lines) != 0 {
+		t.Errorf("private lines reported: %+v", rep.Lines)
+	}
+}
+
+// TestAgreesOnStrongFalseSharing: SHERIFF-style detection and the shadow
+// criterion agree on clear-cut mini-program cases.
+func TestAgreesOnStrongFalseSharing(t *testing.T) {
+	run := func(mode miniprog.Mode) Report {
+		spec := miniprog.Spec{Program: "pdot", Size: 20000, Threads: 6, Mode: mode, Seed: 31}
+		kernels, err := miniprog.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(machine.DefaultConfig(), kernels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if !run(miniprog.BadFS).Detected {
+		t.Errorf("bad-fs pdot not detected")
+	}
+	if run(miniprog.Good).Detected {
+		t.Errorf("good pdot detected")
+	}
+}
+
+// TestMoreSensitiveThanShadowCriterion documents the over-reporting the
+// paper criticizes: rare-but-regular disjoint writes that stay below the
+// shadow tool's 1e-3 rate still trip SHERIFF's filter.
+func TestMoreSensitiveThanShadowCriterion(t *testing.T) {
+	tool, _ := NewTool(2)
+	tr := tool.Tracer()
+	instr := uint64(1000000)
+	// 300 interleavings per million instructions: rate 3e-4.
+	for i := 0; i < 300; i++ {
+		tr(0, 0x1000, true)
+		tr(1, 0x1008, true)
+	}
+	rep := tool.Report(instr)
+	if rep.Rate > 1e-3 {
+		t.Fatalf("test setup wrong: rate %v exceeds the shadow criterion", rep.Rate)
+	}
+	if !rep.Detected {
+		t.Errorf("insignificant false sharing (rate %v) not flagged; the baseline should over-report", rep.Rate)
+	}
+}
+
+func TestModestOverhead(t *testing.T) {
+	spec := miniprog.Spec{Program: "pdot", Size: 20000, Threads: 4, Mode: miniprog.Good, Seed: 3}
+	kernels, _ := miniprog.Build(spec)
+	base := machine.New(machine.DefaultConfig()).Run(kernels).WallCycles
+
+	kernels2, _ := miniprog.Build(spec)
+	rep2 := machine.DefaultConfig()
+	tool, _ := NewTool(4)
+	rep2.Tracer = tool.Tracer()
+	rep2.TracerOverhead = 2
+	slow := machine.New(rep2).Run(kernels2).WallCycles
+
+	ratio := float64(slow) / float64(base)
+	if ratio < 1.02 || ratio > 1.8 {
+		t.Errorf("SHERIFF-style overhead = %.2fx, want the ~1.2x regime", ratio)
+	}
+}

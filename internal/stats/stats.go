@@ -1,0 +1,185 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: location/spread estimators, percentiles,
+// and Welch's t-test for comparing runtime samples from two
+// configurations (used when deciding whether a slowdown is real or
+// scheduler noise).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It panics on an empty sample
+// or out-of-range p: percentile of nothing is a caller bug.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the five-number-ish description used in reports.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary (zero value for an empty sample).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Percentile(xs, 0),
+		Median: Median(xs),
+		Max:    Percentile(xs, 100),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// WelchT compares two samples' means without assuming equal variances
+// and returns the t statistic, the Welch-Satterthwaite degrees of
+// freedom, and an approximate two-sided p-value. Samples with fewer than
+// two points give t=0, df=0, p=1 (no evidence either way).
+func WelchT(a, b []float64) (t, df, p float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, 1
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return 0, na + nb - 2, 1
+		}
+		return math.Inf(1), na + nb - 2, 0
+	}
+	t = (ma - mb) / se
+	num := (va/na + vb/nb) * (va/na + vb/nb)
+	den := (va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1))
+	df = num / den
+	p = 2 * studentTailP(math.Abs(t), df)
+	return t, df, p
+}
+
+// studentTailP approximates P(T > t) for Student's t with df degrees of
+// freedom via the incomplete beta function (continued fraction).
+func studentTailP(t, df float64) float64 {
+	if df <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// computed with the standard Lentz continued fraction.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Symmetry for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b-lbeta) / a
+
+	const eps = 1e-12
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var num float64
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			num = -(a + float64(m)) * (a + b + float64(m)) * x / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < 1e-30 {
+			d = 1e-30
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < 1e-30 {
+			c = 1e-30
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

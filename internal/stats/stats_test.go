@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fsml/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if v := Variance(xs); !almost(v, 32.0/7, 1e-12) {
+		t.Errorf("variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Errorf("degenerate cases wrong")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Median(xs); p != 3 {
+		t.Errorf("median = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("p25 = %v", p)
+	}
+	// Interpolation between order statistics.
+	if p := Percentile([]float64{10, 20}, 50); p != 15 {
+		t.Errorf("interpolated median = %v", p)
+	}
+	if p := Percentile([]float64{7}, 99); p != 7 {
+		t.Errorf("single-sample percentile = %v", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Errorf("empty summary")
+	}
+	if s.String() == "" {
+		t.Errorf("render broken")
+	}
+}
+
+// TestPercentileMonotone: percentiles are monotone in p and bounded by
+// the sample range.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return Percentile(xs, 0) <= Percentile(xs, 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	tStat, _, p := WelchT(a, a)
+	if tStat != 0 || p < 0.99 {
+		t.Errorf("identical samples: t=%v p=%v", tStat, p)
+	}
+}
+
+func TestWelchTClearDifference(t *testing.T) {
+	rng := xrand.New(5)
+	var a, b []float64
+	for i := 0; i < 30; i++ {
+		a = append(a, 10+rng.NormFloat64())
+		b = append(b, 20+rng.NormFloat64())
+	}
+	tStat, df, p := WelchT(a, b)
+	if math.Abs(tStat) < 10 {
+		t.Errorf("t = %v for clearly separated samples", tStat)
+	}
+	if df < 10 {
+		t.Errorf("df = %v", df)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v, want tiny", p)
+	}
+}
+
+func TestWelchTNoEvidenceSmallSamples(t *testing.T) {
+	if _, _, p := WelchT([]float64{1}, []float64{2, 3}); p != 1 {
+		t.Errorf("p = %v for degenerate sample", p)
+	}
+	// Zero variance, equal means.
+	if _, _, p := WelchT([]float64{2, 2}, []float64{2, 2}); p != 1 {
+		t.Errorf("p = %v for constant equal samples", p)
+	}
+	// Zero variance, different means: certain difference.
+	if _, _, p := WelchT([]float64{2, 2}, []float64{3, 3}); p != 0 {
+		t.Errorf("p = %v for constant different samples", p)
+	}
+}
+
+// TestStudentTailKnownValues: P(T > 2.086) ~ 0.025 at df=20 (the classic
+// 95% two-sided critical value).
+func TestStudentTailKnownValues(t *testing.T) {
+	if p := studentTailP(2.086, 20); !almost(p, 0.025, 0.002) {
+		t.Errorf("tail(2.086, 20) = %v, want ~0.025", p)
+	}
+	if p := studentTailP(0, 10); !almost(p, 0.5, 1e-9) {
+		t.Errorf("tail(0) = %v, want 0.5", p)
+	}
+	// Normal limit: df large, t=1.96 -> ~0.025.
+	if p := studentTailP(1.96, 10000); !almost(p, 0.025, 0.002) {
+		t.Errorf("tail(1.96, 1e4) = %v, want ~0.025", p)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if v := regIncBeta(2, 3, 0); v != 0 {
+		t.Errorf("I_0 = %v", v)
+	}
+	if v := regIncBeta(2, 3, 1); v != 1 {
+		t.Errorf("I_1 = %v", v)
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if v := regIncBeta(1, 1, x); !almost(v, x, 1e-9) {
+			t.Errorf("I_%v(1,1) = %v", x, v)
+		}
+	}
+}

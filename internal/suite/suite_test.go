@@ -1,0 +1,208 @@
+package suite
+
+import (
+	"testing"
+
+	"fsml/internal/cache"
+	"fsml/internal/machine"
+	"fsml/internal/shadow"
+)
+
+func smallCase(w Workload, threads int, opt machine.OptLevel) Case {
+	return Case{Input: w.Inputs[0].Name, Threads: threads, Opt: opt, Seed: 7}
+}
+
+func runCase(t *testing.T, w Workload, cs Case) (cache.Counters, machine.RunResult) {
+	t.Helper()
+	kernels := w.Build(cs)
+	if len(kernels) != cs.Threads {
+		t.Fatalf("%s built %d kernels for %d threads", w.Name, len(kernels), cs.Threads)
+	}
+	m := machine.New(machine.DefaultConfig())
+	res := m.Run(kernels)
+	return m.Hierarchy().TotalCounters(), res
+}
+
+func TestRegistryShape(t *testing.T) {
+	if len(Phoenix()) != 8 {
+		t.Errorf("Phoenix has %d workloads, want 8", len(Phoenix()))
+	}
+	if len(PARSEC()) != 11 {
+		t.Errorf("PARSEC has %d workloads, want 11", len(PARSEC()))
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if len(w.Inputs) < 3 {
+			t.Errorf("%s has %d inputs, want >= 3", w.Name, len(w.Inputs))
+		}
+		for i := 1; i < len(w.Inputs); i++ {
+			if w.Inputs[i].Size <= w.Inputs[i-1].Size {
+				t.Errorf("%s inputs not increasing: %v", w.Name, w.Inputs)
+			}
+		}
+		if w.PaperClass == "" {
+			t.Errorf("%s lacks a paper classification", w.Name)
+		}
+	}
+	if _, ok := Lookup("streamcluster"); !ok {
+		t.Errorf("Lookup(streamcluster) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Errorf("Lookup(nope) succeeded")
+	}
+}
+
+func TestEveryWorkloadRuns(t *testing.T) {
+	for _, w := range All() {
+		cs := smallCase(w, 4, machine.O2)
+		_, res := runCase(t, w, cs)
+		if res.Instructions == 0 {
+			t.Errorf("%s retired no instructions", w.Name)
+		}
+	}
+}
+
+// TestHITMSignatures checks each workload's coherence signature against
+// its published classification: the two significant-FS programs must show
+// strong normalized HITM, everything else must not.
+func TestHITMSignatures(t *testing.T) {
+	for _, w := range All() {
+		opt := machine.O0 // worst case for linear_regression
+		tot, res := runCase(t, w, smallCase(w, 6, opt))
+		rate := float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions)
+		switch w.Truth {
+		case SignificantFS:
+			if rate < 0.002 {
+				t.Errorf("%s HITM/instr = %.5f; expected a strong false-sharing signature", w.Name, rate)
+			}
+		default:
+			if rate > 0.002 {
+				t.Errorf("%s HITM/instr = %.5f; expected none (truth=%v)", w.Name, rate, w.Truth)
+			}
+		}
+	}
+}
+
+// TestLinearRegressionOptFlip is Table 6's mechanism: -O0 false-shares,
+// -O2 does not.
+func TestLinearRegressionOptFlip(t *testing.T) {
+	w, _ := Lookup("linear_regression")
+	rate := func(opt machine.OptLevel) float64 {
+		tot, res := runCase(t, w, smallCase(w, 6, opt))
+		return float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions)
+	}
+	o0, o2 := rate(machine.O0), rate(machine.O2)
+	if o0 < 20*o2 {
+		t.Errorf("linear_regression HITM rate -O0 %.5f vs -O2 %.5f: flip too weak", o0, o2)
+	}
+}
+
+// TestStreamclusterPersistsAcrossOpt: the work_mem layout false-shares at
+// every optimization level (Table 8).
+func TestStreamclusterPersistsAcrossOpt(t *testing.T) {
+	w, _ := Lookup("streamcluster")
+	for _, opt := range []machine.OptLevel{machine.O1, machine.O2, machine.O3} {
+		tot, res := runCase(t, w, smallCase(w, 8, opt))
+		rate := float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions)
+		if rate < 0.002 {
+			t.Errorf("streamcluster %v HITM/instr = %.5f; CACHE_LINE=32 sharing should persist", opt, rate)
+		}
+	}
+}
+
+// TestStreamclusterRateDeclinesWithInput reproduces Table 9's trend.
+func TestStreamclusterRateDeclinesWithInput(t *testing.T) {
+	w, _ := Lookup("streamcluster")
+	var prev float64 = 1e9
+	for _, in := range w.Inputs[:3] {
+		kernels := w.Build(Case{Input: in.Name, Threads: 4, Opt: machine.O2, Seed: 3})
+		rep, err := shadow.Run(machine.DefaultConfig(), kernels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FSRate >= prev {
+			t.Errorf("FS rate did not decline at input %s: %.5f (prev %.5f)", in.Name, rep.FSRate, prev)
+		}
+		prev = rep.FSRate
+	}
+}
+
+// TestShadowVerdictsMatchTruth: the verification tool agrees with the
+// published ground truth on small inputs at T=4.
+func TestShadowVerdictsMatchTruth(t *testing.T) {
+	for _, w := range All() {
+		opt := machine.O0
+		if w.Name == "streamcluster" {
+			opt = machine.O2
+		}
+		kernels := w.Build(smallCase(w, 4, opt))
+		rep, err := shadow.Run(machine.DefaultConfig(), kernels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFS := w.Truth == SignificantFS
+		if rep.Detected != wantFS {
+			t.Errorf("%s: shadow detected=%v rate=%.5f, ground truth FS=%v", w.Name, rep.Detected, rep.FSRate, wantFS)
+		}
+	}
+}
+
+// TestInsignificantSharingPresent: the InsignificantFS workloads really
+// do contain multi-writer disjoint lines (so the SHERIFF baseline has
+// something to over-report), but below the shadow criterion.
+func TestInsignificantSharingPresent(t *testing.T) {
+	for _, w := range All() {
+		if w.Truth != InsignificantFS {
+			continue
+		}
+		kernels := w.Build(smallCase(w, 4, machine.O2))
+		tool, _ := shadow.NewTool(4)
+		cfg := machine.DefaultConfig()
+		cfg.Tracer = tool.Tracer()
+		m := machine.New(cfg)
+		res := m.Run(kernels)
+		rep := tool.Report(res.Instructions)
+		if rep.FalseSharing == 0 {
+			t.Errorf("%s: no false-sharing events at all; the insignificant sharing is missing", w.Name)
+		}
+		if rep.Detected {
+			t.Errorf("%s: rate %.5f crosses the 1e-3 criterion; should be insignificant", w.Name, rep.FSRate)
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	cs := Case{Input: "simsmall", Threads: 8, Opt: machine.O2}
+	if cs.String() != "simsmall/-O2/T=8" {
+		t.Errorf("Case.String() = %q", cs.String())
+	}
+}
+
+func TestSizePanicsOnUnknownInput(t *testing.T) {
+	w, _ := Lookup("vips")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown input accepted")
+		}
+	}()
+	w.size("nope")
+}
+
+func TestUnsupportedFootnote(t *testing.T) {
+	u := Unsupported()
+	if len(u) != 2 {
+		t.Fatalf("Unsupported() = %v", u)
+	}
+	for _, name := range []string{"dedup", "facesim"} {
+		if u[name] == "" {
+			t.Errorf("missing footnote for %s", name)
+		}
+		if _, ok := Lookup(name); ok {
+			t.Errorf("%s should not be a runnable workload", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fsml/internal/machine"
+)
+
+// Recorder captures a running workload's full event stream — memory
+// accesses and instruction batches — into a Trace, using the machine's
+// tracer hooks. Recording one run of a program and replaying the trace
+// elsewhere reproduces the same classifier verdict, which is the
+// workflow for shipping a reproduction of a performance bug instead of
+// the program that exhibits it.
+//
+// Consecutive same-address memory events and instruction batches are
+// run-length merged, so tight single-variable loops record compactly.
+type Recorder struct {
+	threads [][]Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) thread(tid int) *[]Op {
+	for len(r.threads) <= tid {
+		r.threads = append(r.threads, nil)
+	}
+	return &r.threads[tid]
+}
+
+// appendOp merges with the tail where possible.
+func (r *Recorder) appendOp(tid int, op Op) {
+	ops := r.thread(tid)
+	if n := len(*ops); n > 0 {
+		tail := &(*ops)[n-1]
+		switch {
+		case tail.Kind == op.Kind && (op.Kind == OpExec || op.Kind == OpBranch):
+			tail.N += op.N
+			return
+		case tail.Kind == op.Kind && tail.Addr == op.Addr &&
+			(op.Kind == OpLoad || op.Kind == OpStore):
+			tail.N += op.N
+			return
+		}
+	}
+	*ops = append(*ops, op)
+}
+
+// Attach installs the recorder's hooks into a machine configuration.
+// Recording is free of simulated-time cost (TracerOverhead is zeroed):
+// the recorder is part of the harness, not a modeled tool.
+func (r *Recorder) Attach(cfg machine.Config) machine.Config {
+	cfg.Tracer = func(thread int, addr uint64, write bool) {
+		kind := OpLoad
+		if write {
+			kind = OpStore
+		}
+		r.appendOp(thread, Op{Kind: kind, Addr: addr, N: 1})
+	}
+	cfg.TracerOverhead = -1 // sentinel: no overhead (see machine.Ctx.trace)
+	cfg.ExecTracer = func(thread, n int) {
+		r.appendOp(thread, Op{Kind: OpExec, N: n})
+	}
+	return cfg
+}
+
+// Trace returns the recorded trace. The recorder can keep recording; the
+// returned trace shares storage and should be used after the run ends.
+func (r *Recorder) Trace() *Trace {
+	return &Trace{Threads: r.threads}
+}
+
+// Record runs kernels on a machine built from cfg with recording hooks
+// installed and returns the trace plus the run result.
+func Record(cfg machine.Config, kernels []machine.Kernel) (*Trace, machine.RunResult) {
+	rec := NewRecorder()
+	m := machine.New(rec.Attach(cfg))
+	res := m.Run(kernels)
+	return rec.Trace(), res
+}

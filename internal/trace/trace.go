@@ -1,0 +1,243 @@
+// Package trace implements a portable text format for multi-threaded
+// memory-access traces and a replay engine that turns a trace into
+// simulator kernels. It is the bridge for "arbitrary programs": anything
+// that can emit its accesses — a Pin/DynamoRIO tool, an interpreter hook,
+// a hand-written scenario — can be classified by a trained detector
+// without writing Go code.
+//
+// # Format
+//
+// One event per line, whitespace-separated, '#' starts a comment:
+//
+//	T<tid> L <addr> [x<count>]   load
+//	T<tid> S <addr> [x<count>]   store
+//	T<tid> E <n>                 n ALU instructions
+//	T<tid> B <n>                 n branch instructions
+//
+// Addresses accept decimal or 0x-prefixed hex. The optional x<count>
+// suffix repeats a memory event (the address is re-used, which is what a
+// tight loop on one variable looks like). Thread ids must be contiguous
+// from 0.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fsml/internal/machine"
+)
+
+// OpKind is the event type of a trace record.
+type OpKind byte
+
+// Trace event kinds.
+const (
+	OpLoad   OpKind = 'L'
+	OpStore  OpKind = 'S'
+	OpExec   OpKind = 'E'
+	OpBranch OpKind = 'B'
+)
+
+// Op is one trace record. For OpLoad/OpStore, Addr is the address and N
+// the repeat count; for OpExec/OpBranch, N is the instruction count.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	N    int
+}
+
+// Trace is a parsed multi-threaded access trace.
+type Trace struct {
+	// Threads[tid] is thread tid's event sequence.
+	Threads [][]Op
+}
+
+// NumThreads returns the thread count.
+func (t *Trace) NumThreads() int { return len(t.Threads) }
+
+// Ops returns the total number of trace records.
+func (t *Trace) Ops() int {
+	n := 0
+	for _, th := range t.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// Parse reads the text format, transparently decompressing gzip input
+// (big traces compress 10x+). Parsing is strict: unknown kinds, negative
+// counts, or gaps in thread numbering are errors — a classification over
+// a silently mangled trace would be worse than no answer.
+func Parse(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		defer gz.Close()
+		return parseText(gz)
+	}
+	return parseText(br)
+}
+
+func parseText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	byTid := map[int][]Op{}
+	maxTid := -1
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'T<tid> KIND ARG', got %q", lineNo, line)
+		}
+		if !strings.HasPrefix(fields[0], "T") {
+			return nil, fmt.Errorf("trace: line %d: thread field %q must start with 'T'", lineNo, fields[0])
+		}
+		tid, err := strconv.Atoi(fields[0][1:])
+		if err != nil || tid < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad thread id %q", lineNo, fields[0])
+		}
+		if tid > maxTid {
+			maxTid = tid
+		}
+		if len(fields[1]) != 1 {
+			return nil, fmt.Errorf("trace: line %d: bad event kind %q", lineNo, fields[1])
+		}
+		kind := OpKind(fields[1][0])
+		var op Op
+		switch kind {
+		case OpLoad, OpStore:
+			addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), base(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[2], err)
+			}
+			op = Op{Kind: kind, Addr: addr, N: 1}
+			if len(fields) >= 4 {
+				if !strings.HasPrefix(fields[3], "x") {
+					return nil, fmt.Errorf("trace: line %d: bad repeat %q (want xN)", lineNo, fields[3])
+				}
+				n, err := strconv.Atoi(fields[3][1:])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("trace: line %d: bad repeat count %q", lineNo, fields[3])
+				}
+				op.N = n
+			}
+		case OpExec, OpBranch:
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad instruction count %q", lineNo, fields[2])
+			}
+			op = Op{Kind: kind, N: n}
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, fields[1])
+		}
+		byTid[tid] = append(byTid[tid], op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	if maxTid < 0 {
+		return nil, fmt.Errorf("trace: no events")
+	}
+	t.Threads = make([][]Op, maxTid+1)
+	for tid := 0; tid <= maxTid; tid++ {
+		ops, ok := byTid[tid]
+		if !ok {
+			return nil, fmt.Errorf("trace: thread ids not contiguous: T%d missing", tid)
+		}
+		t.Threads[tid] = ops
+	}
+	return t, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Write emits the trace in the text format Parse reads.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for tid, ops := range t.Threads {
+		for _, op := range ops {
+			var err error
+			switch op.Kind {
+			case OpLoad, OpStore:
+				if op.N > 1 {
+					_, err = fmt.Fprintf(bw, "T%d %c 0x%x x%d\n", tid, op.Kind, op.Addr, op.N)
+				} else {
+					_, err = fmt.Fprintf(bw, "T%d %c 0x%x\n", tid, op.Kind, op.Addr)
+				}
+			case OpExec, OpBranch:
+				_, err = fmt.Fprintf(bw, "T%d %c %d\n", tid, op.Kind, op.N)
+			default:
+				err = fmt.Errorf("trace: unknown op kind %q", op.Kind)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// replayKernel replays one thread's op sequence.
+type replayKernel struct {
+	ops []Op
+	// pos/rep track the resume point: ops[pos] with rep repeats done.
+	pos, rep int
+}
+
+// Step implements machine.Kernel.
+func (k *replayKernel) Step(ctx *machine.Ctx) bool {
+	for k.pos < len(k.ops) {
+		if ctx.Budget() <= 0 {
+			return false
+		}
+		op := k.ops[k.pos]
+		switch op.Kind {
+		case OpLoad:
+			ctx.Load(op.Addr)
+			k.rep++
+		case OpStore:
+			ctx.Store(op.Addr)
+			k.rep++
+		case OpExec:
+			ctx.Exec(op.N)
+			k.rep = op.N
+		case OpBranch:
+			ctx.Branch(op.N)
+			k.rep = op.N
+		}
+		if k.rep >= op.N {
+			k.pos++
+			k.rep = 0
+		}
+	}
+	return true
+}
+
+// Kernels builds replay kernels, one per trace thread. Each call returns
+// fresh kernels, so one parsed trace can be replayed many times.
+func (t *Trace) Kernels() []machine.Kernel {
+	out := make([]machine.Kernel, len(t.Threads))
+	for tid, ops := range t.Threads {
+		out[tid] = &replayKernel{ops: ops}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// Everything in fsml must be reproducible from a seed: the machine model,
+// the measurement-noise model, the workload input generators and the
+// cross-validation shuffles all draw from generators in this package rather
+// than from math/rand, so that a experiment rerun with the same seed
+// produces bit-identical tables.
+package xrand
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both directly and to seed Xoshiro256 states, mirroring the reference
+// usage. The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. It is not safe for concurrent use; the
+// simulator is single-goroutine by design, and each independent consumer
+// (machine, workload, noise model) owns its own Rand.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded from seed via splitmix64, as recommended by the
+// xoshiro authors. Any seed, including zero, yields a usable state.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// An all-zero state would be absorbing; splitmix cannot produce four
+	// consecutive zeros, but guard anyway for clarity.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice,
+// via the Fisher-Yates shuffle.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Jitter returns base perturbed by a relative Gaussian factor:
+// base * (1 + stddev*N(0,1)). It never returns a negative value for a
+// non-negative base; results are clamped at zero.
+func (r *Rand) Jitter(base, stddev float64) float64 {
+	v := base * (1 + stddev*r.NormFloat64())
+	if base >= 0 && v < 0 {
+		return 0
+	}
+	return v
+}
