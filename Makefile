@@ -1,0 +1,34 @@
+GO ?= go
+
+# Packages with concurrency surface: the batch engine and everything it
+# fans out over. These get the -race leg; they are also fast enough to
+# run instrumented on every push.
+RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
+            ./internal/trace ./internal/mem ./internal/xrand
+
+.PHONY: all build test race fuzz bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# fuzz gives the trace parser a short randomized workout (the seed
+# corpus alone runs on every plain `make test`).
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzParseTrace -fuzztime 30s
+
+# bench records the parallel-vs-sequential engine numbers (see
+# EXPERIMENTS.md).
+bench:
+	$(GO) test . -run XXX -bench 'Sequential|Parallel' -benchtime 1x
+
+ci:
+	./ci.sh

@@ -122,6 +122,16 @@ type TrainOptions struct {
 	Quick bool
 	// Seed drives collection and training determinism (default 1).
 	Seed uint64
+	// Parallelism caps concurrent case simulations during collection
+	// (0 = GOMAXPROCS, 1 = sequential). Every case's seed is a pure
+	// function of its grid position, so the trained detector is
+	// bit-identical at every setting; only wall-clock time changes.
+	Parallelism int
+	// Progress, when non-nil, observes collection progress as
+	// (completed, total) counts of the currently running sweep. It may be
+	// called from multiple goroutines' work, but calls are serialized and
+	// the completed count is monotonic.
+	Progress func(done, total int)
 }
 
 // TrainReport summarizes what Train produced.
@@ -141,7 +151,8 @@ type TrainReport struct {
 // counts, filter, train the C4.5 classifier, cross-validate — and
 // returns the detector plus a report.
 func Train(opts TrainOptions) (*Detector, *TrainReport, error) {
-	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
+		Parallelism: opts.Parallelism, Progress: opts.Progress}
 	det, err := lab.Detector()
 	if err != nil {
 		return nil, nil, err
@@ -177,7 +188,10 @@ type IterativeResult = core.IterativeResult
 // covered.
 func IterativeTrain(opts TrainOptions, targetAccuracy float64) (*IterativeResult, error) {
 	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
-	return core.NewCollector().IterativeTrain(lab.GridA(), lab.GridB(), targetAccuracy, 10)
+	c := core.NewCollector()
+	c.Parallelism = opts.Parallelism
+	c.OnProgress = opts.Progress
+	return c.IterativeTrain(lab.GridA(), lab.GridB(), targetAccuracy, 10)
 }
 
 // EncodeDetector serializes a trained detector to JSON.
@@ -241,6 +255,12 @@ type SweepOptions struct {
 	Quick bool
 	// Seed drives run determinism (default 1).
 	Seed uint64
+	// Parallelism caps concurrent case simulations in the sweep
+	// (0 = GOMAXPROCS, 1 = sequential). Verdicts are bit-identical at
+	// every setting.
+	Parallelism int
+	// Progress, when non-nil, observes sweep progress (completed, total).
+	Progress func(done, total int)
 }
 
 // Verdict is the outcome of a full case sweep over one program.
@@ -261,7 +281,8 @@ func ClassifyProgram(det *Detector, name string, opts SweepOptions) (*Verdict, e
 	if !ok {
 		return nil, fmt.Errorf("fsml: unknown workload %q", name)
 	}
-	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed)}
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
+		Parallelism: opts.Parallelism, Progress: opts.Progress}
 	if err := lab.UseDetector(det); err != nil {
 		return nil, err
 	}
@@ -357,7 +378,8 @@ func TrainForPlatform(name string, opts TrainOptions) (*PlatformDetector, error)
 		selCfg.MatSize = 96
 		selCfg.Threads = []int{6}
 	}
-	return core.TrainOnPlatform(p, selCfg, lab.GridA(), lab.GridB())
+	return core.TrainOnPlatformBatch(p, selCfg, lab.GridA(), lab.GridB(),
+		core.BatchConfig{Parallelism: opts.Parallelism, OnProgress: opts.Progress})
 }
 
 // ---------------------------------------------------------------------------
@@ -383,12 +405,33 @@ func BuildMiniProgram(spec MiniProgramSpec) ([]Kernel, error) { return miniprog.
 // Table 2 events).
 func FeatureNames() []string { return pmu.FeatureNames() }
 
+// ExperimentOptions configures ReproduceWith.
+type ExperimentOptions struct {
+	// Quick shrinks the experiment grids for fast runs.
+	Quick bool
+	// Seed drives determinism (default 1).
+	Seed uint64
+	// Parallelism caps concurrent case simulations (0 = GOMAXPROCS,
+	// 1 = sequential). Rendered results are bit-identical at every
+	// setting.
+	Parallelism int
+	// Progress, when non-nil, observes batch progress (completed, total).
+	Progress func(done, total int)
+}
+
 // Reproduce regenerates one of the paper's numbered experiments and
 // returns its rendered result. Valid names: table1, table2, table3,
 // table4, figure2, table5, table6, table7, table8, table9, table10,
 // table11, overhead, ablation-classifier, ablation-features.
 func Reproduce(name string, quick bool) (string, error) {
-	lab := &exps.Lab{Quick: quick, Seed: 1}
+	return ReproduceWith(name, ExperimentOptions{Quick: quick})
+}
+
+// ReproduceWith is Reproduce with full control over seed and the batch
+// engine's parallelism.
+func ReproduceWith(name string, opts ExperimentOptions) (string, error) {
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
+		Parallelism: opts.Parallelism, Progress: opts.Progress}
 	return reproduceWith(lab, name)
 }
 

@@ -7,9 +7,11 @@ import (
 
 	"fsml"
 	"fsml/internal/cache"
+	"fsml/internal/core"
 	"fsml/internal/exps"
 	"fsml/internal/machine"
 	"fsml/internal/mem"
+	"fsml/internal/miniprog"
 	"fsml/internal/ml"
 )
 
@@ -515,3 +517,67 @@ func BenchmarkIterativeTraining(b *testing.B) {
 		printOnce("Iterative training", res.String())
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Batch-engine benchmarks: the same deterministic work at parallelism 1
+// (the sequential reference path) and 0 (all CPUs). On a multi-core host
+// the Parallel variants show the fan-out speedup; on a single-core host
+// they bound the engine's scheduling overhead, since both settings
+// produce bit-identical results.
+
+func benchmarkQuickCollect(b *testing.B, par int) {
+	b.Helper()
+	lab := exps.NewQuickLab()
+	c := core.NewCollector()
+	c.Parallelism = par
+	grid := lab.GridA()
+	progs := miniprog.MultiThreadedSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := c.Collect(progs, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(obs) == 0 {
+			b.Fatal("no observations")
+		}
+	}
+}
+
+func BenchmarkQuickCollectSequential(b *testing.B) { benchmarkQuickCollect(b, 1) }
+func BenchmarkQuickCollectParallel(b *testing.B)   { benchmarkQuickCollect(b, 0) }
+
+func benchmarkQuickTrain(b *testing.B, par int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := fsml.Train(fsml.TrainOptions{Quick: true, Seed: 7, Parallelism: par})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.CVAccuracy, "cv%")
+	}
+}
+
+func BenchmarkQuickTrainSequential(b *testing.B) { benchmarkQuickTrain(b, 1) }
+func BenchmarkQuickTrainParallel(b *testing.B)   { benchmarkQuickTrain(b, 0) }
+
+func benchmarkClassifySweep(b *testing.B, par int) {
+	b.Helper()
+	det, _, err := fsml.Train(fsml.TrainOptions{Quick: true, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := fsml.ClassifyProgram(det, "histogram", fsml.SweepOptions{Quick: true, Seed: 7, Parallelism: par})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Cases) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkClassifySweepSequential(b *testing.B) { benchmarkClassifySweep(b, 1) }
+func BenchmarkClassifySweepParallel(b *testing.B)   { benchmarkClassifySweep(b, 0) }

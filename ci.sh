@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh - the checks a change must pass: tier-1 build + tests, vet, and
+# the race-detector leg over the packages with concurrency surface.
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
+    ./internal/trace ./internal/mem ./internal/xrand

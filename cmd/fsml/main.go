@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	fsml train   [-quick] [-seed N] [-o model.json]
-//	fsml classify [-quick] [-model model.json] <program>...
-//	fsml tree    [-quick] [-model model.json]
-//	fsml events  [-quick]
+//	fsml train   [-quick] [-seed N] [-j N] [-o model.json]
+//	fsml classify [-quick] [-model model.json] [-j N] <program>...
+//	fsml tree    [-quick] [-model model.json] [-j N]
+//	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
-//	fsml repro   [-quick] <table1|...|table11|figure2|overhead|all>
+//	fsml repro   [-quick] [-j N] <table1|...|table11|figure2|overhead|all>
 //	fsml list
+//
+// The -j flag caps concurrent case simulations (0 = all CPUs,
+// 1 = sequential); results are bit-identical at every setting.
 package main
 
 import (
@@ -69,10 +72,12 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  fsml train    [-quick] [-seed N] [-o model.json]   collect + train a detector
-  fsml classify [-quick] [-model F] <program>...     classify benchmark programs
-  fsml tree     [-quick] [-model F]                  print the decision tree
-  fsml events   [-quick]                             run the event-selection step
+  fsml train    [-quick] [-seed N] [-j N] [-o model.json]
+                                                     collect + train a detector
+  fsml classify [-quick] [-model F] [-j N] <program>...
+                                                     classify benchmark programs
+  fsml tree     [-quick] [-model F] [-j N]           print the decision tree
+  fsml events   [-quick] [-j N]                      run the event-selection step
   fsml shadow   [-threads N] [-input NAME] [-opt N] <program>
                                                      run the verification tool
   fsml measure  [-threads N] [-input NAME] [-opt N] <program>
@@ -81,16 +86,21 @@ func usage() {
                                                      classify access-trace files
   fsml record   [-threads N] [-input NAME] [-opt N] [-o FILE] <program>
                                                      record a program run as a trace
-  fsml report   [-quick] [-model F] [-json] [-o FILE] <program>
+  fsml report   [-quick] [-model F] [-j N] [-json] [-o FILE] <program>
                                                      full analysis report (md or json)
-  fsml platform [-quick] <name>                      retrain for a platform (steps 2-6)
-  fsml repro    [-quick] <experiment|all>            regenerate a paper table
+  fsml platform [-quick] [-j N] <name>               retrain for a platform (steps 2-6)
+  fsml repro    [-quick] [-j N] <experiment|all>     regenerate a paper table
   fsml list                                          list programs & experiments
 `)
 }
 
+// jobsFlag registers the shared -j knob on a flag set.
+func jobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", 0, "max concurrent case simulations (0 = all CPUs, 1 = sequential)")
+}
+
 // loadOrTrain returns a detector: from -model if given, else trained.
-func loadOrTrain(path string, quick bool) (*fsml.Detector, error) {
+func loadOrTrain(path string, quick bool, jobs int) (*fsml.Detector, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -99,7 +109,7 @@ func loadOrTrain(path string, quick bool) (*fsml.Detector, error) {
 		return fsml.DecodeDetector(data)
 	}
 	fmt.Fprintln(os.Stderr, "fsml: no -model given; training one (use `fsml train -o model.json` to cache)")
-	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: quick})
+	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: quick, Parallelism: jobs})
 	if err != nil {
 		return nil, err
 	}
@@ -112,10 +122,11 @@ func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use reduced collection grids")
 	seed := fs.Uint64("seed", 1, "training seed")
+	jobs := jobsFlag(fs)
 	out := fs.String("o", "model.json", "output model path")
 	fs.Parse(args)
 
-	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: *quick, Seed: *seed})
+	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: *quick, Seed: *seed, Parallelism: *jobs})
 	if err != nil {
 		return err
 	}
@@ -138,17 +149,18 @@ func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced sweep and training")
 	model := fs.String("model", "", "trained model path (default: train now)")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	names := fs.Args()
 	if len(names) == 0 {
 		return fmt.Errorf("classify needs at least one program name (see `fsml list`)")
 	}
-	det, err := loadOrTrain(*model, *quick)
+	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
 		return err
 	}
 	for _, name := range names {
-		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick})
+		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick, Parallelism: *jobs})
 		if err != nil {
 			return err
 		}
@@ -172,8 +184,9 @@ func cmdTree(args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced training")
 	model := fs.String("model", "", "trained model path (default: train now)")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
-	det, err := loadOrTrain(*model, *quick)
+	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
 		return err
 	}
@@ -184,8 +197,9 @@ func cmdTree(args []string) error {
 func cmdEvents(args []string) error {
 	fs := flag.NewFlagSet("events", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced probe grid")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
-	out, err := fsml.Reproduce("table2", *quick)
+	out, err := fsml.ReproduceWith("table2", fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs})
 	if err != nil {
 		return err
 	}
@@ -262,11 +276,12 @@ func cmdTrace(args []string) error {
 	quick := fs.Bool("quick", false, "reduced training")
 	model := fs.String("model", "", "trained model path (default: train now)")
 	verify := fs.Bool("verify", false, "also run the shadow-memory verification tool")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("trace needs at least one trace file")
 	}
-	det, err := loadOrTrain(*model, *quick)
+	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
 		return err
 	}
@@ -340,16 +355,17 @@ func cmdReport(args []string) error {
 	quick := fs.Bool("quick", false, "reduced training and sweep")
 	model := fs.String("model", "", "trained model path (default: train now)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of Markdown")
+	jobs := jobsFlag(fs)
 	out := fs.String("o", "", "output path (default: stdout)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("report needs exactly one program name")
 	}
-	det, err := loadOrTrain(*model, *quick)
+	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
 		return err
 	}
-	opts := fsml.ReportOptions{}
+	opts := fsml.ReportOptions{Parallelism: *jobs}
 	if *quick {
 		opts.Threads = []int{6}
 		opts.MaxInputs = 1
@@ -377,6 +393,7 @@ func cmdReport(args []string) error {
 func cmdPlatform(args []string) error {
 	fs := flag.NewFlagSet("platform", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced grids")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fmt.Println("available platforms:")
@@ -386,7 +403,7 @@ func cmdPlatform(args []string) error {
 		return nil
 	}
 	name := strings.Join(fs.Args(), " ")
-	pd, err := fsml.TrainForPlatform(name, fsml.TrainOptions{Quick: *quick})
+	pd, err := fsml.TrainForPlatform(name, fsml.TrainOptions{Quick: *quick, Parallelism: *jobs})
 	if err != nil {
 		return err
 	}
@@ -399,6 +416,7 @@ func cmdPlatform(args []string) error {
 func cmdRepro(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced grids")
+	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("repro needs one experiment name or 'all' (see `fsml list`)")
@@ -408,7 +426,7 @@ func cmdRepro(args []string) error {
 		names = fsml.Experiments()
 	}
 	for _, name := range names {
-		out, err := fsml.Reproduce(name, *quick)
+		out, err := fsml.ReproduceWith(name, fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs})
 		if err != nil {
 			return err
 		}

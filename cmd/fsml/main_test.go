@@ -134,10 +134,10 @@ func TestLoadOrTrainRejectsBadModel(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("not a model"), 0o644)
-	if _, err := loadOrTrain(bad, true); err == nil {
+	if _, err := loadOrTrain(bad, true, 1); err == nil {
 		t.Errorf("garbage model accepted")
 	}
-	if _, err := loadOrTrain(filepath.Join(dir, "missing.json"), true); err == nil {
+	if _, err := loadOrTrain(filepath.Join(dir, "missing.json"), true, 1); err == nil {
 		t.Errorf("missing model accepted")
 	}
 }

@@ -35,10 +35,32 @@
 // Custom workloads implement machine.Kernel through the re-exported
 // kernel primitives; see examples/quickstart and examples/dotproduct.
 //
+// # Parallelism and determinism
+//
+// Training grids and benchmark sweeps are batches of independent
+// simulations, and every batch entry point accepts a Parallelism knob
+// (TrainOptions.Parallelism, SweepOptions.Parallelism,
+// ExperimentOptions.Parallelism, report.Options.Parallelism, the
+// collector's Parallelism field, and the -j flag of cmd/fsml): 0 fans
+// cases out over GOMAXPROCS workers, 1 runs the sequential reference
+// path, any other value caps the worker count.
+//
+// Parallel execution is bit-for-bit deterministic. Each case's seed is
+// a pure function of its position in the enumerated batch — never of
+// execution order — and results are reassembled in submission order
+// before any aggregation, so detectors, reports and rendered tables are
+// byte-identical at every parallelism setting; only wall-clock time
+// changes. The engine lives in internal/sched: a bounded-queue worker
+// pool with context cancellation, lowest-index-first error propagation
+// and serialized progress callbacks (the Progress fields of the same
+// option structs).
+//
 // # Layout
 //
 //   - internal/machine, internal/cache, internal/mem, internal/pmu — the
 //     simulated platform
+//   - internal/sched — the deterministic batch engine behind every
+//     collection grid and case sweep
 //   - internal/miniprog — the training mini-programs (§2.2)
 //   - internal/ml — C4.5 (J48 analog), naive Bayes, k-NN,
 //     cross-validation

@@ -18,6 +18,7 @@ import (
 	"fsml/internal/machine"
 	"fsml/internal/miniprog"
 	"fsml/internal/pmu"
+	"fsml/internal/sched"
 )
 
 // Observation is one measured run: what was run, what the PMU saw, and
@@ -47,6 +48,21 @@ type Collector struct {
 	PMU pmu.Config
 	// Events is the counter programming; defaults to pmu.Table2().
 	Events []pmu.EventDef
+	// Parallelism caps how many cases batch operations (Collect,
+	// BatchClassify, SelectEvents probes) simulate concurrently. Zero
+	// selects GOMAXPROCS; one forces the sequential reference order.
+	// Whatever the setting, batch results are bit-identical: every case
+	// derives its randomness from its own index-derived seed and runs on
+	// its own machine, so only wall-clock time changes.
+	Parallelism int
+	// OnProgress, when non-nil, observes batch progress as (completed,
+	// total) case counts. Calls are serialized by the batch engine.
+	OnProgress func(done, total int)
+}
+
+// schedOptions bundles the collector's batch-engine configuration.
+func (c *Collector) schedOptions() sched.Options {
+	return sched.Options{Parallelism: c.Parallelism, OnProgress: c.OnProgress}
 }
 
 // NewCollector returns a collector for the paper's default platform and

@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
 	"fsml/internal/dataset"
+	"fsml/internal/machine"
 	"fsml/internal/ml"
 	"fsml/internal/pmu"
+	"fsml/internal/sched"
 )
 
 // Detector is a trained false-sharing detector: the paper's step 6
@@ -85,6 +88,44 @@ type CaseResult struct {
 	// Seconds is the case's simulated runtime, reported in the detail
 	// tables (Tables 6 and 8).
 	Seconds float64
+}
+
+// BatchCase describes one case of a classification batch: the kernels
+// to run, the measurement seed, and the descriptions attached to the
+// observation and the result row.
+type BatchCase struct {
+	// Desc is the CaseResult description.
+	Desc string
+	// MeasureDesc is the observation description (defaults to Desc).
+	MeasureDesc string
+	// Seed is the per-case machine/PMU seed. Derive it from the case's
+	// index, never from shared state, or parallel runs lose determinism.
+	Seed uint64
+	// Kernels are the case's software threads. Kernels are stateful, so
+	// each BatchCase needs freshly built ones.
+	Kernels []machine.Kernel
+}
+
+// BatchClassify measures and classifies n independent cases across the
+// collector's Parallelism workers and returns the results in submission
+// order. build(i) is invoked inside the worker, so kernel construction
+// (which lays out the case's address space) parallelizes along with the
+// simulation. Classification uses the detector read-only; results are
+// bit-identical at every parallelism level.
+func (c *Collector) BatchClassify(ctx context.Context, det *Detector, n int, build func(i int) BatchCase) ([]CaseResult, error) {
+	return sched.Map(ctx, n, c.schedOptions(), func(_ context.Context, i int) (CaseResult, error) {
+		bc := build(i)
+		md := bc.MeasureDesc
+		if md == "" {
+			md = bc.Desc
+		}
+		obs := c.Measure(md, bc.Seed, bc.Kernels)
+		class, err := det.ClassifyObservation(obs)
+		if err != nil {
+			return CaseResult{}, fmt.Errorf("core: classifying %s: %w", bc.Desc, err)
+		}
+		return CaseResult{Desc: bc.Desc, Class: class, Seconds: obs.Seconds}, nil
+	})
 }
 
 // Majority returns the most frequent class over the cases and the count

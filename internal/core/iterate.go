@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,6 +58,15 @@ func (r *IterativeResult) String() string {
 // folds are scored by resubstitution (the paper's early rounds would be
 // equally unreliable).
 func (c *Collector) IterativeTrain(gridA, gridB Grid, targetAccuracy float64, folds int) (*IterativeResult, error) {
+	return c.IterativeTrainContext(context.Background(), gridA, gridB, targetAccuracy, folds)
+}
+
+// IterativeTrainContext is IterativeTrain with cancellation: each
+// round's collection batch stops early when ctx is cancelled. Within a
+// round the collection fans out across the collector's Parallelism
+// workers; rounds themselves stay sequential because round n+1's
+// stopping decision depends on round n's cross-validation score.
+func (c *Collector) IterativeTrainContext(ctx context.Context, gridA, gridB Grid, targetAccuracy float64, folds int) (*IterativeResult, error) {
 	if targetAccuracy <= 0 || targetAccuracy > 1 {
 		return nil, fmt.Errorf("core: target accuracy %v out of (0,1]", targetAccuracy)
 	}
@@ -72,7 +82,7 @@ func (c *Collector) IterativeTrain(gridA, gridB Grid, targetAccuracy float64, fo
 		if !p.MultiThreaded {
 			grid = gridB
 		}
-		newObs, err := c.Collect([]miniprog.Program{p}, grid)
+		newObs, err := c.CollectContext(ctx, []miniprog.Program{p}, grid)
 		if err != nil {
 			return nil, err
 		}

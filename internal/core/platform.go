@@ -45,11 +45,28 @@ func BuildDatasetAttrs(obs []Observation, attrs []string) (*dataset.Dataset, err
 	return d, nil
 }
 
+// BatchConfig carries the batch-engine knobs for flows that build their
+// own Collectors internally (see TrainOnPlatformBatch): the worker cap
+// and the progress observer, with the same semantics as the Collector
+// fields of the same names.
+type BatchConfig struct {
+	Parallelism int
+	OnProgress  func(done, total int)
+}
+
 // TrainOnPlatform runs steps 2-6 on the given platform: select events
 // from its catalogue with selCfg, collect training data over the grids,
 // filter, and train a C4.5 detector over the selected features.
 func TrainOnPlatform(p pmu.Platform, selCfg SelectionConfig, gridA, gridB Grid) (*PlatformDetector, error) {
-	base := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: p.Catalogue}
+	return TrainOnPlatformBatch(p, selCfg, gridA, gridB, BatchConfig{})
+}
+
+// TrainOnPlatformBatch is TrainOnPlatform with explicit batch-engine
+// configuration for the collection sweeps. The trained detector is
+// bit-identical at every parallelism setting.
+func TrainOnPlatformBatch(p pmu.Platform, selCfg SelectionConfig, gridA, gridB Grid, bc BatchConfig) (*PlatformDetector, error) {
+	base := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: p.Catalogue,
+		Parallelism: bc.Parallelism, OnProgress: bc.OnProgress}
 
 	// Step 2: identify relevant events on this platform.
 	sel, err := base.SelectEvents(p.Catalogue, selCfg)
@@ -58,7 +75,8 @@ func TrainOnPlatform(p pmu.Platform, selCfg SelectionConfig, gridA, gridB Grid) 
 	}
 
 	// Steps 3-4: collect and label training data with the selected set.
-	c := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: sel.Selected}
+	c := &Collector{Machine: p.Machine, PMU: pmu.DefaultConfig(), Events: sel.Selected,
+		Parallelism: bc.Parallelism, OnProgress: bc.OnProgress}
 	partA, err := c.Collect(miniprog.MultiThreadedSet(), gridA)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"fsml/internal/cache"
 	"fsml/internal/miniprog"
 	"fsml/internal/pmu"
+	"fsml/internal/sched"
 )
 
 // SelectionConfig parameterizes the §2.3 event-identification procedure.
@@ -90,17 +92,26 @@ func (c *Collector) SelectEvents(candidates []pmu.EventDef, cfg SelectionConfig)
 	}
 	// Program the full candidate list: one run yields every event, with
 	// the multiplexing penalty the real setup would pay.
-	probe := &Collector{Machine: c.Machine, PMU: c.PMU, Events: candidates}
+	probe := &Collector{Machine: c.Machine, PMU: c.PMU, Events: candidates,
+		Parallelism: c.Parallelism, OnProgress: c.OnProgress}
 
 	// meanRates returns, per program, the grid-averaged normalized count
-	// of every candidate for the given mode.
+	// of every candidate for the given mode. The probe grid is flattened
+	// into one plan — seeds depend only on each run's position within its
+	// program — and fanned out across the engine; accumulation then
+	// happens in plan order, so sums (and their floating-point rounding)
+	// match the sequential reference exactly.
 	meanRates := func(progs []miniprog.Program, mode miniprog.Mode) (map[string][]float64, error) {
-		out := map[string][]float64{}
+		type probeRun struct {
+			prog string
+			spec miniprog.Spec
+		}
+		var plan []probeRun
+		counts := map[string]int{}
 		for _, p := range progs {
 			if !p.Supports[mode] {
 				continue
 			}
-			acc := make([]float64, len(candidates))
 			runs := 0
 			for _, size := range cfg.Sizes {
 				sz := size
@@ -112,25 +123,43 @@ func (c *Collector) SelectEvents(candidates []pmu.EventDef, cfg SelectionConfig)
 					threads = []int{1}
 				}
 				for _, th := range threads {
-					spec := miniprog.Spec{Program: p.Name, Size: sz, Threads: th, Mode: mode, Seed: cfg.Seed + uint64(runs)}
-					obs, err := probe.MeasureMiniProgram(spec)
-					if err != nil {
-						return nil, err
-					}
-					norm := obs.Sample.Normalized()
-					for i := range acc {
-						acc[i] += norm[i]
-					}
+					plan = append(plan, probeRun{prog: p.Name, spec: miniprog.Spec{
+						Program: p.Name, Size: sz, Threads: th, Mode: mode, Seed: cfg.Seed + uint64(runs),
+					}})
 					runs++
 				}
 				if !p.MultiThreaded {
 					break // one size probe is plenty for phase 2 voting
 				}
 			}
-			for i := range acc {
-				acc[i] /= float64(runs)
+			counts[p.Name] = runs
+		}
+		norms, err := sched.Map(context.Background(), len(plan), probe.schedOptions(),
+			func(_ context.Context, i int) ([]float64, error) {
+				obs, err := probe.MeasureMiniProgram(plan[i].spec)
+				if err != nil {
+					return nil, err
+				}
+				return obs.Sample.Normalized(), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		out := map[string][]float64{}
+		for i, pr := range plan {
+			acc := out[pr.prog]
+			if acc == nil {
+				acc = make([]float64, len(candidates))
+				out[pr.prog] = acc
 			}
-			out[p.Name] = acc
+			for j := range acc {
+				acc[j] += norms[i][j]
+			}
+		}
+		for name, acc := range out {
+			for j := range acc {
+				acc[j] /= float64(counts[name])
+			}
 		}
 		return out, nil
 	}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fsml/internal/dataset"
 	"fsml/internal/miniprog"
 	"fsml/internal/pmu"
+	"fsml/internal/sched"
 )
 
 // Grid defines the parameter sweep for training-data collection (§3.1):
@@ -67,12 +69,20 @@ func isMatrix(name string) bool {
 	return name == "pmatmult" || name == "pmatcompare" || name == "smatmult"
 }
 
-// Collect runs the grid over the given programs and returns one
-// observation per run. Observations are grouped so that runs differing
-// only in mode share a "config key", which the filter uses to compare a
-// bad run against its matched good run.
-func (c *Collector) Collect(progs []miniprog.Program, grid Grid) ([]Observation, error) {
-	var out []Observation
+// plannedRun is one enumerated grid cell: the spec to measure and the
+// grouped description the filter keys on.
+type plannedRun struct {
+	spec miniprog.Spec
+	desc string
+}
+
+// planGrid enumerates the grid in the paper's nested order — programs,
+// sizes, threads, modes, repeats — assigning each run its seed as a pure
+// function of the run index. Because the seed depends only on the cell's
+// position (never on any state carried between runs), the plan can be
+// executed in any order and reassembled deterministically.
+func planGrid(progs []miniprog.Program, grid Grid) []plannedRun {
+	var runs []plannedRun
 	run := uint64(0)
 	for _, p := range progs {
 		sizes := grid.Sizes
@@ -92,23 +102,45 @@ func (c *Collector) Collect(progs []miniprog.Program, grid Grid) ([]Observation,
 					reps := grid.Repeats[mode]
 					for r := 0; r < reps; r++ {
 						run++
-						spec := miniprog.Spec{
-							Program: p.Name, Size: size, Threads: th,
-							Mode: mode, Seed: grid.Seed + run*7919,
-						}
-						obs, err := c.MeasureMiniProgram(spec)
-						if err != nil {
-							return nil, fmt.Errorf("core: collecting %s: %w", obs.Desc, err)
-						}
-						obs.Desc = fmt.Sprintf("%s/size=%d/threads=%d/rep=%d", p.Name, size, th, r)
-						obs.Label = mode.String()
-						out = append(out, obs)
+						runs = append(runs, plannedRun{
+							spec: miniprog.Spec{
+								Program: p.Name, Size: size, Threads: th,
+								Mode: mode, Seed: grid.Seed + run*7919,
+							},
+							desc: fmt.Sprintf("%s/size=%d/threads=%d/rep=%d", p.Name, size, th, r),
+						})
 					}
 				}
 			}
 		}
 	}
-	return out, nil
+	return runs
+}
+
+// Collect runs the grid over the given programs and returns one
+// observation per run, in grid order. Observations are grouped so that
+// runs differing only in mode share a "config key", which the filter
+// uses to compare a bad run against its matched good run.
+//
+// Cases fan out across the collector's Parallelism workers; because each
+// case's seed comes from the enumeration plan rather than shared state,
+// the returned observations are bit-identical at every parallelism.
+func (c *Collector) Collect(progs []miniprog.Program, grid Grid) ([]Observation, error) {
+	return c.CollectContext(context.Background(), progs, grid)
+}
+
+// CollectContext is Collect with cancellation: when ctx is cancelled the
+// batch stops feeding new cases and returns the context's error.
+func (c *Collector) CollectContext(ctx context.Context, progs []miniprog.Program, grid Grid) ([]Observation, error) {
+	runs := planGrid(progs, grid)
+	return sched.Map(ctx, len(runs), c.schedOptions(), func(_ context.Context, i int) (Observation, error) {
+		obs, err := c.MeasureMiniProgram(runs[i].spec)
+		if err != nil {
+			return Observation{}, fmt.Errorf("core: collecting %s: %w", runs[i].desc, err)
+		}
+		obs.Desc = runs[i].desc
+		return obs, nil
+	})
 }
 
 // configKey identifies runs that differ only in mode and repeat.

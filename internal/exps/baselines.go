@@ -1,10 +1,12 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fsml/internal/machine"
+	"fsml/internal/sched"
 	"fsml/internal/shadow"
 	"fsml/internal/sheriff"
 	"fsml/internal/suite"
@@ -37,38 +39,45 @@ type BaselineRow struct {
 //     2.4%), while the shadow criterion and our classifier call them
 //     clean.
 func (l *Lab) BaselineComparison() ([]BaselineRow, error) {
-	var rows []BaselineRow
-	for _, w := range suite.All() {
-		opt := machine.O0
-		if w.Suite == "parsec" {
-			opt = machine.O2
-		}
-		cs := suite.Case{Input: w.Inputs[0].Name, Threads: 4, Opt: opt, Seed: l.Seed * 53}
-		row := BaselineRow{Name: w.Name, Suite: w.Suite, PaperClass: w.PaperClass}
-
-		cr, err := l.classifyCase(w, cs)
-		if err != nil {
-			return nil, err
-		}
-		row.Ours = cr.Class
-
-		shRep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))
-		if err != nil {
-			return nil, err
-		}
-		row.ShadowDetected = shRep.Detected
-		row.ShadowRate = shRep.FSRate
-
-		sfRep, err := sheriff.Run(l.machineConfig(cs.Seed), w.Build(cs))
-		if err != nil {
-			return nil, err
-		}
-		row.SheriffDetected = sfRep.Detected
-		row.SheriffLines = len(sfRep.Lines)
-
-		rows = append(rows, row)
+	workloads := suite.All()
+	det, err := l.Detector()
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	c := l.Collector()
+	// One batch case per workload; each runs its three independent tools
+	// (classifier, shadow, SHERIFF-style) on its own machines.
+	return sched.Map(context.Background(), len(workloads), l.schedOptions(),
+		func(_ context.Context, i int) (BaselineRow, error) {
+			w := workloads[i]
+			opt := machine.O0
+			if w.Suite == "parsec" {
+				opt = machine.O2
+			}
+			cs := suite.Case{Input: w.Inputs[0].Name, Threads: 4, Opt: opt, Seed: l.Seed * 53}
+			row := BaselineRow{Name: w.Name, Suite: w.Suite, PaperClass: w.PaperClass}
+
+			cr, err := classifyWith(det, c, w, cs)
+			if err != nil {
+				return row, err
+			}
+			row.Ours = cr.Class
+
+			shRep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))
+			if err != nil {
+				return row, err
+			}
+			row.ShadowDetected = shRep.Detected
+			row.ShadowRate = shRep.FSRate
+
+			sfRep, err := sheriff.Run(l.machineConfig(cs.Seed), w.Build(cs))
+			if err != nil {
+				return row, err
+			}
+			row.SheriffDetected = sfRep.Detected
+			row.SheriffLines = len(sfRep.Lines)
+			return row, nil
+		})
 }
 
 // RenderBaselineComparison formats the three-way comparison.

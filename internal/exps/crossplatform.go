@@ -39,7 +39,8 @@ func (l *Lab) CrossPlatform() ([]CrossPlatformRow, error) {
 	}
 	var rows []CrossPlatformRow
 	for _, p := range pmu.Platforms() {
-		pd, err := core.TrainOnPlatform(p, selCfg, gridA, gridB)
+		pd, err := core.TrainOnPlatformBatch(p, selCfg, gridA, gridB,
+			core.BatchConfig{Parallelism: l.Parallelism, OnProgress: l.Progress})
 		if err != nil {
 			return nil, err
 		}

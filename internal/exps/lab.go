@@ -14,6 +14,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,7 @@ import (
 	"fsml/internal/dataset"
 	"fsml/internal/machine"
 	"fsml/internal/miniprog"
+	"fsml/internal/sched"
 	"fsml/internal/suite"
 )
 
@@ -33,6 +35,14 @@ type Lab struct {
 	Quick bool
 	// Seed drives all lab randomness.
 	Seed uint64
+	// Parallelism caps concurrent case simulations across the lab's
+	// collection grids and benchmark sweeps (0 = GOMAXPROCS, 1 =
+	// sequential reference order). Results are bit-identical at every
+	// setting; only wall-clock time changes. Set before first use.
+	Parallelism int
+	// Progress, when non-nil, observes batch progress as (completed,
+	// total) counts of the currently running sweep. Set before first use.
+	Progress func(done, total int)
 
 	once      sync.Once
 	collector *core.Collector
@@ -64,12 +74,23 @@ func NewLab() *Lab { return &Lab{Seed: 1} }
 // NewQuickLab returns a reduced lab for tests.
 func NewQuickLab() *Lab { return &Lab{Quick: true, Seed: 1} }
 
-// Collector returns the lab's measurement collector.
+// Collector returns the lab's measurement collector. The collector is
+// created on first use with the lab's parallelism settings; like the
+// rest of the lab's lazy state it must first be touched from a single
+// goroutine (the batch runners below do so before fanning out).
 func (l *Lab) Collector() *core.Collector {
 	if l.collector == nil {
 		l.collector = core.NewCollector()
+		l.collector.Parallelism = l.Parallelism
+		l.collector.OnProgress = l.Progress
 	}
 	return l.collector
+}
+
+// schedOptions bundles the lab's batch-engine configuration for sweeps
+// that drive sched.Map directly (mixed classifier+tool grids).
+func (l *Lab) schedOptions() sched.Options {
+	return sched.Options{Parallelism: l.Parallelism, OnProgress: l.Progress}
 }
 
 // gridA returns the Part A collection grid.
@@ -228,16 +249,43 @@ func (l *Lab) inputsFor(w suite.Workload) []suite.Input {
 	return w.Inputs
 }
 
+// classifyWith builds, runs and classifies one benchmark case with
+// explicit dependencies. It is safe for concurrent use with distinct
+// cases: the detector is read-only and every case builds its own address
+// space and machine.
+func classifyWith(det *core.Detector, c *core.Collector, w suite.Workload, cs suite.Case) (core.CaseResult, error) {
+	obs := c.Measure(fmt.Sprintf("%s/%s", w.Name, cs), cs.Seed^0xbead, w.Build(cs))
+	class, err := det.ClassifyObservation(obs)
+	if err != nil {
+		return core.CaseResult{}, err
+	}
+	return core.CaseResult{Desc: cs.String(), Class: class, Seconds: obs.Seconds}, nil
+}
+
 // classifyCase builds, runs and classifies one benchmark case.
 func (l *Lab) classifyCase(w suite.Workload, cs suite.Case) (core.CaseResult, error) {
 	det, err := l.Detector()
 	if err != nil {
 		return core.CaseResult{}, err
 	}
-	obs := l.Collector().Measure(fmt.Sprintf("%s/%s", w.Name, cs), cs.Seed^0xbead, w.Build(cs))
-	class, err := det.ClassifyObservation(obs)
+	return classifyWith(det, l.Collector(), w, cs)
+}
+
+// runCases classifies a pre-enumerated case list through the batch
+// engine, returning results in case order.
+func (l *Lab) runCases(w suite.Workload, cases []suite.Case) ([]core.CaseResult, error) {
+	det, err := l.Detector()
 	if err != nil {
-		return core.CaseResult{}, err
+		return nil, err
 	}
-	return core.CaseResult{Desc: cs.String(), Class: class, Seconds: obs.Seconds}, nil
+	c := l.Collector()
+	return c.BatchClassify(context.Background(), det, len(cases), func(i int) core.BatchCase {
+		cs := cases[i]
+		return core.BatchCase{
+			Desc:        cs.String(),
+			MeasureDesc: fmt.Sprintf("%s/%s", w.Name, cs),
+			Seed:        cs.Seed ^ 0xbead,
+			Kernels:     w.Build(cs),
+		}
+	})
 }

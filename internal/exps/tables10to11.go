@@ -1,9 +1,11 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"fsml/internal/sched"
 	"fsml/internal/shadow"
 	"fsml/internal/suite"
 )
@@ -32,12 +34,21 @@ type Table10Result struct {
 
 // Table10 runs every workload's verification grid (inputs x flags x
 // T in {3,6} or {4,8}) through both the shadow tool (the "Actual"
-// column) and the classifier (the "Detected" column).
+// column) and the classifier (the "Detected" column). The sweep is
+// flattened across all workloads before fanning out, so the engine keeps
+// every worker busy even while the last cases of one program drain; the
+// shared seed counter is replicated by the enumeration, making the
+// parallel tallies bit-identical to the sequential ones.
 func (l *Lab) Table10() (*Table10Result, error) {
-	res := &Table10Result{}
+	type verifyCase struct {
+		w  suite.Workload
+		cs suite.Case
+	}
+	var plan []verifyCase
+	var rows []VerifyRow
 	seed := l.Seed * 2087
 	for _, w := range suite.All() {
-		row := VerifyRow{Name: w.Name, Suite: w.Suite}
+		rows = append(rows, VerifyRow{Name: w.Name, Suite: w.Suite})
 		inputs := l.inputsFor(w)
 		if w.Name == "streamcluster" && !l.Quick {
 			inputs = inputs[:3] // no native under 5x instrumentation
@@ -46,33 +57,58 @@ func (l *Lab) Table10() (*Table10Result, error) {
 			for _, opt := range flagsFor(w) {
 				for _, th := range verifyThreadsFor(w) {
 					seed++
-					cs := suite.Case{Input: in.Name, Threads: th, Opt: opt, Seed: seed}
-					rep, err := shadow.Run(l.machineConfig(seed), w.Build(cs))
-					if err != nil {
-						return nil, err
-					}
-					cr, err := l.classifyCase(w, cs)
-					if err != nil {
-						return nil, err
-					}
-					row.Cases++
-					actual := rep.Detected
-					detected := cr.Class == "bad-fs"
-					if actual {
-						row.ActualFS++
-					}
-					if detected {
-						row.DetectedFS++
-						if actual {
-							row.TruePos++
-						} else {
-							row.FalsePos++
-						}
-					}
+					plan = append(plan, verifyCase{w: w, cs: suite.Case{
+						Input: in.Name, Threads: th, Opt: opt, Seed: seed,
+					}})
 				}
 			}
 		}
-		res.Rows = append(res.Rows, row)
+	}
+
+	det, err := l.Detector()
+	if err != nil {
+		return nil, err
+	}
+	c := l.Collector()
+	type verdict struct {
+		actual, detected bool
+	}
+	verdicts, err := sched.Map(context.Background(), len(plan), l.schedOptions(),
+		func(_ context.Context, i int) (verdict, error) {
+			w, cs := plan[i].w, plan[i].cs
+			rep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))
+			if err != nil {
+				return verdict{}, err
+			}
+			cr, err := classifyWith(det, c, w, cs)
+			if err != nil {
+				return verdict{}, err
+			}
+			return verdict{actual: rep.Detected, detected: cr.Class == "bad-fs"}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table10Result{Rows: rows}
+	rowIdx := map[string]int{}
+	for i, row := range res.Rows {
+		rowIdx[row.Name] = i
+	}
+	for i, v := range verdicts {
+		row := &res.Rows[rowIdx[plan[i].w.Name]]
+		row.Cases++
+		if v.actual {
+			row.ActualFS++
+		}
+		if v.detected {
+			row.DetectedFS++
+			if v.actual {
+				row.TruePos++
+			} else {
+				row.FalsePos++
+			}
+		}
 	}
 	return res, nil
 }

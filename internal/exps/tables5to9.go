@@ -1,11 +1,13 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fsml/internal/core"
 	"fsml/internal/machine"
+	"fsml/internal/sched"
 	"fsml/internal/shadow"
 	"fsml/internal/suite"
 )
@@ -46,25 +48,30 @@ func (l *Lab) Table5() (*Table5Result, error) {
 	return res, nil
 }
 
-// ClassifyProgram runs the full case sweep for one workload.
+// ClassifyProgram runs the full case sweep for one workload. Cases fan
+// out across the lab's Parallelism workers; each case's seed is a pure
+// function of its position in the sweep, so the verdict is bit-identical
+// at every parallelism level.
 func (l *Lab) ClassifyProgram(w suite.Workload) (ProgramClassification, error) {
 	row := ProgramClassification{Name: w.Name, Suite: w.Suite, PaperClass: w.PaperClass}
-	seed := l.Seed
-	for _, in := range l.inputsFor(w) {
-		for _, opt := range flagsFor(w) {
-			for _, th := range l.threadsFor(w) {
-				seed++
-				cs := suite.Case{Input: in.Name, Threads: th, Opt: opt, Seed: seed * 31}
-				cr, err := l.classifyCase(w, cs)
-				if err != nil {
-					return row, err
-				}
-				row.Cases = append(row.Cases, cr)
-			}
-		}
+	cases := suite.EnumerateCases(inputNames(l.inputsFor(w)), flagsFor(w), l.threadsFor(w),
+		func(i int) uint64 { return (l.Seed + uint64(i) + 1) * 31 })
+	results, err := l.runCases(w, cases)
+	if err != nil {
+		return row, err
 	}
+	row.Cases = results
 	row.Class, row.Histogram = core.Majority(row.Cases)
 	return row, nil
+}
+
+// inputNames projects an input list to its names.
+func inputNames(inputs []suite.Input) []string {
+	out := make([]string, len(inputs))
+	for i, in := range inputs {
+		out[i] = in.Name
+	}
+	return out
 }
 
 // String renders Table 5 side by side with the paper's verdicts.
@@ -117,18 +124,23 @@ func (l *Lab) detail(name string, inputs []string, flags []machine.OptLevel, thr
 	}
 	res := &DetailResult{Program: name, Inputs: inputs, Flags: flags, Threads: threads,
 		Cells: map[string]map[machine.OptLevel]map[int]DetailCell{}}
-	seed := l.Seed * 977
+	base := l.Seed * 977
+	cases := suite.EnumerateCases(inputs, flags, threads,
+		func(i int) uint64 { return base + uint64(i) + 1 })
+	results, err := l.runCases(w, cases)
+	if err != nil {
+		return nil, err
+	}
+	// Reassemble the grid from the ordered results: the enumeration and
+	// these loops walk the same input/flag/thread nesting.
+	i := 0
 	for _, in := range inputs {
 		res.Cells[in] = map[machine.OptLevel]map[int]DetailCell{}
 		for _, opt := range flags {
 			res.Cells[in][opt] = map[int]DetailCell{}
 			for _, th := range threads {
-				seed++
-				cs := suite.Case{Input: in, Threads: th, Opt: opt, Seed: seed}
-				cr, err := l.classifyCase(w, cs)
-				if err != nil {
-					return nil, err
-				}
+				cr := results[i]
+				i++
 				res.Cells[in][opt][th] = DetailCell{Seconds: cr.Seconds, Class: cr.Class}
 			}
 		}
@@ -224,23 +236,40 @@ func (l *Lab) rates(name string, inputs []string, flags []machine.OptLevel, thre
 	}
 	res := &RateResult{Program: name, Inputs: inputs, Flags: flags, Threads: threads,
 		Cells: map[string]map[machine.OptLevel]map[int]RateCell{}}
-	seed := l.Seed * 1361
+	base := l.Seed * 1361
+	cases := suite.EnumerateCases(inputs, flags, threads,
+		func(i int) uint64 { return base + uint64(i) + 1 })
+	// Each cell runs two independent simulations — the shadow tool and
+	// the classifier's measurement — so the pair fans out as one case.
+	det, err := l.Detector()
+	if err != nil {
+		return nil, err
+	}
+	c := l.Collector()
+	cells, err := sched.Map(context.Background(), len(cases), l.schedOptions(),
+		func(_ context.Context, i int) (RateCell, error) {
+			cs := cases[i]
+			rep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))
+			if err != nil {
+				return RateCell{}, err
+			}
+			cr, err := classifyWith(det, c, w, cs)
+			if err != nil {
+				return RateCell{}, err
+			}
+			return RateCell{FSRate: rep.FSRate, Detected: rep.Detected, Class: cr.Class}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, in := range inputs {
 		res.Cells[in] = map[machine.OptLevel]map[int]RateCell{}
 		for _, opt := range flags {
 			res.Cells[in][opt] = map[int]RateCell{}
 			for _, th := range threads {
-				seed++
-				cs := suite.Case{Input: in, Threads: th, Opt: opt, Seed: seed}
-				rep, err := shadow.Run(l.machineConfig(seed), w.Build(cs))
-				if err != nil {
-					return nil, err
-				}
-				cr, err := l.classifyCase(w, cs)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells[in][opt][th] = RateCell{FSRate: rep.FSRate, Detected: rep.Detected, Class: cr.Class}
+				res.Cells[in][opt][th] = cells[i]
+				i++
 			}
 		}
 	}

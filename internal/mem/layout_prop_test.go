@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+
+	"fsml/internal/xrand"
+)
+
+// Property tests over randomized layouts: the invariants the detector's
+// whole premise rests on. Packed word arrays put up to WordsPerLine
+// slots on one cache line (the false-sharing layout); padded arrays give
+// every element a private line (the fix); strided layouts fall in
+// between exactly as their stride dictates.
+
+// lineOccupancy maps cache line -> element indices whose storage touches
+// the line (any byte of [Addr(i), Addr(i)+Elem)).
+func lineOccupancy(a Array) map[uint64][]int {
+	occ := map[uint64][]int{}
+	for i := 0; i < a.N; i++ {
+		first := LineOf(a.Addr(i))
+		last := LineOf(a.Addr(i) + a.Elem - 1)
+		for ln := first; ln <= last; ln++ {
+			occ[ln] = append(occ[ln], i)
+		}
+	}
+	return occ
+}
+
+func TestPackedArrayLineSharing(t *testing.T) {
+	rng := xrand.New(xrand.DeriveSeed(2026, 0))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		s := NewSpace(1 << 20)
+		s.Skip(uint64(rng.Intn(16)) * WordSize) // random word-aligned origin
+		a := NewArray(s, n, WordSize)
+		occ := lineOccupancy(a)
+		for ln, elems := range occ {
+			if len(elems) > WordsPerLine {
+				t.Fatalf("trial %d (n=%d): line %#x holds %d word slots, max %d",
+					trial, n, ln, len(elems), WordsPerLine)
+			}
+			// Slots sharing a line must be consecutive indices: the array
+			// is contiguous, so any gap would mean overlapping storage.
+			for k := 1; k < len(elems); k++ {
+				if elems[k] != elems[k-1]+1 {
+					t.Fatalf("trial %d: line %#x holds non-consecutive slots %v", trial, ln, elems)
+				}
+			}
+		}
+		// A packed word array must occupy exactly ceil(n/8) lines when
+		// line-aligned, at most one more otherwise.
+		minLines := (n + WordsPerLine - 1) / WordsPerLine
+		if got := len(occ); got < minLines || got > minLines+1 {
+			t.Fatalf("trial %d (n=%d): packed array spans %d lines, want %d or %d",
+				trial, n, got, minLines, minLines+1)
+		}
+	}
+}
+
+func TestPaddedArrayNeverSharesLines(t *testing.T) {
+	rng := xrand.New(xrand.DeriveSeed(2026, 1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(48)
+		elem := uint64(1+rng.Intn(24)) * WordSize // up to 3 lines per element
+		s := NewSpace(1 << 22)
+		s.Skip(uint64(rng.Intn(64)) * WordSize)
+		a := NewPaddedArray(s, n, elem)
+		for ln, elems := range lineOccupancy(a) {
+			if len(elems) > 1 {
+				t.Fatalf("trial %d (n=%d elem=%d): padded elements %v share line %#x",
+					trial, n, elem, elems, ln)
+			}
+		}
+		if a.Stride%LineSize != 0 {
+			t.Fatalf("trial %d: padded stride %d not a multiple of the line size", trial, a.Stride)
+		}
+		if a.Base%LineSize != 0 {
+			t.Fatalf("trial %d: padded base %#x not line-aligned", trial, a.Base)
+		}
+	}
+}
+
+func TestStridedArraySharingMatchesStride(t *testing.T) {
+	rng := xrand.New(xrand.DeriveSeed(2026, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(32)
+		// Strides that divide the line evenly: 8, 16, 32, 64 bytes.
+		stride := uint64(WordSize) << rng.Intn(4)
+		s := NewSpace(1 << 20)
+		a := NewStridedArray(s, n, WordSize, stride, LineSize)
+		perLine := int(LineSize / stride)
+		if perLine == 0 {
+			perLine = 1
+		}
+		for ln, elems := range lineOccupancy(a) {
+			if len(elems) > perLine {
+				t.Fatalf("trial %d (stride=%d): line %#x holds %d elements, max %d",
+					trial, stride, ln, len(elems), perLine)
+			}
+		}
+	}
+}
+
+func TestArraysDoNotOverlap(t *testing.T) {
+	rng := xrand.New(xrand.DeriveSeed(2026, 3))
+	for trial := 0; trial < 100; trial++ {
+		s := NewSpace(1 << 22)
+		var arrays []Array
+		for k := 0; k < 4; k++ {
+			n := 1 + rng.Intn(32)
+			if rng.Intn(2) == 0 {
+				arrays = append(arrays, NewArray(s, n, WordSize))
+			} else {
+				arrays = append(arrays, NewPaddedArray(s, n, WordSize))
+			}
+		}
+		type span struct{ lo, hi uint64 } // [lo, hi)
+		var spans []span
+		for _, a := range arrays {
+			spans = append(spans, span{a.Base, a.Base + a.Bytes()})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					t.Fatalf("trial %d: arrays %d and %d overlap: [%#x,%#x) vs [%#x,%#x)",
+						trial, i, j, spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+				}
+			}
+		}
+	}
+}

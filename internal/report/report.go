@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -29,6 +30,11 @@ type Options struct {
 	MaxInputs int
 	// Seed drives determinism.
 	Seed uint64
+	// Parallelism caps concurrent case simulations in the sweep (0 =
+	// GOMAXPROCS). The report is bit-identical at every setting.
+	Parallelism int
+	// Progress, when non-nil, observes sweep progress (completed, total).
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns the standard report grid. Three optimization
@@ -100,29 +106,31 @@ func Build(det *core.Detector, name string, opts Options) (*Report, error) {
 	}
 
 	collector := core.NewCollector()
+	collector.Parallelism = opts.Parallelism
+	collector.OnProgress = opts.Progress
 	rep := &Report{Program: w.Name, Suite: w.Suite, Histogram: map[string]int{}}
 	inputs := w.Inputs
 	if opts.MaxInputs > 0 && len(inputs) > opts.MaxInputs {
 		inputs = inputs[:opts.MaxInputs]
 	}
-	seed := opts.Seed
-	var results []core.CaseResult
-	for _, in := range inputs {
-		for _, opt := range opts.Flags {
-			for _, th := range opts.Threads {
-				seed++
-				cs := suite.Case{Input: in.Name, Threads: th, Opt: opt, Seed: seed * 17}
-				obs := collector.Measure(cs.String(), cs.Seed, w.Build(cs))
-				class, err := det.ClassifyObservation(obs)
-				if err != nil {
-					return nil, err
-				}
-				entry := CaseEntry{Input: in.Name, Flag: opt.String(), Threads: th, Class: class, Seconds: obs.Seconds}
-				rep.Cases = append(rep.Cases, entry)
-				rep.Histogram[class]++
-				results = append(results, core.CaseResult{Desc: cs.String(), Class: class, Seconds: obs.Seconds})
-			}
-		}
+	names := make([]string, len(inputs))
+	for i, in := range inputs {
+		names[i] = in.Name
+	}
+	cases := suite.EnumerateCases(names, opts.Flags, opts.Threads,
+		func(i int) uint64 { return (opts.Seed + uint64(i) + 1) * 17 })
+	results, err := collector.BatchClassify(context.Background(), det, len(cases), func(i int) core.BatchCase {
+		cs := cases[i]
+		return core.BatchCase{Desc: cs.String(), Seed: cs.Seed, Kernels: w.Build(cs)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cr := range results {
+		cs := cases[i]
+		entry := CaseEntry{Input: cs.Input, Flag: cs.Opt.String(), Threads: cs.Threads, Class: cr.Class, Seconds: cr.Seconds}
+		rep.Cases = append(rep.Cases, entry)
+		rep.Histogram[cr.Class]++
 	}
 	rep.Verdict, _ = core.Majority(results)
 

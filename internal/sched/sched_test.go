@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsml/internal/xrand"
+)
+
+// square is a deterministic per-index workload.
+func square(_ context.Context, i int) (int, error) { return i * i, nil }
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		got, err := Map(context.Background(), 100, Options{Parallelism: par}, square)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("parallelism %d: got %d results", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyBatch(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{}, square)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+}
+
+// TestMapDeterministicAcrossParallelism is the engine-level determinism
+// contract: per-index seed derivation means every parallelism level
+// produces the identical result slice.
+func TestMapDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) []uint64 {
+		out, err := Map(context.Background(), 257, Options{Parallelism: par}, func(_ context.Context, i int) (uint64, error) {
+			rng := xrand.New(xrand.DeriveSeed(42, uint64(i)))
+			var sum uint64
+			for k := 0; k < 100; k++ {
+				sum += rng.Uint64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, par := range []int{2, 3, 8, runtime.GOMAXPROCS(0)} {
+		got := run(par)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMapFirstErrorWins checks that the lowest-indexed failure is the one
+// reported, whatever the completion order.
+func TestMapFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, par := range []int{1, 4} {
+		_, err := Map(context.Background(), 64, Options{Parallelism: par}, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 3:
+				// Delay the low-index failure so high-index failures finish
+				// first under parallel execution.
+				time.Sleep(5 * time.Millisecond)
+				return 0, errLow
+			case 40:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if par == 1 {
+			// Sequential: index 3 fails before 40 is ever reached.
+			if !errors.Is(err, errLow) {
+				t.Fatalf("sequential: got %v, want %v", err, errLow)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatal("parallel: expected an error")
+		}
+		if !errors.Is(err, errLow) {
+			t.Fatalf("parallel: got %v, want lowest-index error %v", err, errLow)
+		}
+	}
+}
+
+func TestMapErrorCancelsContext(t *testing.T) {
+	boom := errors.New("boom")
+	var sawCancel atomic.Bool
+	_, err := Map(context.Background(), 32, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return 0, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if !sawCancel.Load() {
+		t.Error("running cases never observed cancellation")
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 10_000, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestMapBackpressure verifies the feeder never runs more than
+// QueueDepth + in-flight cases ahead of the slowest worker.
+func TestMapBackpressure(t *testing.T) {
+	const n, workers, depth = 500, 2, 4
+	var inFlight, maxSeen int64
+	_, err := Map(context.Background(), n, Options{Parallelism: workers, QueueDepth: depth}, func(_ context.Context, i int) (int, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			prev := atomic.LoadInt64(&maxSeen)
+			if cur <= prev || atomic.CompareAndSwapInt64(&maxSeen, prev, cur) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		atomic.AddInt64(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&maxSeen); got > workers {
+		t.Fatalf("%d cases ran concurrently, want <= %d", got, workers)
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	for _, par := range []int{1, 3} {
+		var mu sync.Mutex
+		var seen []int
+		_, err := Map(context.Background(), 20, Options{
+			Parallelism: par,
+			OnProgress: func(done, total int) {
+				if total != 20 {
+					t.Errorf("total = %d, want 20", total)
+				}
+				mu.Lock()
+				seen = append(seen, done)
+				mu.Unlock()
+			},
+		}, square)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 20 {
+			t.Fatalf("parallelism %d: %d progress calls, want 20", par, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("parallelism %d: progress[%d] = %d, want monotonically increasing", par, i, d)
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var hits [50]int32
+	err := ForEach(context.Background(), len(hits), Options{Parallelism: 4}, func(_ context.Context, i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	want := fmt.Errorf("nope")
+	err = ForEach(context.Background(), 8, Options{Parallelism: 2}, func(_ context.Context, i int) error {
+		if i == 5 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		opts Options
+		n    int
+		want int
+	}{
+		{Options{}, 100, runtime.GOMAXPROCS(0)},
+		{Options{Parallelism: 4}, 100, 4},
+		{Options{Parallelism: 4}, 2, 2},
+		{Options{Parallelism: -1}, 1, 1},
+		{Options{Parallelism: 8}, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.opts.Workers(c.n); got != c.want {
+			t.Errorf("Workers(%d) with parallelism %d = %d, want %d", c.n, c.opts.Parallelism, got, c.want)
+		}
+	}
+}

@@ -35,6 +35,28 @@ func (c Case) String() string {
 	return fmt.Sprintf("%s/%s/T=%d", c.Input, c.Opt, c.Threads)
 }
 
+// EnumerateCases materializes a sweep's case list in the paper's
+// deterministic order — inputs outermost, then optimization levels, then
+// thread counts — with each case's seed produced by seedAt(i), a pure
+// function of the case's position in the sweep. Enumerating before
+// execution is what lets the batch engine (internal/sched) run cases in
+// any parallel interleaving and still reassemble results bit-identical
+// to a sequential sweep: no case's seed depends on when any other case
+// ran.
+func EnumerateCases(inputs []string, opts []machine.OptLevel, threads []int, seedAt func(i int) uint64) []Case {
+	out := make([]Case, 0, len(inputs)*len(opts)*len(threads))
+	i := 0
+	for _, in := range inputs {
+		for _, opt := range opts {
+			for _, th := range threads {
+				out = append(out, Case{Input: in, Threads: th, Opt: opt, Seed: seedAt(i)})
+				i++
+			}
+		}
+	}
+	return out
+}
+
 // Input is one named input set with its scale factor.
 type Input struct {
 	Name string

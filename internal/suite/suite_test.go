@@ -206,3 +206,36 @@ func TestUnsupportedFootnote(t *testing.T) {
 		}
 	}
 }
+
+func TestEnumerateCasesOrderAndSeeds(t *testing.T) {
+	inputs := []string{"a", "b"}
+	opts := []machine.OptLevel{machine.O0, machine.O2}
+	threads := []int{3, 6}
+	cases := EnumerateCases(inputs, opts, threads, func(i int) uint64 { return uint64(i) * 10 })
+	if len(cases) != 8 {
+		t.Fatalf("got %d cases, want 8", len(cases))
+	}
+	// Inputs outermost, then flags, then threads — and seeds are the
+	// pure index function, independent of execution order.
+	want := []Case{
+		{Input: "a", Threads: 3, Opt: machine.O0, Seed: 0},
+		{Input: "a", Threads: 6, Opt: machine.O0, Seed: 10},
+		{Input: "a", Threads: 3, Opt: machine.O2, Seed: 20},
+		{Input: "a", Threads: 6, Opt: machine.O2, Seed: 30},
+		{Input: "b", Threads: 3, Opt: machine.O0, Seed: 40},
+		{Input: "b", Threads: 6, Opt: machine.O0, Seed: 50},
+		{Input: "b", Threads: 3, Opt: machine.O2, Seed: 60},
+		{Input: "b", Threads: 6, Opt: machine.O2, Seed: 70},
+	}
+	for i, c := range cases {
+		if c != want[i] {
+			t.Errorf("case %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestEnumerateCasesEmptyAxes(t *testing.T) {
+	if got := EnumerateCases(nil, []machine.OptLevel{machine.O0}, []int{1}, func(int) uint64 { return 0 }); len(got) != 0 {
+		t.Errorf("empty inputs: got %d cases", len(got))
+	}
+}

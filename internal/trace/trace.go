@@ -152,13 +152,21 @@ func parseText(r io.Reader) (*Trace, error) {
 	if maxTid < 0 {
 		return nil, fmt.Errorf("trace: no events")
 	}
+	// Validate contiguity before sizing the thread table: a lone huge tid
+	// (say T999999999) must be a parse error, not a maxTid-sized
+	// allocation. If any id in [0, maxTid] is absent the map is smaller
+	// than maxTid+1, and by pigeonhole the smallest missing id lies in
+	// [0, len(byTid)].
+	if len(byTid) != maxTid+1 {
+		for tid := 0; tid <= len(byTid); tid++ {
+			if _, ok := byTid[tid]; !ok {
+				return nil, fmt.Errorf("trace: thread ids not contiguous: T%d missing", tid)
+			}
+		}
+	}
 	t.Threads = make([][]Op, maxTid+1)
 	for tid := 0; tid <= maxTid; tid++ {
-		ops, ok := byTid[tid]
-		if !ok {
-			return nil, fmt.Errorf("trace: thread ids not contiguous: T%d missing", tid)
-		}
-		t.Threads[tid] = ops
+		t.Threads[tid] = byTid[tid]
 	}
 	return t, nil
 }

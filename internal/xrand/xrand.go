@@ -31,6 +31,19 @@ func (s *SplitMix64) Next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// DeriveSeed deterministically derives an independent stream seed from a
+// root seed and a case index: it is the splitmix64 output at position
+// index+1 of the stream started at root, computed in O(1). Batch engines
+// (internal/sched callers) use it so that every case's randomness is a
+// pure function of (rootSeed, caseIndex) — never of execution order —
+// which is what makes parallel collection byte-identical to sequential.
+func DeriveSeed(root, index uint64) uint64 {
+	z := root + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Rand is a xoshiro256** generator. It is not safe for concurrent use; the
 // simulator is single-goroutine by design, and each independent consumer
 // (machine, workload, noise model) owns its own Rand.

@@ -165,3 +165,32 @@ func TestUniformityRough(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveSeedMatchesSplitMixStream(t *testing.T) {
+	// DeriveSeed(root, i) must equal the (i+1)-th splitmix64 output of the
+	// stream started at root: the O(1) formula and the iterated generator
+	// are the same function.
+	sm := NewSplitMix64(77)
+	for i := uint64(0); i < 100; i++ {
+		want := sm.Next()
+		if got := DeriveSeed(77, i); got != want {
+			t.Fatalf("DeriveSeed(77, %d) = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	// Distinct (root, index) pairs must not collide in any small batch:
+	// a collision would make two "independent" cases share a stream.
+	seen := map[uint64][2]uint64{}
+	for root := uint64(0); root < 8; root++ {
+		for i := uint64(0); i < 2048; i++ {
+			s := DeriveSeed(root, i)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("seed collision: (root=%d, i=%d) and (root=%d, i=%d) both derive %#x",
+					root, i, prev[0], prev[1], s)
+			}
+			seen[s] = [2]uint64{root, i}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fsml_test
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"fsml"
+)
+
+// trainAt runs the full quick training pipeline at one parallelism
+// setting and returns the serialized detector plus the report.
+func trainAt(t *testing.T, par int) ([]byte, *fsml.TrainReport) {
+	t.Helper()
+	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: true, Seed: 7, Parallelism: par})
+	if err != nil {
+		t.Fatalf("Train(parallelism=%d): %v", par, err)
+	}
+	blob, err := fsml.EncodeDetector(det)
+	if err != nil {
+		t.Fatalf("encoding detector (parallelism=%d): %v", par, err)
+	}
+	return blob, rep
+}
+
+// TestTrainDeterministicAcrossParallelism is the golden test of the batch
+// engine: the entire collect -> filter -> train -> cross-validate
+// pipeline must produce a byte-identical detector and an identical
+// report whether cases run sequentially, on 4 workers, or on every CPU.
+func TestTrainDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three detectors")
+	}
+	refBlob, refRep := trainAt(t, 1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		blob, rep := trainAt(t, par)
+		if !bytes.Equal(blob, refBlob) {
+			t.Errorf("parallelism=%d: detector differs from the sequential reference (%d vs %d bytes)",
+				par, len(blob), len(refBlob))
+		}
+		if rep.CVAccuracy != refRep.CVAccuracy {
+			t.Errorf("parallelism=%d: CV accuracy %v != sequential %v", par, rep.CVAccuracy, refRep.CVAccuracy)
+		}
+		if !reflect.DeepEqual(rep.PartA, refRep.PartA) || !reflect.DeepEqual(rep.PartB, refRep.PartB) {
+			t.Errorf("parallelism=%d: training summaries differ from the sequential reference", par)
+		}
+		if rep.Data.Len() != refRep.Data.Len() {
+			t.Errorf("parallelism=%d: dataset size %d != sequential %d", par, rep.Data.Len(), refRep.Data.Len())
+		}
+	}
+}
+
+// TestClassifyProgramDeterministicAcrossParallelism pins the detection
+// side: a benchmark sweep classified with one detector must return
+// identical per-case results at every parallelism level.
+func TestClassifyProgramDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a detector and sweeps twice")
+	}
+	det, _, err := fsml.Train(fsml.TrainOptions{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fsml.ClassifyProgram(det, "linear_regression", fsml.SweepOptions{Quick: true, Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{4, runtime.NumCPU()} {
+		v, err := fsml.ClassifyProgram(det, "linear_regression", fsml.SweepOptions{Quick: true, Seed: 7, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		if v.Class != ref.Class {
+			t.Errorf("parallelism=%d: verdict %q != sequential %q", par, v.Class, ref.Class)
+		}
+		if !reflect.DeepEqual(v.Histogram, ref.Histogram) {
+			t.Errorf("parallelism=%d: histogram %v != sequential %v", par, v.Histogram, ref.Histogram)
+		}
+		if !reflect.DeepEqual(v.Cases, ref.Cases) {
+			t.Errorf("parallelism=%d: per-case results differ from the sequential reference", par)
+		}
+	}
+}
+
+// TestTrainProgressReporting checks the Progress hook: the final
+// callback of each sweep reports done == total, and counts are monotone.
+func TestTrainProgressReporting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a detector")
+	}
+	var calls, lastDone, lastTotal atomic.Int64
+	monotone := true
+	prev := 0
+	_, _, err := fsml.Train(fsml.TrainOptions{Quick: true, Seed: 7, Parallelism: 2,
+		Progress: func(done, total int) {
+			calls.Add(1)
+			if done < prev {
+				monotone = false
+			}
+			prev = done
+			if done == total {
+				prev = 0 // a new sweep starts counting from zero
+			}
+			lastDone.Store(int64(done))
+			lastTotal.Store(int64(total))
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if !monotone {
+		t.Error("progress went backwards within a sweep")
+	}
+	if lastDone.Load() != lastTotal.Load() {
+		t.Errorf("final progress %d/%d, want done == total", lastDone.Load(), lastTotal.Load())
+	}
+}
