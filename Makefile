@@ -4,9 +4,10 @@ GO ?= go
 # fans out over. These get the -race leg; they are also fast enough to
 # run instrumented on every push.
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
-            ./internal/trace ./internal/mem ./internal/xrand
+            ./internal/trace ./internal/mem ./internal/xrand \
+            ./internal/faults
 
-.PHONY: all build test race fuzz bench ci
+.PHONY: all build test race fuzz fuzz-smoke bench ci
 
 all: build test
 
@@ -24,6 +25,12 @@ race:
 # corpus alone runs on every plain `make test`).
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzParseTrace -fuzztime 30s
+
+# fuzz-smoke is the CI leg: a 10s fuzz of the trace parser with the unit
+# tests filtered out, so regressions in the parser's robustness surface
+# on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 
 # bench records the parallel-vs-sequential engine numbers (see
 # EXPERIMENTS.md).

@@ -8,6 +8,7 @@ import (
 	"fsml/internal/core"
 	"fsml/internal/dataset"
 	"fsml/internal/exps"
+	"fsml/internal/faults"
 	"fsml/internal/machine"
 	"fsml/internal/mapred"
 	"fsml/internal/mem"
@@ -71,6 +72,10 @@ type (
 	// PlatformDetector is a detector trained for a specific platform's
 	// event selection.
 	PlatformDetector = core.PlatformDetector
+	// FaultConfig selects deterministic counter-fault injection (rate,
+	// seed, fault kinds); the zero value keeps counters honest. Parse the
+	// CLI spec format with ParseFaultSpec.
+	FaultConfig = faults.Config
 )
 
 // Optimization levels.
@@ -261,6 +266,12 @@ type SweepOptions struct {
 	Parallelism int
 	// Progress, when non-nil, observes sweep progress (completed, total).
 	Progress func(done, total int)
+	// Faults, when enabled, injects deterministic counter faults into
+	// every measurement and switches the sweep to tolerant mode: failed
+	// cases become Failed rows, degraded classifications carry their
+	// confidence downgrade, and the majority is taken over the answered
+	// cases.
+	Faults FaultConfig
 }
 
 // Verdict is the outcome of a full case sweep over one program.
@@ -282,7 +293,7 @@ func ClassifyProgram(det *Detector, name string, opts SweepOptions) (*Verdict, e
 		return nil, fmt.Errorf("fsml: unknown workload %q", name)
 	}
 	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
-		Parallelism: opts.Parallelism, Progress: opts.Progress}
+		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults}
 	if err := lab.UseDetector(det); err != nil {
 		return nil, err
 	}
@@ -292,6 +303,11 @@ func ClassifyProgram(det *Detector, name string, opts SweepOptions) (*Verdict, e
 	}
 	return &Verdict{Class: row.Class, Histogram: row.Histogram, Cases: row.Cases}, nil
 }
+
+// ParseFaultSpec parses the CLI fault-injection specification, e.g.
+// "rate=0.2,seed=7,kinds=saturate+stuck". "off" or "" disables
+// injection; seed defaults to 1 and kinds to every counter-fault kind.
+func ParseFaultSpec(s string) (FaultConfig, error) { return faults.ParseSpec(s) }
 
 // ShadowVerify runs the Umbra-style shadow-memory contention detector
 // (the paper's verification baseline, Zhao et al. VEE'11) over the given
@@ -417,6 +433,11 @@ type ExperimentOptions struct {
 	Parallelism int
 	// Progress, when non-nil, observes batch progress (completed, total).
 	Progress func(done, total int)
+	// Faults, when enabled, injects deterministic counter faults into
+	// every measurement the experiment takes (tolerant mode; see
+	// SweepOptions.Faults). The fault-matrix experiment sweeps its own
+	// rate axis and ignores this field's rate for the swept collectors.
+	Faults FaultConfig
 }
 
 // Reproduce regenerates one of the paper's numbered experiments and
@@ -431,7 +452,7 @@ func Reproduce(name string, quick bool) (string, error) {
 // engine's parallelism.
 func ReproduceWith(name string, opts ExperimentOptions) (string, error) {
 	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
-		Parallelism: opts.Parallelism, Progress: opts.Progress}
+		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults}
 	return reproduceWith(lab, name)
 }
 
@@ -556,6 +577,9 @@ func reproduceWith(lab *exps.Lab, name string) (string, error) {
 			return "", err
 		}
 		return exps.RenderPlacementAblation(rows), nil
+	case "fault-matrix":
+		r, err := lab.FaultMatrix()
+		return render(r, err)
 	default:
 		return "", fmt.Errorf("fsml: unknown experiment %q", name)
 	}
@@ -576,5 +600,6 @@ func Experiments() []string {
 		"overhead", "ablation-classifier", "ablation-features", "ablation-partb",
 		"crossplatform", "baselines", "ablation-protocol", "ablation-quantum",
 		"ablation-cache", "ablation-placement", "stability", "limitation",
+		"fault-matrix",
 	}
 }

@@ -162,7 +162,7 @@ func TestReproduceQuickSmoke(t *testing.T) {
 	if _, err := fsml.Reproduce("table99", true); err == nil {
 		t.Errorf("unknown experiment accepted")
 	}
-	if len(fsml.Experiments()) != 24 {
+	if len(fsml.Experiments()) != 25 {
 		t.Errorf("Experiments() = %v", fsml.Experiments())
 	}
 }

@@ -7,4 +7,5 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
-    ./internal/trace ./internal/mem ./internal/xrand
+    ./internal/trace ./internal/mem ./internal/xrand ./internal/faults
+go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace

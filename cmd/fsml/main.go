@@ -6,15 +6,18 @@
 // Usage:
 //
 //	fsml train   [-quick] [-seed N] [-j N] [-o model.json]
-//	fsml classify [-quick] [-model model.json] [-j N] <program>...
+//	fsml classify [-quick] [-model model.json] [-j N] [-faults SPEC] <program>...
 //	fsml tree    [-quick] [-model model.json] [-j N]
 //	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
-//	fsml repro   [-quick] [-j N] <table1|...|table11|figure2|overhead|all>
+//	fsml repro   [-quick] [-j N] [-faults SPEC] <table1|...|fault-matrix|all>
 //	fsml list
 //
 // The -j flag caps concurrent case simulations (0 = all CPUs,
-// 1 = sequential); results are bit-identical at every setting.
+// 1 = sequential); results are bit-identical at every setting. The
+// -faults flag injects deterministic counter faults (e.g.
+// "rate=0.2,seed=7,kinds=saturate+stuck") and switches sweeps to
+// tolerant, retrying mode.
 package main
 
 import (
@@ -74,7 +77,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   fsml train    [-quick] [-seed N] [-j N] [-o model.json]
                                                      collect + train a detector
-  fsml classify [-quick] [-model F] [-j N] <program>...
+  fsml classify [-quick] [-model F] [-j N] [-faults SPEC] <program>...
                                                      classify benchmark programs
   fsml tree     [-quick] [-model F] [-j N]           print the decision tree
   fsml events   [-quick] [-j N]                      run the event-selection step
@@ -89,7 +92,8 @@ func usage() {
   fsml report   [-quick] [-model F] [-j N] [-json] [-o FILE] <program>
                                                      full analysis report (md or json)
   fsml platform [-quick] [-j N] <name>               retrain for a platform (steps 2-6)
-  fsml repro    [-quick] [-j N] <experiment|all>     regenerate a paper table
+  fsml repro    [-quick] [-j N] [-faults SPEC] <experiment|all>
+                                                     regenerate a paper table
   fsml list                                          list programs & experiments
 `)
 }
@@ -97,6 +101,12 @@ func usage() {
 // jobsFlag registers the shared -j knob on a flag set.
 func jobsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("j", 0, "max concurrent case simulations (0 = all CPUs, 1 = sequential)")
+}
+
+// faultsFlag registers the shared -faults knob on a flag set.
+func faultsFlag(fs *flag.FlagSet) *string {
+	return fs.String("faults", "off",
+		`inject counter faults, e.g. "rate=0.2,seed=7,kinds=saturate+stuck" ("off" = honest counters)`)
 }
 
 // loadOrTrain returns a detector: from -model if given, else trained.
@@ -150,17 +160,22 @@ func cmdClassify(args []string) error {
 	quick := fs.Bool("quick", false, "reduced sweep and training")
 	model := fs.String("model", "", "trained model path (default: train now)")
 	jobs := jobsFlag(fs)
+	faultSpec := faultsFlag(fs)
 	fs.Parse(args)
 	names := fs.Args()
 	if len(names) == 0 {
 		return fmt.Errorf("classify needs at least one program name (see `fsml list`)")
+	}
+	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return err
 	}
 	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
 		return err
 	}
 	for _, name := range names {
-		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick, Parallelism: *jobs})
+		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
 		if err != nil {
 			return err
 		}
@@ -176,6 +191,18 @@ func cmdClassify(args []string) error {
 			}
 		}
 		fmt.Println(")")
+		if fcfg.Enabled() {
+			degraded, failed := 0, 0
+			for _, c := range v.Cases {
+				if c.Failed {
+					failed++
+				} else if c.Degraded {
+					degraded++
+				}
+			}
+			fmt.Printf("  faults %s: %d/%d degraded, %d/%d failed\n",
+				fcfg, degraded, len(v.Cases), failed, len(v.Cases))
+		}
 	}
 	return nil
 }
@@ -417,16 +444,21 @@ func cmdRepro(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced grids")
 	jobs := jobsFlag(fs)
+	faultSpec := faultsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("repro needs one experiment name or 'all' (see `fsml list`)")
+	}
+	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return err
 	}
 	names := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
 		names = fsml.Experiments()
 	}
 	for _, name := range names {
-		out, err := fsml.ReproduceWith(name, fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs})
+		out, err := fsml.ReproduceWith(name, fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
 		if err != nil {
 			return err
 		}

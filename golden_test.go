@@ -1,0 +1,47 @@
+package fsml_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsml"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenDetectorSerialization pins the faults-disabled pipeline
+// byte-for-byte: a quick detector trained with the default seed must
+// serialize to exactly the committed golden file. This is the hardening
+// PR's no-regression guarantee — fault injection, retries and degraded
+// classification are all opt-in, so with them disabled the collected
+// counts, the learned tree and its JSON encoding are unchanged.
+//
+// Regenerate (only after an intentional pipeline change) with:
+//
+//	go test -run TestGoldenDetectorSerialization -update .
+func TestGoldenDetectorSerialization(t *testing.T) {
+	det, _ := trained(t)
+	blob, err := fsml.EncodeDetector(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "quick_detector.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(blob))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Errorf("detector serialization drifted from %s (%d vs %d bytes);\n"+
+			"if the change is intentional, regenerate with -update", path, len(blob), len(want))
+	}
+}

@@ -514,3 +514,29 @@ func TestSocketOfStriping(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterWidthTaps(t *testing.T) {
+	const bits = 24
+	max := uint64(1)<<bits - 1
+	cases := []struct{ in, clamp, wrap uint64 }{
+		{0, 0, 0},
+		{max, max, max},
+		{max + 1, max, 0},
+		{3*max + 7, max, (3*max + 7) & max},
+	}
+	for _, c := range cases {
+		if got := ClampCounter(c.in, bits); got != c.clamp {
+			t.Errorf("ClampCounter(%d) = %d, want %d", c.in, got, c.clamp)
+		}
+		if got := WrapCounter(c.in, bits); got != c.wrap {
+			t.Errorf("WrapCounter(%d) = %d, want %d", c.in, got, c.wrap)
+		}
+	}
+	// 64-bit counters are transparent.
+	if got := ClampCounter(1<<63, 64); got != 1<<63 {
+		t.Errorf("ClampCounter 64-bit clamped: %d", got)
+	}
+	if got := WrapCounter(1<<63, 64); got != 1<<63 {
+		t.Errorf("WrapCounter 64-bit wrapped: %d", got)
+	}
+}

@@ -160,3 +160,35 @@ func (c *Counters) AddAll(other *Counters) {
 
 // Reset zeroes the bank.
 func (c *Counters) Reset() { *c = Counters{} }
+
+// ---------------------------------------------------------------------------
+// Counter-width taps
+//
+// Real performance counters are fixed-width registers (48 bits on the
+// modeled Westmere parts) and either saturate or silently wrap when the
+// ground truth outgrows them. The helpers below are the width taps the
+// PMU's fault-injection path uses; keeping them here, next to the bank
+// they clamp, means any future counter consumer shares one definition
+// of "what a too-large count reads as".
+
+// ClampCounter saturates v at the ceiling of a bits-wide counter: a
+// detectable failure, because the read equals the maximum representable
+// value.
+func ClampCounter(v uint64, bits uint) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	if max := uint64(1)<<bits - 1; v > max {
+		return max
+	}
+	return v
+}
+
+// WrapCounter wraps v modulo a bits-wide counter: the silent-corruption
+// failure mode, indistinguishable from a plausible small count.
+func WrapCounter(v uint64, bits uint) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & (uint64(1)<<bits - 1)
+}

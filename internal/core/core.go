@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"fsml/internal/faults"
 	"fsml/internal/machine"
 	"fsml/internal/miniprog"
 	"fsml/internal/pmu"
@@ -58,6 +59,20 @@ type Collector struct {
 	// OnProgress, when non-nil, observes batch progress as (completed,
 	// total) case counts. Calls are serialized by the batch engine.
 	OnProgress func(done, total int)
+	// Faults, when non-nil and enabled, injects deterministic counter
+	// faults into every measurement (see internal/faults). Nil — the
+	// default — measures with perfectly honest counters, and every
+	// fault-aware code path below collapses to the historical behavior.
+	Faults *faults.Injector
+	// Retries is how many re-seeded measurement retries a transient
+	// failure (an unusable sample) gets before the case is declared
+	// failed. Zero means measure exactly once.
+	Retries int
+	// Tolerate makes batch operations record failed cases and keep
+	// sweeping instead of aborting on the first *PipelineError. It is
+	// the deployment posture for fault-injection runs; leave it false to
+	// keep failures loud.
+	Tolerate bool
 }
 
 // schedOptions bundles the collector's batch-engine configuration.
@@ -87,6 +102,8 @@ func (c *Collector) Measure(desc string, seed uint64, kernels []machine.Kernel) 
 
 	pcfg := c.PMU
 	pcfg.Seed = seed
+	pcfg.Faults = c.Faults
+	pcfg.CaseKey = desc
 	evs := c.Events
 	if evs == nil {
 		evs = pmu.Table2()
@@ -103,15 +120,16 @@ func (c *Collector) Measure(desc string, seed uint64, kernels []machine.Kernel) 
 }
 
 // MeasureMiniProgram builds and measures one mini-program spec, labeling
-// the observation with the spec's mode.
+// the observation with the spec's mode. A transient measurement failure
+// (an unusable sample, possible only under fault injection) is retried
+// up to c.Retries times with a re-derived seed; kernels are rebuilt per
+// attempt because they are stateful.
 func (c *Collector) MeasureMiniProgram(spec miniprog.Spec) (Observation, error) {
-	kernels, err := miniprog.Build(spec)
-	if err != nil {
-		return Observation{}, err
-	}
 	desc := fmt.Sprintf("%s/size=%d/threads=%d/%s/seed=%d",
 		spec.Program, spec.Size, spec.Threads, spec.Mode, spec.Seed)
-	obs := c.Measure(desc, spec.Seed^0x5151, kernels)
+	obs, _, err := c.measureRetry(desc, spec.Seed^0x5151, func() ([]machine.Kernel, error) {
+		return miniprog.Build(spec)
+	})
 	obs.Label = spec.Mode.String()
-	return obs, nil
+	return obs, err
 }

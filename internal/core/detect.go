@@ -32,7 +32,7 @@ type Detector struct {
 func TrainDetector(d *dataset.Dataset) (*Detector, error) {
 	tree, err := ml.NewC45(ml.DefaultC45()).TrainTree(d)
 	if err != nil {
-		return nil, fmt.Errorf("core: training detector: %w", err)
+		return nil, &PipelineError{Stage: StageTrain, Case: "detector", Err: err}
 	}
 	return &Detector{Tree: tree, Model: tree, TrainedOn: d.CountByClass()}, nil
 }
@@ -42,7 +42,7 @@ func TrainDetector(d *dataset.Dataset) (*Detector, error) {
 func TrainDetectorWith(tr ml.Trainer, d *dataset.Dataset) (*Detector, error) {
 	model, err := tr.Train(d)
 	if err != nil {
-		return nil, fmt.Errorf("core: training detector with %s: %w", tr.Name(), err)
+		return nil, &PipelineError{Stage: StageTrain, Case: tr.Name(), Err: err}
 	}
 	det := &Detector{Model: model, TrainedOn: d.CountByClass()}
 	if t, ok := model.(*ml.Tree); ok {
@@ -83,11 +83,29 @@ func (d *Detector) ClassifyObservation(o Observation) (string, error) {
 type CaseResult struct {
 	// Desc identifies the case (input set, flags, threads).
 	Desc string
-	// Class is the detector's label for the case.
+	// Class is the detector's label for the case ("" when Failed).
 	Class string
 	// Seconds is the case's simulated runtime, reported in the detail
 	// tables (Tables 6 and 8).
 	Seconds float64
+	// Confidence is the detector's confidence in Class: 1 for a clean
+	// full-vector prediction, lower when flagged counter reads degraded
+	// it, 0 when Failed.
+	Confidence float64
+	// Degraded reports that the classification was computed on a
+	// partial event subset (see Detector.ClassifyRobust).
+	Degraded bool
+	// Suspects lists the flagged events of the case's sample, if any.
+	Suspects []string
+	// Attempts counts the measurement attempts the case consumed
+	// (greater than 1 when a transient failure was retried).
+	Attempts int
+	// Failed marks a case that could not be measured or classified even
+	// after retries; Err holds the *PipelineError. Failed cases appear
+	// only in tolerant sweeps — without Collector.Tolerate the batch
+	// aborts with the error instead.
+	Failed bool
+	Err    error
 }
 
 // BatchCase describes one case of a classification batch: the kernels
@@ -112,28 +130,66 @@ type BatchCase struct {
 // (which lays out the case's address space) parallelizes along with the
 // simulation. Classification uses the detector read-only; results are
 // bit-identical at every parallelism level.
+//
+// The batch is fault-hardened: a transiently unusable measurement is
+// retried up to c.Retries times with a re-derived seed (build(i) runs
+// again per attempt — kernels are stateful), flagged counter reads
+// degrade to a partial-subset prediction with a recorded confidence
+// downgrade, and with c.Tolerate a case that still fails becomes a
+// Failed result row instead of aborting the sweep.
 func (c *Collector) BatchClassify(ctx context.Context, det *Detector, n int, build func(i int) BatchCase) ([]CaseResult, error) {
 	return sched.Map(ctx, n, c.schedOptions(), func(_ context.Context, i int) (CaseResult, error) {
-		bc := build(i)
-		md := bc.MeasureDesc
-		if md == "" {
-			md = bc.Desc
+		attempts := c.Retries + 1
+		var bc BatchCase
+		var obs Observation
+		measured := false
+		for a := 0; a < attempts; a++ {
+			bc = build(i)
+			md := bc.MeasureDesc
+			if md == "" {
+				md = bc.Desc
+			}
+			obs = c.Measure(md, attemptSeed(bc.Seed, a), bc.Kernels)
+			if usable(obs) {
+				measured = true
+				attempts = a + 1
+				break
+			}
 		}
-		obs := c.Measure(md, bc.Seed, bc.Kernels)
-		class, err := det.ClassifyObservation(obs)
+		if !measured {
+			perr := &PipelineError{Stage: StageMeasure, Case: bc.Desc, Attempts: attempts, Err: ErrUnusableSample}
+			if c.Tolerate {
+				return CaseResult{Desc: bc.Desc, Seconds: obs.Seconds, Attempts: attempts, Failed: true, Err: perr}, nil
+			}
+			return CaseResult{}, perr
+		}
+		rr, err := det.ClassifyRobust(obs.Sample)
 		if err != nil {
-			return CaseResult{}, fmt.Errorf("core: classifying %s: %w", bc.Desc, err)
+			perr := &PipelineError{Stage: StageClassify, Case: bc.Desc, Attempts: attempts, Err: err}
+			if c.Tolerate {
+				return CaseResult{Desc: bc.Desc, Seconds: obs.Seconds, Attempts: attempts, Failed: true, Err: perr}, nil
+			}
+			return CaseResult{}, perr
 		}
-		return CaseResult{Desc: bc.Desc, Class: class, Seconds: obs.Seconds}, nil
+		return CaseResult{
+			Desc: bc.Desc, Class: rr.Class, Seconds: obs.Seconds,
+			Confidence: rr.Confidence, Degraded: rr.Degraded,
+			Suspects: rr.Suspects, Attempts: attempts,
+		}, nil
 	})
 }
 
 // Majority returns the most frequent class over the cases and the count
 // histogram; ties break toward "good" (innocent until proven guilty),
-// then lexicographically.
+// then lexicographically. Failed (and otherwise unclassified) cases are
+// excluded: the verdict is a majority over the cases that produced an
+// answer, which is what lets a tolerant sweep conclude despite losses.
 func Majority(cases []CaseResult) (string, map[string]int) {
 	hist := map[string]int{}
 	for _, c := range cases {
+		if c.Failed || c.Class == "" {
+			continue
+		}
 		hist[c.Class]++
 	}
 	classes := make([]string, 0, len(hist))

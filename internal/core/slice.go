@@ -21,8 +21,13 @@ type Slice struct {
 	Index  int
 	Rounds uint64
 	// Class is the detector's verdict for the interval ("" when the
-	// interval retired too few instructions to classify).
+	// interval retired too few instructions to classify, or when a
+	// tolerated fault made it unclassifiable).
 	Class string
+	// Confidence and Degraded record the classification quality when
+	// flagged counter reads forced a partial-subset prediction.
+	Confidence float64
+	Degraded   bool
 	// Instructions and Seconds describe the interval.
 	Instructions uint64
 	Seconds      float64
@@ -52,6 +57,8 @@ func (c *Collector) DetectSliced(det *Detector, seed uint64, kernels []machine.K
 
 	pcfg := c.PMU
 	pcfg.Seed = seed
+	pcfg.Faults = c.Faults
+	pcfg.CaseKey = fmt.Sprintf("sliced/seed=%d", seed)
 	evs := c.Events
 	if evs == nil {
 		evs = pmu.Table2()
@@ -72,11 +79,16 @@ func (c *Collector) DetectSliced(det *Detector, seed uint64, kernels []machine.K
 			Seconds:      m.Seconds(res),
 		}
 		if res.Instructions >= minSliceInstructions {
-			class, err := det.Classify(p.Read(m.Hierarchy()))
-			if err != nil {
-				return nil, fmt.Errorf("core: classifying slice %d: %w", i, err)
+			rr, err := det.ClassifyRobust(p.Read(m.Hierarchy()))
+			switch {
+			case err == nil:
+				s.Class, s.Confidence, s.Degraded = rr.Class, rr.Confidence, rr.Degraded
+			case c.Tolerate:
+				// The slice stays unclassified; the phase profile and the
+				// overall majority are computed over the surviving slices.
+			default:
+				return nil, &PipelineError{Stage: StageClassify, Case: fmt.Sprintf("slice %d", i), Err: err}
 			}
-			s.Class = class
 		}
 		// Reset the banks so the next slice is measured in isolation.
 		m.Hierarchy().ResetCounters()

@@ -131,16 +131,35 @@ func (c *Collector) Collect(progs []miniprog.Program, grid Grid) ([]Observation,
 
 // CollectContext is Collect with cancellation: when ctx is cancelled the
 // batch stops feeding new cases and returns the context's error.
+//
+// Under fault injection a run can fail even after its retries (see
+// Collector.Retries). Without Tolerate that aborts the collection with a
+// *PipelineError; with Tolerate the failed runs are dropped and training
+// proceeds on the surviving observations — the grid is redundant by
+// design, so losing cells shrinks the training set instead of killing it.
 func (c *Collector) CollectContext(ctx context.Context, progs []miniprog.Program, grid Grid) ([]Observation, error) {
 	runs := planGrid(progs, grid)
-	return sched.Map(ctx, len(runs), c.schedOptions(), func(_ context.Context, i int) (Observation, error) {
-		obs, err := c.MeasureMiniProgram(runs[i].spec)
+	obs, err := sched.Map(ctx, len(runs), c.schedOptions(), func(_ context.Context, i int) (Observation, error) {
+		o, err := c.MeasureMiniProgram(runs[i].spec)
 		if err != nil {
-			return Observation{}, fmt.Errorf("core: collecting %s: %w", runs[i].desc, err)
+			if c.Tolerate {
+				return Observation{}, nil // dropped below
+			}
+			return Observation{}, &PipelineError{Stage: StageCollect, Case: runs[i].desc, Err: err}
 		}
-		obs.Desc = runs[i].desc
-		return obs, nil
+		o.Desc = runs[i].desc
+		return o, nil
 	})
+	if err != nil || !c.Tolerate {
+		return obs, err
+	}
+	kept := obs[:0]
+	for _, o := range obs {
+		if usable(o) {
+			kept = append(kept, o)
+		}
+	}
+	return kept, nil
 }
 
 // configKey identifies runs that differ only in mode and repeat.

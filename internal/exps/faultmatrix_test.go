@@ -1,0 +1,83 @@
+package exps
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultMatrixShape asserts the experiment's defining shape on the
+// quick grids: the clean row classifies everything at full confidence,
+// and the heavily faulted row shows the degradation machinery actually
+// firing (degraded or retried or failed cases) without losing the grid.
+func TestFaultMatrixShape(t *testing.T) {
+	r, err := quickLab(t).FaultMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(faultMatrixRates()) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(faultMatrixRates()))
+	}
+
+	clean := r.Rows[0]
+	if clean.Rate != 0 {
+		t.Fatalf("first row rate = %g, want 0", clean.Rate)
+	}
+	if clean.Cases == 0 || clean.Answered != clean.Cases {
+		t.Errorf("clean row lost cases: %+v", clean)
+	}
+	if clean.Degraded != 0 || clean.Retried != 0 || clean.Failed != 0 {
+		t.Errorf("clean row shows fault machinery: %+v", clean)
+	}
+	if clean.Accuracy < 0.9 {
+		t.Errorf("clean accuracy %.2f too low — detector or grid broken", clean.Accuracy)
+	}
+	if clean.MeanConfidence != 1 {
+		t.Errorf("clean mean confidence = %v, want 1", clean.MeanConfidence)
+	}
+
+	worst := r.Rows[len(r.Rows)-1]
+	if worst.Cases != clean.Cases {
+		t.Errorf("rate rows sweep different grids: %d vs %d cases", worst.Cases, clean.Cases)
+	}
+	if worst.Degraded+worst.Retried+worst.Failed == 0 {
+		t.Errorf("rate %g injected nothing observable: %+v", worst.Rate, worst)
+	}
+	// Degraded cases can still reach confidence 1 when the blended
+	// branches agree, so only the bounds are pinned.
+	if worst.Answered > 0 && (worst.MeanConfidence <= 0 || worst.MeanConfidence > 1) {
+		t.Errorf("faulted row confidence out of bounds: %+v", worst)
+	}
+	if worst.Answered == 0 {
+		t.Errorf("rate %g lost every case despite retries: %+v", worst.Rate, worst)
+	}
+
+	out := r.String()
+	for _, want := range []string{"Fault matrix", "rate", "accuracy", "0.35"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultMatrixDeterministicAcrossParallelism pins the determinism
+// contract: the whole matrix — fault draws included — is byte-identical
+// whether cases run sequentially or across workers.
+func TestFaultMatrixDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) *FaultMatrixResult {
+		l := NewQuickLab()
+		l.Parallelism = par
+		r, err := l.FaultMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq, p4 := run(1), run(4)
+	if !reflect.DeepEqual(seq, p4) {
+		t.Errorf("fault matrix differs across parallelism:\nseq: %+v\npar: %+v", seq, p4)
+	}
+	if seq.String() != p4.String() {
+		t.Errorf("render differs across parallelism")
+	}
+}

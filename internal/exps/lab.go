@@ -20,6 +20,7 @@ import (
 
 	"fsml/internal/core"
 	"fsml/internal/dataset"
+	"fsml/internal/faults"
 	"fsml/internal/machine"
 	"fsml/internal/miniprog"
 	"fsml/internal/sched"
@@ -43,6 +44,11 @@ type Lab struct {
 	// Progress, when non-nil, observes batch progress as (completed,
 	// total) counts of the currently running sweep. Set before first use.
 	Progress func(done, total int)
+	// Faults, when enabled, injects deterministic counter faults into
+	// every measurement the lab takes and switches the collector to
+	// tolerant, retrying sweeps (see internal/faults). The zero value
+	// keeps counters honest. Set before first use.
+	Faults faults.Config
 
 	once      sync.Once
 	collector *core.Collector
@@ -83,6 +89,11 @@ func (l *Lab) Collector() *core.Collector {
 		l.collector = core.NewCollector()
 		l.collector.Parallelism = l.Parallelism
 		l.collector.OnProgress = l.Progress
+		if l.Faults.Enabled() {
+			l.collector.Faults = faults.New(l.Faults)
+			l.collector.Tolerate = true
+			l.collector.Retries = 2
+		}
 	}
 	return l.collector
 }

@@ -1,0 +1,48 @@
+package faults
+
+import "fsml/internal/dataset"
+
+// Degenerate-dataset construction: the training-side failure modes. A
+// hardened learner must reject (or degrade on) these with typed errors,
+// never panic — internal/ml's degenerate-dataset tests drive every
+// trainer through them.
+
+// EmptyDataset returns a dataset with attributes but no instances.
+func EmptyDataset(attrs []string) *dataset.Dataset { return dataset.New(attrs) }
+
+// SingleClass returns a copy of d keeping only the instances of its
+// majority label (ties break toward the lexicographically smaller
+// label, so the result is deterministic).
+func SingleClass(d *dataset.Dataset) *dataset.Dataset {
+	counts := d.CountByClass()
+	best, bestN := "", -1
+	for label, n := range counts {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	out := dataset.New(d.Attrs)
+	for _, in := range d.Instances {
+		if in.Label == best {
+			// Add cannot fail: the instance came from a valid dataset
+			// over the same attributes.
+			_ = out.Add(in)
+		}
+	}
+	return out
+}
+
+// ConstantFeatures returns a copy of d with every feature of every
+// instance forced to the same value, so no attribute carries any
+// information (labels are preserved).
+func ConstantFeatures(d *dataset.Dataset, value float64) *dataset.Dataset {
+	out := dataset.New(d.Attrs)
+	for _, in := range d.Instances {
+		feats := make([]float64, len(in.Features))
+		for i := range feats {
+			feats[i] = value
+		}
+		_ = out.Add(dataset.Instance{Features: feats, Label: in.Label, Source: in.Source})
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+// Package faults is the seeded, deterministic fault-injection registry
+// of the measurement pipeline. The paper's method is explicitly built to
+// survive unreliable hardware counters (it discards L1D events as noisy
+// and normalizes everything by instruction counts), and the validation
+// literature (Röhl et al.; CounterPoint) documents that real HPM events
+// are routinely wrong, starved or saturated. This package lets the
+// emulated pipeline be hardened against — and tested under — exactly
+// those failure modes:
+//
+//   - counter saturation: the count clamps at the (deliberately narrow)
+//     fault counter width and reads as the ceiling value, which a
+//     measurement layer can detect;
+//   - counter wraparound: the count silently wraps modulo the width — an
+//     undetectable corruption that only shows up as accuracy loss;
+//   - stuck-at-zero: the counter reads zero no matter the ground truth;
+//   - multiplex starvation: the event never receives a hardware slot and
+//     reads zero with a zero duty cycle;
+//   - corrupt/truncated trace streams (CorruptTrace);
+//   - degenerate datasets: single-class, constant-feature, empty
+//     (Degenerate*).
+//
+// Every decision is a pure function of (Config.Seed, scope key, salt):
+// no global state, no dependence on execution order. Two runs with the
+// same configuration inject byte-identical faults at every parallelism
+// level, and a retried case (salted with a re-derived measurement seed)
+// re-draws its faults — which is what makes retry-with-reseed a
+// meaningful recovery strategy for transient failures.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fsml/internal/cache"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds. CounterFault returns the first four; the trace kind is
+// applied by CorruptTrace.
+const (
+	// Saturate clamps a counter at the fault-width ceiling (detectable:
+	// the read equals the maximum representable value).
+	Saturate Kind = iota
+	// Wrap silently wraps a counter modulo the fault width (silent
+	// corruption: the read looks plausible but is wrong).
+	Wrap
+	// StuckZero makes a counter read zero regardless of ground truth.
+	StuckZero
+	// Starve denies an event its multiplexing slot for the whole run: it
+	// reads zero with a zero duty cycle, which perf-style tooling flags.
+	Starve
+	// TraceCorrupt mangles a serialized trace stream (truncation, byte
+	// flips, or appended garbage, chosen deterministically).
+	TraceCorrupt
+)
+
+// numCounterKinds bounds the counter-level kinds (Saturate..Starve).
+const numCounterKinds = int(Starve) + 1
+
+var kindNames = map[Kind]string{
+	Saturate:     "saturate",
+	Wrap:         "wrap",
+	StuckZero:    "stuck",
+	Starve:       "starve",
+	TraceCorrupt: "trace",
+}
+
+// String returns the spec-format name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AllCounterKinds returns the four counter-level fault kinds.
+func AllCounterKinds() []Kind { return []Kind{Saturate, Wrap, StuckZero, Starve} }
+
+// CounterBits is the effective width of a faulted counter. It is
+// deliberately narrow (a real PMC is 48 bits wide): the simulator's
+// event magnitudes are in the 1e4..1e8 range, so 24 bits puts the
+// saturation/wrap ceiling right in the middle of realistic counts, the
+// way a saturating 32-bit counter sits in the middle of realistic counts
+// on real hardware during long runs.
+const CounterBits = 24
+
+// CounterMax is the saturation ceiling of a faulted counter.
+const CounterMax = uint64(1)<<CounterBits - 1
+
+// Config selects which faults are injected and how often. The zero
+// value injects nothing.
+type Config struct {
+	// Rate is the per-(case, counter) probability of a fault draw in
+	// [0, 1]. Zero disables injection entirely.
+	Rate float64
+	// Seed drives every injection decision. Two configs with the same
+	// Seed, Rate and Kinds inject identical faults.
+	Seed uint64
+	// Kinds are the enabled fault kinds; empty selects all counter
+	// kinds. The slice is normalized (sorted, deduplicated) so that
+	// configuration order never changes the draws.
+	Kinds []Kind
+}
+
+// Enabled reports whether the configuration injects anything.
+func (c Config) Enabled() bool { return c.Rate > 0 }
+
+// normalKinds returns the enabled counter kinds, sorted and deduplicated.
+func (c Config) normalKinds() []Kind {
+	src := c.Kinds
+	if len(src) == 0 {
+		src = AllCounterKinds()
+	}
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, k := range src {
+		if k >= Saturate && int(k) < numCounterKinds && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the config in the spec format ParseSpec reads.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	names := make([]string, 0, len(c.normalKinds()))
+	for _, k := range c.normalKinds() {
+		names = append(names, k.String())
+	}
+	return fmt.Sprintf("rate=%g,seed=%d,kinds=%s", c.Rate, c.Seed, strings.Join(names, "+"))
+}
+
+// ParseSpec parses the CLI fault specification:
+//
+//	"rate=0.2,seed=7,kinds=saturate+stuck"
+//
+// Fields may appear in any order; seed defaults to 1, kinds to all
+// counter kinds. "off" (or the empty string) yields a disabled config.
+func ParseSpec(s string) (Config, error) {
+	cfg := Config{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return Config{}, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: bad spec field %q (want key=value)", field)
+		}
+		switch key {
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 {
+				return Config{}, fmt.Errorf("faults: bad rate %q (want a probability in [0,1])", val)
+			}
+			cfg.Rate = r
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad seed %q", val)
+			}
+			cfg.Seed = n
+		case "kinds":
+			for _, name := range strings.Split(val, "+") {
+				var k Kind
+				var found bool
+				for kk, kn := range kindNames {
+					if kn == name && int(kk) < numCounterKinds {
+						k, found = kk, true
+					}
+				}
+				if !found {
+					return Config{}, fmt.Errorf("faults: unknown kind %q (want saturate|wrap|stuck|starve)", name)
+				}
+				cfg.Kinds = append(cfg.Kinds, k)
+			}
+		default:
+			return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// Injector answers fault-injection queries for one Config. The zero
+// value (and nil) is a valid injector that never injects. An Injector
+// is immutable and safe for concurrent use.
+type Injector struct {
+	cfg   Config
+	kinds []Kind
+}
+
+// New returns an injector for the config. New(Config{}) — and a nil
+// *Injector — inject nothing.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, kinds: cfg.normalKinds()}
+}
+
+// Config returns the injector's configuration (zero for nil).
+func (inj *Injector) Config() Config {
+	if inj == nil {
+		return Config{}
+	}
+	return inj.cfg
+}
+
+// Enabled reports whether the injector can inject anything.
+func (inj *Injector) Enabled() bool {
+	return inj != nil && inj.cfg.Enabled() && len(inj.kinds) > 0
+}
+
+// hash64 is FNV-1a over the scope identifiers, mixed through a
+// splitmix64 finalizer so consecutive salts decorrelate.
+func hash64(seed uint64, scope, name string, salt uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	for _, b := range []byte(scope) {
+		mix(b)
+	}
+	mix(0xff)
+	for _, b := range []byte(name) {
+		mix(b)
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+		mix(byte(salt >> (8 * i)))
+	}
+	// splitmix64 finalizer.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// NoFault is the CounterFault zero value: the counter reads faithfully.
+const NoFault = Kind(-1)
+
+// CounterFault decides deterministically whether the named counter of
+// the scoped case (salted with the case's measurement seed, so a
+// retried case re-draws) is faulted, and how. It returns NoFault for a
+// clean read.
+func (inj *Injector) CounterFault(caseKey, counter string, salt uint64) Kind {
+	if !inj.Enabled() {
+		return NoFault
+	}
+	h := hash64(inj.cfg.Seed, caseKey, counter, salt)
+	// Top 53 bits as a uniform [0,1) draw for the occurrence decision;
+	// low bits pick the kind, so the two choices are independent.
+	u := float64(h>>11) / float64(uint64(1)<<53)
+	if u >= inj.cfg.Rate {
+		return NoFault
+	}
+	return inj.kinds[int(h%uint64(len(inj.kinds)))]
+}
+
+// ApplyCounter applies kind to an observed count in the uint64 domain,
+// using the cache package's counter-width taps for the width-dependent
+// kinds.
+func ApplyCounter(kind Kind, v uint64) uint64 {
+	switch kind {
+	case Saturate:
+		return cache.ClampCounter(v, CounterBits)
+	case Wrap:
+		return cache.WrapCounter(v, CounterBits)
+	case StuckZero, Starve:
+		return 0
+	default:
+		return v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace-stream corruption
+
+// TraceCorruption names one way a serialized trace stream can go bad.
+type TraceCorruption int
+
+// The corruption modes CorruptTrace rotates through.
+const (
+	// TruncateStream cuts the stream short (a crashed writer).
+	TruncateStream TraceCorruption = iota
+	// FlipBytes flips bits in the body (bad storage or transport).
+	FlipBytes
+	// AppendGarbage appends non-format bytes after the final record.
+	AppendGarbage
+	numTraceCorruptions
+)
+
+// String names the corruption mode.
+func (c TraceCorruption) String() string {
+	switch c {
+	case TruncateStream:
+		return "truncate"
+	case FlipBytes:
+		return "flip"
+	case AppendGarbage:
+		return "garbage"
+	}
+	return fmt.Sprintf("TraceCorruption(%d)", int(c))
+}
+
+// CorruptTrace returns a deterministically mangled copy of a serialized
+// trace stream, plus the corruption mode it chose. The input is never
+// modified. Empty input comes back empty (already degenerate).
+func (inj *Injector) CorruptTrace(caseKey string, data []byte) ([]byte, TraceCorruption) {
+	seed := uint64(1)
+	if inj != nil {
+		seed = inj.cfg.Seed
+	}
+	h := hash64(seed, caseKey, "trace", 0)
+	mode := TraceCorruption(h % uint64(numTraceCorruptions))
+	if len(data) == 0 {
+		return nil, mode
+	}
+	switch mode {
+	case TruncateStream:
+		// Keep between 1/4 and 3/4 of the stream.
+		cut := len(data)/4 + int(h>>8)%(len(data)/2+1)
+		if cut < 1 {
+			cut = 1
+		}
+		return append([]byte(nil), data[:cut]...), mode
+	case FlipBytes:
+		out := append([]byte(nil), data...)
+		flips := 1 + int(h>>8)%4
+		for i := 0; i < flips; i++ {
+			pos := int(hash64(seed, caseKey, "flip", uint64(i)) % uint64(len(out)))
+			out[pos] ^= byte(1 << (hash64(seed, caseKey, "bit", uint64(i)) % 8))
+		}
+		return out, mode
+	default: // AppendGarbage
+		return append(append([]byte(nil), data...), 0x00, 0xde, 0xad, 0xbe, 0xef), mode
+	}
+}

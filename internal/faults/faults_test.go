@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"fsml/internal/dataset"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(Config{Rate: 0.5, Seed: 1}).Enabled() {
+		t.Error("rate 0.5 reports disabled")
+	}
+}
+
+func TestNilAndDisabledInjectorsNeverFault(t *testing.T) {
+	var nilInj *Injector
+	for _, inj := range []*Injector{nilInj, New(Config{}), New(Config{Seed: 9})} {
+		for i := 0; i < 200; i++ {
+			if f := inj.CounterFault(fmt.Sprintf("case-%d", i), "EV", uint64(i)); f != NoFault {
+				t.Fatalf("disabled injector returned fault %v", f)
+			}
+		}
+	}
+}
+
+func TestCounterFaultDeterministic(t *testing.T) {
+	cfg := Config{Rate: 0.4, Seed: 7}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		key, ev := fmt.Sprintf("case-%d", i%17), fmt.Sprintf("EV%d", i%11)
+		if fa, fb := a.CounterFault(key, ev, uint64(i)), b.CounterFault(key, ev, uint64(i)); fa != fb {
+			t.Fatalf("same config diverged at %s/%s: %v vs %v", key, ev, fa, fb)
+		}
+	}
+}
+
+func TestCounterFaultRateRoughlyHonored(t *testing.T) {
+	inj := New(Config{Rate: 0.25, Seed: 3})
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if inj.CounterFault(fmt.Sprintf("c%d", i), "EV", 0) != NoFault {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("fault fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestCounterFaultSaltRedraws(t *testing.T) {
+	// A retried case (new salt) must be able to clear a fault: across
+	// many faulted draws, at least some must come back clean under a
+	// different salt.
+	inj := New(Config{Rate: 0.5, Seed: 11})
+	cleared := false
+	for i := 0; i < 200 && !cleared; i++ {
+		key := fmt.Sprintf("case-%d", i)
+		if inj.CounterFault(key, "EV", 1) != NoFault && inj.CounterFault(key, "EV", 2) == NoFault {
+			cleared = true
+		}
+	}
+	if !cleared {
+		t.Error("no faulted (case, counter) cleared under a re-derived salt")
+	}
+}
+
+func TestCounterFaultKindsRestricted(t *testing.T) {
+	inj := New(Config{Rate: 1, Seed: 5, Kinds: []Kind{StuckZero}})
+	for i := 0; i < 100; i++ {
+		if f := inj.CounterFault(fmt.Sprintf("c%d", i), "EV", 0); f != StuckZero {
+			t.Fatalf("kind-restricted injector returned %v", f)
+		}
+	}
+}
+
+func TestApplyCounter(t *testing.T) {
+	big := CounterMax + 12345
+	cases := []struct {
+		kind Kind
+		in   uint64
+		want uint64
+	}{
+		{Saturate, 42, 42},
+		{Saturate, big, CounterMax},
+		{Wrap, 42, 42},
+		{Wrap, big, big & CounterMax},
+		{StuckZero, big, 0},
+		{Starve, 42, 0},
+		{NoFault, 42, 42},
+	}
+	for _, c := range cases {
+		if got := ApplyCounter(c.kind, c.in); got != c.want {
+			t.Errorf("ApplyCounter(%v, %d) = %d, want %d", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"", Config{}},
+		{"off", Config{}},
+		{"rate=0.2", Config{Rate: 0.2, Seed: 1}},
+		{"rate=0.5,seed=9", Config{Rate: 0.5, Seed: 9}},
+		{"rate=1,seed=2,kinds=stuck+starve", Config{Rate: 1, Seed: 2, Kinds: []Kind{StuckZero, Starve}}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got.Rate != c.want.Rate || got.Seed != c.want.Seed || len(got.normalKinds()) != len(c.want.normalKinds()) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"rate=2", "rate=x", "seed=-1", "kinds=bogus", "wat", "rate=0.1,zap=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCorruptTraceModes(t *testing.T) {
+	inj := New(Config{Rate: 1, Seed: 1})
+	data := []byte("T0 L 0x40\nT0 E 5\nT1 S 0x44\nT1 E 5\n")
+	seen := map[TraceCorruption]bool{}
+	for i := 0; i < 64; i++ {
+		out, mode := inj.CorruptTrace(fmt.Sprintf("case-%d", i), data)
+		seen[mode] = true
+		switch mode {
+		case TruncateStream:
+			if len(out) >= len(data) {
+				t.Errorf("truncation did not shorten: %d >= %d", len(out), len(data))
+			}
+		case FlipBytes:
+			if len(out) != len(data) || string(out) == string(data) {
+				t.Errorf("flip mode changed nothing or resized")
+			}
+		case AppendGarbage:
+			if len(out) <= len(data) || string(out[:len(data)]) != string(data) {
+				t.Errorf("garbage mode did not append")
+			}
+		}
+		// Determinism: the same case corrupts the same way.
+		out2, mode2 := inj.CorruptTrace(fmt.Sprintf("case-%d", i), data)
+		if mode2 != mode || string(out2) != string(out) {
+			t.Fatalf("corruption not deterministic for case-%d", i)
+		}
+	}
+	for m := TraceCorruption(0); m < numTraceCorruptions; m++ {
+		if !seen[m] {
+			t.Errorf("corruption mode %v never chosen across 64 cases", m)
+		}
+	}
+}
+
+func degenSource() *dataset.Dataset {
+	d := dataset.New([]string{"a", "b"})
+	for i := 0; i < 6; i++ {
+		label := "good"
+		if i%3 == 0 {
+			label = "bad-fs"
+		}
+		_ = d.Add(dataset.Instance{Features: []float64{float64(i), float64(i * 2)}, Label: label})
+	}
+	return d
+}
+
+func TestDegenerateHelpers(t *testing.T) {
+	src := degenSource()
+	if e := EmptyDataset(src.Attrs); e.Len() != 0 || len(e.Attrs) != 2 {
+		t.Errorf("EmptyDataset: %d instances, %d attrs", e.Len(), len(e.Attrs))
+	}
+	sc := SingleClass(src)
+	if got := sc.Classes(); len(got) != 1 || got[0] != "good" {
+		t.Errorf("SingleClass kept classes %v, want [good]", got)
+	}
+	cf := ConstantFeatures(src, 3.5)
+	if cf.Len() != src.Len() {
+		t.Fatalf("ConstantFeatures resized: %d vs %d", cf.Len(), src.Len())
+	}
+	for _, in := range cf.Instances {
+		for _, f := range in.Features {
+			if f != 3.5 {
+				t.Fatalf("feature %v, want 3.5", f)
+			}
+		}
+	}
+	if len(cf.Classes()) != 2 {
+		t.Errorf("ConstantFeatures lost labels: %v", cf.Classes())
+	}
+}

@@ -79,6 +79,56 @@ func (t *Tree) Predict(features []float64) string {
 	return n.Class
 }
 
+// PredictPartial classifies a feature vector in which some attribute
+// values are untrustworthy: missing[i] true means features[i] must not
+// be consulted (a flagged counter read — see pmu.CountFlag). At a split
+// on a missing attribute the prediction descends BOTH children, each
+// weighted by its training population — C4.5's classic missing-value
+// treatment — and the returned confidence is the winning class's share
+// of the total leaf weight reaching the leaves. When no split touches a
+// missing attribute the result agrees with Predict at confidence 1.
+func (t *Tree) PredictPartial(features []float64, missing []bool) (class string, confidence float64) {
+	weights := map[string]float64{}
+	var walk func(n *Node, w float64)
+	walk = func(n *Node, w float64) {
+		if n.Leaf {
+			weights[n.Class] += w
+			return
+		}
+		if n.Attr < len(missing) && missing[n.Attr] {
+			if total := n.Left.N + n.Right.N; total > 0 {
+				walk(n.Left, w*n.Left.N/total)
+				walk(n.Right, w*n.Right.N/total)
+			} else {
+				// A hand-built tree without training stats: split evenly.
+				walk(n.Left, w/2)
+				walk(n.Right, w/2)
+			}
+			return
+		}
+		if features[n.Attr] <= n.Threshold {
+			walk(n.Left, w)
+		} else {
+			walk(n.Right, w)
+		}
+	}
+	walk(t.Root, 1)
+	labels := make([]string, 0, len(weights))
+	total := 0.0
+	for l, w := range weights {
+		labels = append(labels, l)
+		total += w
+	}
+	sort.Strings(labels) // deterministic tie-break: smaller label wins
+	bestW := -1.0
+	for _, l := range labels {
+		if weights[l] > bestW {
+			class, bestW = l, weights[l]
+		}
+	}
+	return class, bestW / total
+}
+
 // Leaves returns the number of leaf nodes (Figure 2 reports 6).
 func (t *Tree) Leaves() int { return t.Root.leaves() }
 

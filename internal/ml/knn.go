@@ -103,6 +103,14 @@ func (m *knnModel) Predict(features []float64) string {
 	if k > len(nds) {
 		k = len(nds)
 	}
+	// Include every neighbor tied with the k-th distance, so the vote
+	// never depends on an arbitrary subset of equidistant points. In the
+	// fully degenerate case — constant features put ALL training points
+	// at distance zero — this collapses to the dataset majority class,
+	// the documented no-signal fallback.
+	for k < len(nds) && nds[k].dist == nds[k-1].dist {
+		k++
+	}
 	votes := map[string]int{}
 	for _, n := range nds[:k] {
 		votes[n.label]++

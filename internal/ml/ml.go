@@ -8,6 +8,7 @@
 package ml
 
 import (
+	"errors"
 	"fmt"
 
 	"fsml/internal/dataset"
@@ -27,15 +28,37 @@ type Trainer interface {
 	Train(d *dataset.Dataset) (Classifier, error)
 }
 
-// validateTrainable rejects datasets no learner here can fit.
+// Typed training errors. Callers hardening a pipeline against degenerate
+// data (see internal/faults) match these with errors.Is to distinguish
+// "this dataset can never train" from transient measurement failures.
+var (
+	// ErrEmptyDataset rejects a nil or zero-instance dataset.
+	ErrEmptyDataset = errors.New("ml: empty dataset")
+	// ErrNoAttributes rejects a dataset with no feature columns.
+	ErrNoAttributes = errors.New("ml: dataset has no attributes")
+)
+
+// validateTrainable rejects datasets no learner here can fit. Degenerate
+// but non-empty datasets — a single class, constant features — are NOT
+// rejected: every trainer here degrades to a documented majority-class
+// model for them (a root-leaf tree for C4.5, prior-only naive Bayes,
+// all-tied neighbors for kNN), which is the correct answer when the data
+// genuinely carries no signal.
 func validateTrainable(d *dataset.Dataset) error {
 	if d == nil || d.Len() == 0 {
-		return fmt.Errorf("ml: empty dataset")
+		return fmt.Errorf("%w (%d instances)", ErrEmptyDataset, datasetLen(d))
 	}
 	if len(d.Attrs) == 0 {
-		return fmt.Errorf("ml: dataset has no attributes")
+		return ErrNoAttributes
 	}
 	return nil
+}
+
+func datasetLen(d *dataset.Dataset) int {
+	if d == nil {
+		return 0
+	}
+	return d.Len()
 }
 
 // majorityLabel returns the most frequent label among the given instance

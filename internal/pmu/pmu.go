@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"fsml/internal/cache"
+	"fsml/internal/faults"
 	"fsml/internal/xrand"
 )
 
@@ -33,6 +34,16 @@ type Config struct {
 	NoiseScale float64
 	// Seed drives the deterministic noise stream.
 	Seed uint64
+	// Faults, when non-nil and enabled, injects counter-level failures
+	// (saturation, wraparound, stuck-at-zero, multiplex starvation) into
+	// every read. Decisions are a pure function of (fault seed, CaseKey,
+	// event name, Seed), so injection is deterministic at any
+	// parallelism and a reseeded retry re-draws its faults.
+	Faults *faults.Injector
+	// CaseKey scopes fault decisions to the measured case (typically
+	// the observation description). Empty is valid: all reads of this
+	// PMU then share one fault scope.
+	CaseKey string
 }
 
 // DefaultConfig models the paper's measurement setup: multiplexed
@@ -65,6 +76,50 @@ func (p *PMU) Events() []EventDef {
 	return cp
 }
 
+// CountFlag annotates the measurement quality of one observed count.
+type CountFlag uint8
+
+// Count quality flags. Only conditions a real measurement layer could
+// notice are flagged: a count pinned at the counter ceiling, a counter
+// that never scheduled (zero duty cycle), or a stuck register detected
+// by the driver's self-check. Silent wraparound is deliberately NOT
+// flagged — that is what makes it the nastiest failure mode.
+const (
+	// FlagSaturated marks a count clamped at the counter ceiling.
+	FlagSaturated CountFlag = 1 << iota
+	// FlagStuck marks a counter the driver self-check found stuck at
+	// zero.
+	FlagStuck
+	// FlagStarved marks an event that never received a multiplexing
+	// slot.
+	FlagStarved
+)
+
+// Suspect reports whether any quality flag is set.
+func (f CountFlag) Suspect() bool { return f != 0 }
+
+// String renders the set flags.
+func (f CountFlag) String() string {
+	if f == 0 {
+		return "ok"
+	}
+	var parts []string
+	if f&FlagSaturated != 0 {
+		parts = append(parts, "saturated")
+	}
+	if f&FlagStuck != 0 {
+		parts = append(parts, "stuck")
+	}
+	if f&FlagStarved != 0 {
+		parts = append(parts, "starved")
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "+" + p
+	}
+	return out
+}
+
 // Sample is one observation: the counts of the programmed events
 // aggregated over all cores, after the observation model.
 type Sample struct {
@@ -72,14 +127,49 @@ type Sample struct {
 	// Counts are the observed (noisy, scaled) aggregate counts, parallel
 	// to Names.
 	Counts []float64
+	// Flags carries per-count quality annotations, parallel to Names.
+	// Nil means every read was clean (the common, fault-free case).
+	Flags []CountFlag
 	// Instructions is the observed aggregate instruction count used for
 	// normalization. It is filled whenever INST_RETIRED.ANY is programmed.
 	Instructions float64
+	// InstrFlag carries the quality flags of the instruction read itself.
+	// A suspect normalizer poisons every normalized feature, so callers
+	// that degrade gracefully must treat the whole vector as suspect.
+	InstrFlag CountFlag
+}
+
+// Flag returns count i's quality flags (0 when no flags were recorded).
+func (s Sample) Flag(i int) CountFlag {
+	if s.Flags == nil {
+		return 0
+	}
+	return s.Flags[i]
+}
+
+// SuspectEvents returns the names of events whose reads are flagged, in
+// programming order.
+func (s Sample) SuspectEvents() []string {
+	var out []string
+	for i := range s.Names {
+		if s.Flag(i).Suspect() {
+			out = append(out, s.Names[i])
+		}
+	}
+	return out
 }
 
 // Read samples the programmed events from h. Each call re-applies the
 // observation model, so repeated reads of identical ground truth differ
 // the way repeated real runs do.
+//
+// The model is applied in register order: scale, read noise, multiplex
+// extrapolation, integer rounding, then any injected counter fault.
+// The jitter draw happens for every event with a positive noise SD —
+// never conditionally on the value — so the noise stream position of
+// event i is a pure function of i, not of the measured data; and every
+// returned count is rounded, because a real counter read is an integer
+// regardless of how the observation model scaled it.
 func (p *PMU) Read(h *cache.Hierarchy) Sample {
 	total := h.TotalCounters()
 	s := Sample{
@@ -104,14 +194,39 @@ func (p *PMU) Read(h *cache.Hierarchy) Sample {
 			// but with variance growing as 1/duty.
 			sd = math.Sqrt(sd*sd + 0.0004*(1/duty-1))
 		}
-		if sd > 0 && v > 0 {
+		if sd > 0 {
 			v = p.rng.Jitter(v, sd)
-			// A real counter read is an integer.
-			v = math.Floor(v + 0.5)
+		}
+		// A real counter read is an integer.
+		v = math.Floor(v + 0.5)
+
+		var flag CountFlag
+		if fault := p.cfg.Faults.CounterFault(p.cfg.CaseKey, d.Name, p.cfg.Seed); fault != faults.NoFault {
+			v = float64(faults.ApplyCounter(fault, uint64(v)))
+			switch fault {
+			case faults.Saturate:
+				if uint64(v) == faults.CounterMax {
+					flag = FlagSaturated
+				}
+			case faults.StuckZero:
+				flag = FlagStuck
+			case faults.Starve:
+				flag = FlagStarved
+			case faults.Wrap:
+				// Silent: a wrapped count reads as a plausible small
+				// value and carries no flag.
+			}
+			if flag != 0 {
+				if s.Flags == nil {
+					s.Flags = make([]CountFlag, len(p.defs))
+				}
+				s.Flags[i] = flag
+			}
 		}
 		s.Counts[i] = v
 		if d.Ev == cache.EvInstructions {
 			s.Instructions = v
+			s.InstrFlag = flag
 		}
 	}
 	return s
@@ -141,6 +256,9 @@ func (s Sample) FeatureVector() ([]float64, error) {
 	if len(s.Counts) < NumFeatures+1 {
 		return nil, fmt.Errorf("pmu: sample has %d events, want at least %d (Table 2)", len(s.Counts), NumFeatures+1)
 	}
+	if s.Instructions <= 0 {
+		return nil, fmt.Errorf("pmu: sample has no usable instruction count (normalizer read %g)", s.Instructions)
+	}
 	for i := 0; i < NumFeatures; i++ {
 		if s.Names[i] != table2[i].Name {
 			return nil, fmt.Errorf("pmu: sample event %d is %q, want %q", i, s.Names[i], table2[i].Name)
@@ -153,6 +271,9 @@ func (s Sample) FeatureVector() ([]float64, error) {
 // the generic feature-vector path used when a detector was trained on a
 // platform-specific event selection rather than the Westmere Table 2 set.
 func (s Sample) Project(names []string) ([]float64, error) {
+	if s.Instructions <= 0 {
+		return nil, fmt.Errorf("pmu: sample has no usable instruction count (normalizer read %g)", s.Instructions)
+	}
 	norm := s.Normalized()
 	idx := make(map[string]int, len(s.Names))
 	for i, n := range s.Names {

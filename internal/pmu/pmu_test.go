@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fsml/internal/cache"
+	"fsml/internal/faults"
 )
 
 func trafficHierarchy() *cache.Hierarchy {
@@ -149,9 +150,11 @@ func TestUndercountedEventScales(t *testing.T) {
 		if d.Name != "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM" {
 			continue
 		}
-		want := float64(truth.Get(d.Ev)) * d.Scale
+		// The scaled value is rounded to an integer: a real counter
+		// read is never fractional, even on an ideal (noise-free) PMU.
+		want := math.Floor(float64(truth.Get(d.Ev))*d.Scale + 0.5)
 		if s.Counts[i] != want {
-			t.Errorf("undercounted event = %v, want %v (scale %v applied)", s.Counts[i], want, d.Scale)
+			t.Errorf("undercounted event = %v, want %v (scale %v applied, rounded)", s.Counts[i], want, d.Scale)
 		}
 		if s.Counts[i] >= float64(truth.Get(d.Ev)) {
 			t.Errorf("undercounted event not undercounting: %v >= %v", s.Counts[i], truth.Get(d.Ev))
@@ -237,5 +240,209 @@ func TestEventsReturnsCopy(t *testing.T) {
 	evs[0].Name = "CLOBBERED"
 	if p.Events()[0].Name == "CLOBBERED" {
 		t.Errorf("Events() exposed internal state")
+	}
+}
+
+// TestObservationModelRegression is the table-driven regression for the
+// Read observation model: integer rounding is unconditional (no
+// fractional reads from zero-noise configs), jitter draws happen for
+// every event with sd > 0 (so the noise-stream position never depends
+// on the measured values), and zero-truth events are no longer exempt
+// from the model.
+func TestObservationModelRegression(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		def     EventDef
+		truth   uint64
+		integer bool // observed count must be integral
+		exact   *float64
+	}{
+		{
+			name:    "ideal scaled count rounds to integer",
+			cfg:     Ideal(),
+			def:     EventDef{Name: "E", Ev: cache.EvL2Hit, Scale: 0.5, NoiseSD: 0},
+			truth:   333, // 333*0.5 = 166.5 -> 167, not 166.5
+			integer: true,
+			exact:   ptrF(167),
+		},
+		{
+			name:    "ideal faithful count unchanged",
+			cfg:     Ideal(),
+			def:     EventDef{Name: "E", Ev: cache.EvL2Hit, Scale: 1, NoiseSD: 0},
+			truth:   333,
+			integer: true,
+			exact:   ptrF(333),
+		},
+		{
+			name:    "noisy zero-truth count stays integral",
+			cfg:     Config{NoiseScale: 1, Seed: 4},
+			def:     EventDef{Name: "E", Ev: cache.EvL2Hit, Scale: 1, NoiseSD: 0.1},
+			truth:   0,
+			integer: true,
+			exact:   ptrF(0),
+		},
+		{
+			name:    "noisy count is integral",
+			cfg:     Config{NoiseScale: 1, Seed: 4},
+			def:     EventDef{Name: "E", Ev: cache.EvL2Hit, Scale: 1, NoiseSD: 0.1},
+			truth:   10007,
+			integer: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := cache.New(cache.DefaultConfig(), 1)
+			h.Counters(0).Add(c.def.Ev, c.truth)
+			s := New(c.cfg, []EventDef{c.def}).Read(h)
+			got := s.Counts[0]
+			if c.integer && got != math.Trunc(got) {
+				t.Errorf("count %v is fractional", got)
+			}
+			if c.exact != nil && got != *c.exact {
+				t.Errorf("count = %v, want %v", got, *c.exact)
+			}
+		})
+	}
+}
+
+func ptrF(v float64) *float64 { return &v }
+
+// TestJitterStreamPositionIndependent pins the stream-position fix: two
+// hierarchies that differ only in whether an EARLIER event's truth is
+// zero must see identical noise applied to a LATER event. Under the old
+// model (jitter only when v > 0) the zero-truth event skipped its draw
+// and shifted every later event's noise.
+func TestJitterStreamPositionIndependent(t *testing.T) {
+	defs := []EventDef{
+		{Name: "A", Ev: cache.EvSnoopHitM, Scale: 1, NoiseSD: 0.05},
+		{Name: "B", Ev: cache.EvL2Hit, Scale: 1, NoiseSD: 0.05},
+	}
+	read := func(hitm uint64) Sample {
+		h := cache.New(cache.DefaultConfig(), 1)
+		if hitm > 0 {
+			h.Counters(0).Add(cache.EvSnoopHitM, hitm)
+		}
+		h.Counters(0).Add(cache.EvL2Hit, 50000)
+		return New(Config{NoiseScale: 1, Seed: 42}, defs).Read(h)
+	}
+	withZero, withTraffic := read(0), read(1000)
+	if withZero.Counts[1] != withTraffic.Counts[1] {
+		t.Errorf("event B noise depends on event A's truth: %v vs %v",
+			withZero.Counts[1], withTraffic.Counts[1])
+	}
+}
+
+// faultedConfig returns a default observation model with every read of
+// the given kind faulted.
+func faultedConfig(seed uint64, kinds ...faults.Kind) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.CaseKey = "test-case"
+	cfg.Faults = faults.New(faults.Config{Rate: 1, Seed: seed, Kinds: kinds})
+	return cfg
+}
+
+func TestFaultInjectionStuckAndStarved(t *testing.T) {
+	for _, k := range []faults.Kind{faults.StuckZero, faults.Starve} {
+		h := trafficHierarchy()
+		s := New(faultedConfig(3, k), Table2()).Read(h)
+		for i := range s.Counts {
+			if s.Counts[i] != 0 {
+				t.Errorf("%v: event %s = %v, want 0", k, s.Names[i], s.Counts[i])
+			}
+			if !s.Flag(i).Suspect() {
+				t.Errorf("%v: event %s not flagged", k, s.Names[i])
+			}
+		}
+		if len(s.SuspectEvents()) != len(s.Names) {
+			t.Errorf("%v: SuspectEvents returned %d of %d", k, len(s.SuspectEvents()), len(s.Names))
+		}
+	}
+}
+
+func TestFaultInjectionSaturation(t *testing.T) {
+	h := cache.New(cache.DefaultConfig(), 1)
+	h.Counters(0).Add(cache.EvInstructions, 3*faults.CounterMax)
+	defs := []EventDef{{Name: "INST_RETIRED.ANY", Ev: cache.EvInstructions, Scale: 1, NoiseSD: 0}}
+	cfg := Config{CaseKey: "sat", Seed: 1,
+		Faults: faults.New(faults.Config{Rate: 1, Seed: 1, Kinds: []faults.Kind{faults.Saturate}})}
+	s := New(cfg, defs).Read(h)
+	if s.Counts[0] != float64(faults.CounterMax) {
+		t.Errorf("saturated count = %v, want %v", s.Counts[0], faults.CounterMax)
+	}
+	if s.Flag(0)&FlagSaturated == 0 {
+		t.Errorf("saturated count not flagged")
+	}
+	// A count under the ceiling is untouched and unflagged even when the
+	// saturation fault fires.
+	h2 := cache.New(cache.DefaultConfig(), 1)
+	h2.Counters(0).Add(cache.EvInstructions, 12345)
+	s2 := New(cfg, defs).Read(h2)
+	if s2.Counts[0] != 12345 || s2.Flag(0) != 0 {
+		t.Errorf("under-ceiling saturating read = %v flags %v, want 12345 unflagged", s2.Counts[0], s2.Flag(0))
+	}
+}
+
+func TestFaultInjectionWrapIsSilent(t *testing.T) {
+	h := cache.New(cache.DefaultConfig(), 1)
+	truth := 3*faults.CounterMax + 99
+	h.Counters(0).Add(cache.EvInstructions, truth)
+	defs := []EventDef{{Name: "INST_RETIRED.ANY", Ev: cache.EvInstructions, Scale: 1, NoiseSD: 0}}
+	cfg := Config{CaseKey: "wrap", Seed: 1,
+		Faults: faults.New(faults.Config{Rate: 1, Seed: 1, Kinds: []faults.Kind{faults.Wrap}})}
+	s := New(cfg, defs).Read(h)
+	if s.Counts[0] >= float64(truth) {
+		t.Errorf("wrapped count %v did not shrink below truth %v", s.Counts[0], truth)
+	}
+	if s.Flags != nil {
+		t.Errorf("wraparound must be silent, got flags %v", s.Flags)
+	}
+}
+
+func TestFaultInjectionDeterministicAcrossReads(t *testing.T) {
+	read := func() Sample {
+		h := trafficHierarchy()
+		return New(faultedConfig(9, faults.AllCounterKinds()...), Table2()).Read(h)
+	}
+	a, b := read(), read()
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] || a.Flag(i) != b.Flag(i) {
+			t.Fatalf("fault injection diverged at event %d", i)
+		}
+	}
+}
+
+func TestFaultsDisabledIsByteIdentical(t *testing.T) {
+	// A nil injector and a zero-rate injector must not perturb the
+	// observation model in any way.
+	read := func(cfg Config) Sample {
+		h := trafficHierarchy()
+		return New(cfg, Table2()).Read(h)
+	}
+	base := DefaultConfig()
+	clean := read(base)
+	withOff := base
+	withOff.CaseKey = "some-case"
+	withOff.Faults = faults.New(faults.Config{})
+	off := read(withOff)
+	for i := range clean.Counts {
+		if clean.Counts[i] != off.Counts[i] {
+			t.Fatalf("disabled injector changed event %d: %v vs %v", i, clean.Counts[i], off.Counts[i])
+		}
+	}
+	if off.Flags != nil {
+		t.Errorf("disabled injector set flags")
+	}
+}
+
+func TestProjectAndFeatureVectorRejectZeroInstructions(t *testing.T) {
+	s := Sample{Names: FeatureNames(), Counts: make([]float64, NumFeatures+1)}
+	s.Names = append(s.Names, "INST_RETIRED.ANY")
+	if _, err := s.FeatureVector(); err == nil {
+		t.Error("FeatureVector accepted a sample with zero instructions")
+	}
+	if _, err := s.Project([]string{"SNOOP_RESPONSE.HITM"}); err == nil {
+		t.Error("Project accepted a sample with zero instructions")
 	}
 }

@@ -25,7 +25,9 @@ package sched
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -78,6 +80,36 @@ type indexedErr struct {
 	err   error
 }
 
+// PanicError is the error a panicking case is converted into. Before
+// this conversion existed, a panicking fn killed its worker goroutine
+// outright (taking the whole process with it, mid-batch); now the panic
+// is recovered inside the case call, loses the race like any other
+// failure (lowest index wins), and the batch shuts down cleanly without
+// deadlocking or corrupting sibling results.
+type PanicError struct {
+	// Index is the case whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: case %d panicked: %v", e.Index, e.Value)
+}
+
+// call invokes fn(ctx, i), converting a panic into a *PanicError.
+func call[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) across the configured
 // workers and returns the results in index order. fn must be safe for
 // concurrent invocation with distinct indices; determinism is the
@@ -88,6 +120,9 @@ type indexedErr struct {
 // and cancels the context passed to still-running cases; results are
 // discarded. Map also stops early when ctx is cancelled, returning
 // ctx.Err() unless a case failure already occurred at a lower index.
+// A panicking fn is recovered and reported as a *PanicError under the
+// same lowest-index rule: it never kills a worker, deadlocks the
+// collector, or corrupts sibling results.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
@@ -101,7 +136,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(ctx, i)
+			r, err := call(ctx, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +196,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				r, err := fn(ctx, i)
+				r, err := call(ctx, i, fn)
 				if err != nil {
 					fail(i, err)
 					return

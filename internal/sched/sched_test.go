@@ -244,3 +244,74 @@ func TestWorkersResolution(t *testing.T) {
 		}
 	}
 }
+
+// TestMapPanicBecomesError pins the panic-hardening contract: a
+// panicking case must neither crash the process, deadlock the batch,
+// nor corrupt sibling results — it surfaces as a *PanicError, with the
+// lowest-index rule still deciding ties against ordinary errors.
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		_, err := Map(context.Background(), 32, Options{Parallelism: par}, func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism=%d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 5 || pe.Value != "kaboom" {
+			t.Errorf("parallelism=%d: PanicError = index %d value %v", par, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism=%d: PanicError carries no stack", par)
+		}
+	}
+}
+
+// TestMapPanicLowestIndexWins ensures a panic at a high index loses to
+// an ordinary error at a lower index.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	wantErr := errors.New("ordinary failure")
+	var started sync.WaitGroup
+	started.Add(2)
+	_, err := Map(context.Background(), 2, Options{Parallelism: 2}, func(_ context.Context, i int) (int, error) {
+		// Hold both cases at the barrier so completion order cannot
+		// decide the winner; only the index rule can.
+		started.Done()
+		started.Wait()
+		if i == 1 {
+			panic("late panic")
+		}
+		return 0, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the lower-indexed ordinary failure", err)
+	}
+}
+
+// TestMapPanicDoesNotDeadlockLargeBatch floods the queue so the feeder
+// is blocked on backpressure when the panic hits, then checks the whole
+// batch still unwinds.
+func TestMapPanicDoesNotDeadlockLargeBatch(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(context.Background(), 10000, Options{Parallelism: 2, QueueDepth: 1}, func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic(i)
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("err = %v, want *PanicError", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicking batch did not unwind (deadlock)")
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"compress/gzip"
 	"reflect"
 	"strings"
 	"testing"
@@ -48,6 +49,22 @@ func FuzzParseTrace(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(rt.Bytes())
+
+	// Gzip edge cases: a clean single member, a truncated member (crashed
+	// writer), and trailing garbage after a complete member. The latter
+	// two must be rejected, never panic or hang.
+	var gzbuf bytes.Buffer
+	gw := gzip.NewWriter(&gzbuf)
+	if _, err := gw.Write([]byte(fuzzSeeds[1])); err != nil {
+		f.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	member := gzbuf.Bytes()
+	f.Add(append([]byte(nil), member...))
+	f.Add(append([]byte(nil), member[:len(member)/2]...))
+	f.Add(append(append([]byte(nil), member...), 0x00, 0xde, 0xad))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Parse(bytes.NewReader(data))

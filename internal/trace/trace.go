@@ -79,8 +79,27 @@ func Parse(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
 		}
-		defer gz.Close()
-		return parseText(gz)
+		// A trace file is exactly one gzip member. Without this, the
+		// reader would silently concatenate whatever follows the final
+		// record as a second member — or report appended garbage as a
+		// baffling "invalid header" mid-read.
+		gz.Multistream(false)
+		t, perr := parseText(gz)
+		if cerr := gz.Close(); cerr != nil && perr == nil {
+			return nil, fmt.Errorf("trace: closing gzip stream: %w", cerr)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		// The flate reader pulls bytes one at a time from br, so after
+		// the member's trailer br sits exactly on any trailing bytes.
+		switch _, err := br.ReadByte(); {
+		case err == nil:
+			return nil, fmt.Errorf("trace: trailing data after the gzip trace stream")
+		case err != io.EOF:
+			return nil, fmt.Errorf("trace: reading after gzip stream: %w", err)
+		}
+		return t, nil
 	}
 	return parseText(br)
 }

@@ -198,6 +198,68 @@ func TestParseCorruptGzip(t *testing.T) {
 	}
 }
 
+// gzMember compresses a trace text into a single complete gzip member.
+func gzMember(t *testing.T, text string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParseGzipRejectsTrailingGarbage pins the fix for Parse accepting
+// (or misreporting) bytes after the final record: anything following the
+// single gzip member — raw garbage or even a second well-formed member —
+// is an explicit trailing-data error, not a silent concatenation and not
+// a baffling header error from a phantom second stream.
+func TestParseGzipRejectsTrailingGarbage(t *testing.T) {
+	member := gzMember(t, "T0 L 0x40\nT0 E 5\n")
+	second := gzMember(t, "T0 E 3\n")
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"binary garbage", append(append([]byte(nil), member...), 0x00, 0xde, 0xad)},
+		{"text garbage", append(append([]byte(nil), member...), []byte("not a trace")...)},
+		{"second member", append(append([]byte(nil), member...), second...)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatal("trailing data accepted")
+			}
+			if !strings.Contains(err.Error(), "trailing data") {
+				t.Errorf("error = %q, want a trailing-data error", err)
+			}
+		})
+	}
+	// The clean member itself still parses.
+	if _, err := Parse(bytes.NewReader(member)); err != nil {
+		t.Fatalf("clean member rejected: %v", err)
+	}
+}
+
+// TestParseGzipSurfacesStreamErrors pins the close/checksum path: a
+// truncated member and a member with a corrupted checksum must both
+// surface an error rather than yield a silently short trace.
+func TestParseGzipSurfacesStreamErrors(t *testing.T) {
+	member := gzMember(t, "T0 L 0x40\nT0 E 5\n")
+	if _, err := Parse(bytes.NewReader(member[:len(member)-5])); err == nil {
+		t.Error("truncated gzip member accepted")
+	}
+	bad := append([]byte(nil), member...)
+	bad[len(bad)-5] ^= 0xff // the stored CRC32, after full flate blocks
+	if _, err := Parse(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted gzip checksum accepted")
+	}
+}
+
 // TestRecordReplayRoundTrip is the recorder's contract: replaying a
 // recorded run retires the same instruction counts and reproduces the
 // coherence signature of the original.
