@@ -5,9 +5,9 @@ GO ?= go
 # run instrumented on every push.
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
-            ./internal/faults
+            ./internal/faults ./internal/serve
 
-.PHONY: all build test race fuzz fuzz-smoke bench ci
+.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke ci
 
 all: build test
 
@@ -36,6 +36,12 @@ fuzz-smoke:
 # EXPERIMENTS.md).
 bench:
 	$(GO) test . -run XXX -bench 'Sequential|Parallel' -benchtime 1x
+
+# serve-smoke exercises the detection server's full lifecycle: bind an
+# ephemeral port, health-check, register a model, classify through the
+# batched path, scrape metrics, and shut down gracefully.
+serve-smoke:
+	$(GO) test ./internal/serve -run TestServeSmoke -count=1 -v
 
 ci:
 	./ci.sh

@@ -1,6 +1,7 @@
 package fsml
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"fsml/internal/ml"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
+	"fsml/internal/serve"
 	"fsml/internal/shadow"
 	"fsml/internal/suite"
 	"fsml/internal/trace"
@@ -288,12 +290,20 @@ type Verdict struct {
 // optimization flags and thread counts (the paper's Table 5 protocol)
 // and returns the majority verdict.
 func ClassifyProgram(det *Detector, name string, opts SweepOptions) (*Verdict, error) {
+	return ClassifyProgramContext(context.Background(), det, name, opts)
+}
+
+// ClassifyProgramContext is ClassifyProgram with cancellation: the sweep
+// stops feeding cases when ctx is cancelled or its deadline passes
+// (the `fsml classify -timeout` behavior, and what serving handlers use
+// to bound requests).
+func ClassifyProgramContext(ctx context.Context, det *Detector, name string, opts SweepOptions) (*Verdict, error) {
 	w, ok := suite.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("fsml: unknown workload %q", name)
 	}
 	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
-		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults}
+		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults, Ctx: ctx}
 	if err := lab.UseDetector(det); err != nil {
 		return nil, err
 	}
@@ -348,6 +358,12 @@ type ReportOptions = report.Options
 // Report.JSON).
 func BuildReport(det *Detector, name string, opts ReportOptions) (*Report, error) {
 	return report.Build(det, name, opts)
+}
+
+// BuildReportContext is BuildReport with cancellation: the sweep honors
+// ctx's deadline the way serving handlers do.
+func BuildReportContext(ctx context.Context, det *Detector, name string, opts ReportOptions) (*Report, error) {
+	return report.BuildContext(ctx, det, name, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -451,8 +467,15 @@ func Reproduce(name string, quick bool) (string, error) {
 // ReproduceWith is Reproduce with full control over seed and the batch
 // engine's parallelism.
 func ReproduceWith(name string, opts ExperimentOptions) (string, error) {
+	return ReproduceContext(context.Background(), name, opts)
+}
+
+// ReproduceContext is ReproduceWith with cancellation: the experiment's
+// batches stop feeding cases when ctx is cancelled or its deadline
+// passes (the `fsml repro -timeout` behavior).
+func ReproduceContext(ctx context.Context, name string, opts ExperimentOptions) (string, error) {
 	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
-		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults}
+		Parallelism: opts.Parallelism, Progress: opts.Progress, Faults: opts.Faults, Ctx: ctx}
 	return reproduceWith(lab, name)
 }
 
@@ -603,3 +626,48 @@ func Experiments() []string {
 		"fault-matrix",
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Serving
+
+// Serving-layer types, re-exported from internal/serve: a long-running
+// detection server with a registry of trained detectors, micro-batched
+// inference, and a JSON API, plus the matching client.
+type (
+	// ServeConfig shapes a detection Server (listen address, batching
+	// knobs, registry directory, default detector, fault injection).
+	ServeConfig = serve.Config
+	// Server is the long-running detection service.
+	Server = serve.Server
+	// ServeClient is the Go client of a detection Server.
+	ServeClient = serve.Client
+	// ClassifyRequest is the POST /v1/classify body: a normalized event
+	// vector or an uploaded (optionally gzip) access trace.
+	ClassifyRequest = serve.ClassifyRequest
+	// ClassifyResponse carries the verdict, including the degraded-mode
+	// fields of a flagged-counter classification.
+	ClassifyResponse = serve.ClassifyResponse
+	// ServeReportRequest is the POST /v1/report body.
+	ServeReportRequest = serve.ReportRequest
+	// ServeReportResponse wraps the assembled report.
+	ServeReportResponse = serve.ReportResponse
+	// DetectorSpec identifies a lazily trainable detector in the serving
+	// registry; its Key() is the registry key.
+	DetectorSpec = serve.TrainSpec
+	// FormatError is the typed mismatch error produced when a serialized
+	// detector's format version does not match this build (see
+	// DetectorModelVersion).
+	FormatError = core.FormatError
+)
+
+// DetectorModelVersion is the serialization format version this build
+// writes (and requires when decoding).
+const DetectorModelVersion = core.ModelVersion
+
+// NewServer builds a detection server (call Start, or mount Handler
+// behind your own listener).
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// NewServeClient returns a client for the detection server at baseURL,
+// e.g. "http://127.0.0.1:8723".
+func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }

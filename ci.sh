@@ -7,5 +7,6 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
-    ./internal/trace ./internal/mem ./internal/xrand ./internal/faults
+    ./internal/trace ./internal/mem ./internal/xrand ./internal/faults \
+    ./internal/serve
 go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace

@@ -11,6 +11,7 @@
 //	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
 //	fsml repro   [-quick] [-j N] [-faults SPEC] <table1|...|fault-matrix|all>
+//	fsml serve   [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR] [-faults SPEC]
 //	fsml list
 //
 // The -j flag caps concurrent case simulations (0 = all CPUs,
@@ -21,10 +22,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"fsml"
 )
@@ -58,6 +63,8 @@ func main() {
 		err = cmdPlatform(os.Args[2:])
 	case "repro":
 		err = cmdRepro(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -94,6 +101,8 @@ func usage() {
   fsml platform [-quick] [-j N] <name>               retrain for a platform (steps 2-6)
   fsml repro    [-quick] [-j N] [-faults SPEC] <experiment|all>
                                                      regenerate a paper table
+  fsml serve    [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR] [-faults SPEC]
+                                                     run the detection server
   fsml list                                          list programs & experiments
 `)
 }
@@ -107,6 +116,21 @@ func jobsFlag(fs *flag.FlagSet) *int {
 func faultsFlag(fs *flag.FlagSet) *string {
 	return fs.String("faults", "off",
 		`inject counter faults, e.g. "rate=0.2,seed=7,kinds=saturate+stuck" ("off" = honest counters)`)
+}
+
+// timeoutFlag registers the shared -timeout knob on a flag set.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline), e.g. 90s")
+}
+
+// timeoutContext turns a -timeout value into a context, mirroring the
+// per-request deadline behavior of the serving handlers: zero means no
+// deadline, anything else cancels the sweep mid-batch when it expires.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 // loadOrTrain returns a detector: from -model if given, else trained.
@@ -161,6 +185,7 @@ func cmdClassify(args []string) error {
 	model := fs.String("model", "", "trained model path (default: train now)")
 	jobs := jobsFlag(fs)
 	faultSpec := faultsFlag(fs)
+	timeout := timeoutFlag(fs)
 	fs.Parse(args)
 	names := fs.Args()
 	if len(names) == 0 {
@@ -174,8 +199,10 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
 	for _, name := range names {
-		v, err := fsml.ClassifyProgram(det, name, fsml.SweepOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
+		v, err := fsml.ClassifyProgramContext(ctx, det, name, fsml.SweepOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
 		if err != nil {
 			return err
 		}
@@ -383,6 +410,7 @@ func cmdReport(args []string) error {
 	model := fs.String("model", "", "trained model path (default: train now)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of Markdown")
 	jobs := jobsFlag(fs)
+	timeout := timeoutFlag(fs)
 	out := fs.String("o", "", "output path (default: stdout)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -397,7 +425,9 @@ func cmdReport(args []string) error {
 		opts.Threads = []int{6}
 		opts.MaxInputs = 1
 	}
-	rep, err := fsml.BuildReport(det, fs.Arg(0), opts)
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	rep, err := fsml.BuildReportContext(ctx, det, fs.Arg(0), opts)
 	if err != nil {
 		return err
 	}
@@ -445,6 +475,7 @@ func cmdRepro(args []string) error {
 	quick := fs.Bool("quick", false, "reduced grids")
 	jobs := jobsFlag(fs)
 	faultSpec := faultsFlag(fs)
+	timeout := timeoutFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("repro needs one experiment name or 'all' (see `fsml list`)")
@@ -457,14 +488,55 @@ func cmdRepro(args []string) error {
 	if fs.Arg(0) == "all" {
 		names = fsml.Experiments()
 	}
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
 	for _, name := range names {
-		out, err := fsml.ReproduceWith(name, fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
+		out, err := fsml.ReproduceContext(ctx, name, fsml.ExperimentOptions{Quick: *quick, Parallelism: *jobs, Faults: fcfg})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("===== %s =====\n%s\n", name, out)
 	}
 	return nil
+}
+
+// cmdServe runs the long-running detection server until interrupted,
+// then drains in-flight batches before exiting.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8723", "listen address (host:port; :0 picks a free port)")
+	jobs := jobsFlag(fs)
+	batch := fs.Int("batch", 16, "max classify requests per micro-batch (1 = no batching)")
+	linger := fs.Duration("linger", 2*time.Millisecond, "how long a forming batch waits for stragglers")
+	registryDir := fs.String("registry-dir", "", "persist models here and warm-start from it on boot")
+	quick := fs.Bool("quick", true, "default detector trains on the reduced grids")
+	seed := fs.Uint64("seed", 1, "default detector training seed")
+	faultSpec := faultsFlag(fs)
+	fs.Parse(args)
+	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return err
+	}
+	srv := fsml.NewServer(fsml.ServeConfig{
+		Addr:            *addr,
+		MaxBatch:        *batch,
+		Linger:          *linger,
+		Parallelism:     *jobs,
+		RegistryDir:     *registryDir,
+		DefaultDetector: fsml.DetectorSpec{Quick: *quick, Seed: *seed}.Key(),
+		Faults:          fcfg,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fsml: serving on http://%s (batch=%d linger=%s; ^C to stop)\n", srv.Addr(), *batch, *linger)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "fsml: shutting down, draining in-flight batches")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }
 
 func cmdList() error {

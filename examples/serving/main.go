@@ -1,0 +1,84 @@
+// Serving runs the detection server in-process and talks to it over
+// HTTP the way an external client would: train a detector, upload it to
+// the registry, classify a measured event vector with it, and scrape the
+// server's metrics — the detection-as-a-service workflow.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"fsml"
+)
+
+func main() {
+	// 1. A server on an ephemeral port. With no registry directory the
+	// registry lives in memory; -registry-dir (or ServeConfig.RegistryDir)
+	// would persist models across restarts.
+	srv := fsml.NewServer(fsml.ServeConfig{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	client := fsml.NewServeClient("http://" + srv.Addr())
+	ctx := context.Background()
+	fmt.Printf("serving on http://%s\n", srv.Addr())
+
+	// 2. Train a quick detector locally and upload it. The registry keys
+	// it by content hash, so re-uploading the same model is a cache hit.
+	det, _, err := fsml.Train(fsml.TrainOptions{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := det.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := client.RegisterDetector(ctx, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered detector %s (cached=%t)\n", reg.Key, reg.Cached)
+
+	// 3. Measure a known false-sharing workload locally and classify the
+	// normalized vector over the wire.
+	kernels, err := fsml.BuildMiniProgram(fsml.MiniProgramSpec{
+		Program: "pdot", Size: 120000, Threads: 8, Mode: fsml.BadFS, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := fsml.NewCollector().Measure("pdot/bad-fs", 42, kernels)
+	resp, err := client.Classify(ctx, fsml.ClassifyRequest{
+		Detector: reg.Key,
+		Events:   obs.Sample.Names,
+		Vector:   obs.Sample.Normalized(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict: %s (confidence %.2f, degraded=%t)\n", resp.Class, resp.Confidence, resp.Degraded)
+
+	// 4. The metrics endpoint shows the request just served.
+	metrics, err := client.MetricsText(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "fsml_requests_") || strings.HasPrefix(line, "fsml_registry_") {
+			fmt.Println(line)
+		}
+	}
+
+	// 5. Graceful shutdown drains any in-flight batches.
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and stopped")
+}

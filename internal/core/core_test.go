@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -262,6 +263,40 @@ func TestDecodeDetectorRejectsGarbage(t *testing.T) {
 		if _, err := DecodeDetector([]byte(blob)); err == nil {
 			t.Errorf("DecodeDetector accepted %q", blob)
 		}
+	}
+}
+
+func TestDecodeDetectorFormatVersion(t *testing.T) {
+	tree := `"tree":{"attrs":["a"],"root":{"leaf":true,"class":"good"}}`
+	// Version skew in either direction and foreign formats are typed
+	// *FormatError with the found format/version preserved, so a caller
+	// warm-loading from disk can say exactly what is wrong with the file.
+	for _, tc := range []struct {
+		blob    string
+		version int
+	}{
+		{`{"format":"fsml-detector","version":1,` + tree + `}`, 1},
+		{`{"format":"fsml-detector","version":99,` + tree + `}`, 99},
+		{`{"format":"fsml-detector",` + tree + `}`, 0},
+		{`{"format":"mystery-model","version":2,` + tree + `}`, 2},
+	} {
+		_, err := DecodeDetector([]byte(tc.blob))
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("DecodeDetector(%s) = %v, want *FormatError", tc.blob, err)
+		}
+		if fe.Version != tc.version || fe.WantVersion != ModelVersion {
+			t.Errorf("FormatError = %+v, want Version=%d WantVersion=%d", fe, tc.version, ModelVersion)
+		}
+		if !strings.Contains(fe.Error(), "fsml train") {
+			t.Errorf("FormatError message %q is not actionable", fe.Error())
+		}
+	}
+	// A legacy v1 file (old tag, no version field) still decodes: the
+	// tree shape never changed.
+	legacy := `{"format":"fsml-detector-v1",` + tree + `}`
+	if _, err := DecodeDetector([]byte(legacy)); err != nil {
+		t.Errorf("DecodeDetector(legacy v1) = %v, want nil", err)
 	}
 }
 

@@ -240,30 +240,78 @@ func FormatHistogram(hist map[string]int) string {
 
 // modelFile is the serialized detector format.
 type modelFile struct {
-	Format    string         `json:"format"`
+	Format string `json:"format"`
+	// Version is the explicit format version. Bump ModelVersion on any
+	// incompatible change to the serialized shape so an old file fails
+	// with a typed, actionable *FormatError instead of decoding into
+	// garbage.
+	Version   int            `json:"version"`
 	Tree      *ml.Tree       `json:"tree"`
 	TrainedOn map[string]int `json:"trained_on,omitempty"`
 }
 
-const modelFormat = "fsml-detector-v1"
+const (
+	modelFormat = "fsml-detector"
+	// legacyModelFormat is the pre-versioning format tag. Those files
+	// carry no version field but are shape-compatible with version 1,
+	// so they still decode.
+	legacyModelFormat = "fsml-detector-v1"
+	// ModelVersion is the current serialization version. History:
+	//   1: format tag "fsml-detector-v1", no version field
+	//   2: explicit format/version split (this version; same tree shape)
+	ModelVersion = 2
+)
+
+// FormatError reports that serialized detector bytes are not something
+// this build can decode: an unknown format tag or a version this build
+// does not speak. It is typed so callers that load models from disk
+// (the CLI's -model flag, the serving registry's warm start) can tell
+// "stale or foreign file" apart from I/O failures and say what to do
+// about it.
+type FormatError struct {
+	// Format is the format tag found in the file ("" when absent).
+	Format string
+	// Version is the version found in the file (0 when absent).
+	Version int
+	// WantVersion is the version this build reads and writes.
+	WantVersion int
+}
+
+// Error implements error with a remediation hint: version skew means
+// the model file and the binary disagree, and retraining (or upgrading
+// fsml) is the fix — not editing the file.
+func (e *FormatError) Error() string {
+	switch {
+	case e.Format != modelFormat && e.Format != legacyModelFormat:
+		return fmt.Sprintf("core: not a detector model (format %q, want %q); retrain with `fsml train -o <file>`", e.Format, modelFormat)
+	case e.Version > e.WantVersion:
+		return fmt.Sprintf("core: model format version %d is newer than this build reads (%d); upgrade fsml or retrain with `fsml train -o <file>`", e.Version, e.WantVersion)
+	default:
+		return fmt.Sprintf("core: model format version %d is older than this build reads (%d); retrain with `fsml train -o <file>`", e.Version, e.WantVersion)
+	}
+}
 
 // Encode serializes a tree-based detector to JSON.
 func (d *Detector) Encode() ([]byte, error) {
 	if d.Tree == nil {
 		return nil, fmt.Errorf("core: only tree-based detectors serialize")
 	}
-	return json.MarshalIndent(modelFile{Format: modelFormat, Tree: d.Tree, TrainedOn: d.TrainedOn}, "", "  ")
+	return json.MarshalIndent(modelFile{Format: modelFormat, Version: ModelVersion, Tree: d.Tree, TrainedOn: d.TrainedOn}, "", "  ")
 }
 
 // DecodeDetector parses a serialized detector and validates that its
-// feature space matches the current Table 2 programming.
+// feature space matches the current Table 2 programming. Format or
+// version mismatches surface as a *FormatError.
 func DecodeDetector(data []byte) (*Detector, error) {
 	var mf modelFile
 	if err := json.Unmarshal(data, &mf); err != nil {
 		return nil, fmt.Errorf("core: decoding detector: %w", err)
 	}
-	if mf.Format != modelFormat {
-		return nil, fmt.Errorf("core: unknown model format %q", mf.Format)
+	switch {
+	case mf.Format == legacyModelFormat && mf.Version == 0:
+		// Version-1 file: same tree shape, accepted for compatibility.
+	case mf.Format != modelFormat || mf.Version != ModelVersion:
+		return nil, &FormatError{Format: mf.Format, Version: mf.Version, WantVersion: ModelVersion}
 	}
 	raw, err := json.Marshal(mf.Tree)
 	if err != nil {

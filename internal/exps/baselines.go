@@ -47,7 +47,7 @@ func (l *Lab) BaselineComparison() ([]BaselineRow, error) {
 	c := l.Collector()
 	// One batch case per workload; each runs its three independent tools
 	// (classifier, shadow, SHERIFF-style) on its own machines.
-	return sched.Map(context.Background(), len(workloads), l.schedOptions(),
+	return sched.Map(l.ctx(), len(workloads), l.schedOptions(),
 		func(_ context.Context, i int) (BaselineRow, error) {
 			w := workloads[i]
 			opt := machine.O0

@@ -1,7 +1,6 @@
 package exps
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -121,7 +120,7 @@ func (l *Lab) FaultMatrix() (*FaultMatrixResult, error) {
 		if rate > 0 {
 			c.Faults = faults.New(faults.Config{Rate: rate, Seed: faultSeed})
 		}
-		results, err := c.BatchClassify(context.Background(), det, len(specs), func(i int) core.BatchCase {
+		results, err := c.BatchClassify(l.ctx(), det, len(specs), func(i int) core.BatchCase {
 			spec := specs[i]
 			kernels, err := miniprog.Build(spec)
 			if err != nil {

@@ -49,6 +49,10 @@ type Lab struct {
 	// tolerant, retrying sweeps (see internal/faults). The zero value
 	// keeps counters honest. Set before first use.
 	Faults faults.Config
+	// Ctx, when non-nil, bounds every batch the lab runs: cancellation
+	// (or a deadline) stops feeding new cases and surfaces the context's
+	// error. Nil means context.Background(). Set before first use.
+	Ctx context.Context
 
 	once      sync.Once
 	collector *core.Collector
@@ -104,6 +108,14 @@ func (l *Lab) schedOptions() sched.Options {
 	return sched.Options{Parallelism: l.Parallelism, OnProgress: l.Progress}
 }
 
+// ctx returns the lab's batch context (Background when unset).
+func (l *Lab) ctx() context.Context {
+	if l.Ctx != nil {
+		return l.Ctx
+	}
+	return context.Background()
+}
+
 // gridA returns the Part A collection grid.
 func (l *Lab) gridA() core.Grid {
 	if !l.Quick {
@@ -145,12 +157,12 @@ func (l *Lab) GridB() core.Grid { return l.gridB() }
 func (l *Lab) init() error {
 	l.once.Do(func() {
 		c := l.Collector()
-		partA, err := c.Collect(miniprog.MultiThreadedSet(), l.gridA())
+		partA, err := c.CollectContext(l.ctx(), miniprog.MultiThreadedSet(), l.gridA())
 		if err != nil {
 			l.initErr = err
 			return
 		}
-		partB, err := c.Collect(miniprog.SequentialSet(), l.gridB())
+		partB, err := c.CollectContext(l.ctx(), miniprog.SequentialSet(), l.gridB())
 		if err != nil {
 			l.initErr = err
 			return
@@ -290,7 +302,7 @@ func (l *Lab) runCases(w suite.Workload, cases []suite.Case) ([]core.CaseResult,
 		return nil, err
 	}
 	c := l.Collector()
-	return c.BatchClassify(context.Background(), det, len(cases), func(i int) core.BatchCase {
+	return c.BatchClassify(l.ctx(), det, len(cases), func(i int) core.BatchCase {
 		cs := cases[i]
 		return core.BatchCase{
 			Desc:        cs.String(),

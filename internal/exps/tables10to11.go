@@ -73,7 +73,7 @@ func (l *Lab) Table10() (*Table10Result, error) {
 	type verdict struct {
 		actual, detected bool
 	}
-	verdicts, err := sched.Map(context.Background(), len(plan), l.schedOptions(),
+	verdicts, err := sched.Map(l.ctx(), len(plan), l.schedOptions(),
 		func(_ context.Context, i int) (verdict, error) {
 			w, cs := plan[i].w, plan[i].cs
 			rep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))

@@ -246,7 +246,7 @@ func (l *Lab) rates(name string, inputs []string, flags []machine.OptLevel, thre
 		return nil, err
 	}
 	c := l.Collector()
-	cells, err := sched.Map(context.Background(), len(cases), l.schedOptions(),
+	cells, err := sched.Map(l.ctx(), len(cases), l.schedOptions(),
 		func(_ context.Context, i int) (RateCell, error) {
 			cs := cases[i]
 			rep, err := shadow.Run(l.machineConfig(cs.Seed), w.Build(cs))

@@ -88,6 +88,14 @@ type Report struct {
 // Build sweeps the named program with the detector and assembles the
 // report.
 func Build(det *core.Detector, name string, opts Options) (*Report, error) {
+	return BuildContext(context.Background(), det, name, opts)
+}
+
+// BuildContext is Build with cancellation: the sweep stops feeding cases
+// when ctx is cancelled or its deadline passes, and the context's error
+// is returned. This is what lets a serving handler (or a -timeout CLI
+// run) bound a report sweep.
+func BuildContext(ctx context.Context, det *core.Detector, name string, opts Options) (*Report, error) {
 	w, ok := suite.Lookup(name)
 	if !ok {
 		if why, bad := suite.Unsupported()[name]; bad {
@@ -119,7 +127,7 @@ func Build(det *core.Detector, name string, opts Options) (*Report, error) {
 	}
 	cases := suite.EnumerateCases(names, opts.Flags, opts.Threads,
 		func(i int) uint64 { return (opts.Seed + uint64(i) + 1) * 17 })
-	results, err := collector.BatchClassify(context.Background(), det, len(cases), func(i int) core.BatchCase {
+	results, err := collector.BatchClassify(ctx, det, len(cases), func(i int) core.BatchCase {
 		cs := cases[i]
 		return core.BatchCase{Desc: cs.String(), Seed: cs.Seed, Kernels: w.Build(cs)}
 	})
@@ -142,15 +150,19 @@ func Build(det *core.Detector, name string, opts Options) (*Report, error) {
 		}
 	}
 	rep.WorstCase = worst
-	if err := rep.profileWorst(det, w, collector, opts.Seed); err != nil {
+	if err := rep.profileWorst(ctx, det, w, collector, opts.Seed); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
 // profileWorst measures the worst case's event vector and runs the two
-// instrumentation tools on it.
-func (rep *Report) profileWorst(det *core.Detector, w suite.Workload, collector *core.Collector, seed uint64) error {
+// instrumentation tools on it. The individual tool runs are not
+// interruptible, so cancellation is honored between stages.
+func (rep *Report) profileWorst(ctx context.Context, det *core.Detector, w suite.Workload, collector *core.Collector, seed uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var flag machine.OptLevel
 	for _, o := range machine.Levels() {
 		if o.String() == rep.WorstCase.Flag {
@@ -171,6 +183,9 @@ func (rep *Report) profileWorst(det *core.Detector, w suite.Workload, collector 
 		return rep.EventProfile[i].Value > rep.EventProfile[j].Value
 	})
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	shadowCase := cs
 	if shadowCase.Threads > shadow.MaxThreads {
 		shadowCase.Threads = shadow.MaxThreads

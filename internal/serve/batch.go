@@ -1,0 +1,188 @@
+package serve
+
+// The inference micro-batcher. Classification requests are cheap
+// individually but arrive in bursts; grouping them amortizes scheduling
+// and lets a batch fan out across the deterministic batch engine
+// (internal/sched) exactly the way offline sweeps do. A batch forms when
+// either MaxBatch requests are pending or the linger window expires —
+// the classic size-or-latency tradeoff, both knobs configurable.
+//
+// Correctness contract: each job is independent and derives nothing from
+// its batch-mates, so a verdict computed through the batcher is
+// byte-identical to the same request classified alone. Batching changes
+// wall-clock behavior only.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fsml/internal/sched"
+)
+
+// ErrShuttingDown is returned by Submit once the batcher is closed.
+var ErrShuttingDown = errors.New("serve: server is shutting down")
+
+// batchJob is one queued classification.
+type batchJob struct {
+	ctx  context.Context
+	run  func() (*ClassifyResponse, error)
+	done chan batchResult
+	enq  time.Time
+}
+
+// batchResult is a finished job's outcome.
+type batchResult struct {
+	resp *ClassifyResponse
+	err  error
+}
+
+// Batcher groups submitted jobs into micro-batches and executes each
+// batch through the sched engine.
+type Batcher struct {
+	max     int
+	linger  time.Duration
+	par     int
+	metrics *Metrics
+
+	jobs chan *batchJob
+	wg   sync.WaitGroup
+
+	// mu guards closed. Submitters hold the read side across their send,
+	// so Close's write lock cannot land between the closed-check and the
+	// send (which would panic on a closed channel).
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewBatcher starts a batcher. max <= 1 disables grouping (every job is
+// its own batch); linger <= 0 means batches form only from already
+// queued jobs, adding no latency.
+func NewBatcher(max int, linger time.Duration, parallelism int, m *Metrics) *Batcher {
+	if max < 1 {
+		max = 1
+	}
+	b := &Batcher{
+		max: max, linger: linger, par: parallelism, metrics: m,
+		jobs: make(chan *batchJob, 4*max),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Submit enqueues run and waits for its result or ctx expiry. On expiry
+// the job may still execute (its batch was already formed); the result
+// is discarded through the buffered done channel, never blocking the
+// executor.
+func (b *Batcher) Submit(ctx context.Context, run func() (*ClassifyResponse, error)) (*ClassifyResponse, error) {
+	j := &batchJob{ctx: ctx, run: run, done: make(chan batchResult, 1), enq: time.Now()}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case b.jobs <- j:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-j.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, drains every batch already queued, and
+// returns once the loop has delivered all pending results — the graceful
+// half of server shutdown.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.jobs)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// loop forms and executes batches until the job channel closes and
+// drains.
+func (b *Batcher) loop() {
+	defer b.wg.Done()
+	for {
+		j, ok := <-b.jobs
+		if !ok {
+			return
+		}
+		batch := b.gather(j)
+		b.execute(batch)
+	}
+}
+
+// gather collects a batch around the first job: up to max jobs, waiting
+// at most the linger window for stragglers.
+func (b *Batcher) gather(first *batchJob) []*batchJob {
+	batch := []*batchJob{first}
+	if b.max <= 1 {
+		return batch
+	}
+	if b.linger <= 0 {
+		for len(batch) < b.max {
+			select {
+			case j, ok := <-b.jobs:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, j)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.linger)
+	defer timer.Stop()
+	for len(batch) < b.max {
+		select {
+		case j, ok := <-b.jobs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute runs one batch through the sched engine and delivers each
+// job's result. Job failures are per-job data, never batch failures, so
+// fn always returns nil and one poisoned request cannot cancel its
+// batch-mates.
+func (b *Batcher) execute(batch []*batchJob) {
+	if b.metrics != nil {
+		b.metrics.Observe(mBatchSize, batchBuckets, float64(len(batch)))
+		now := time.Now()
+		for _, j := range batch {
+			b.metrics.Observe(mBatchQueueSec, latencyBuckets, now.Sub(j.enq).Seconds())
+		}
+	}
+	_ = sched.ForEach(context.Background(), len(batch), sched.Options{Parallelism: b.par}, func(_ context.Context, i int) error {
+		j := batch[i]
+		if err := j.ctx.Err(); err != nil {
+			// The waiter is gone (or going); skip the work.
+			j.done <- batchResult{err: err}
+			return nil
+		}
+		resp, err := j.run()
+		j.done <- batchResult{resp: resp, err: err}
+		return nil
+	})
+}

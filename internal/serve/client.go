@@ -1,0 +1,164 @@
+package serve
+
+// A minimal client for the detection service, wrapping the wire types
+// so Go callers don't hand-roll JSON. Stdlib net/http only, like the
+// server.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a detection server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8723".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+// do runs one JSON round trip. out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(blob))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Classify posts one classification request.
+func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (*ClassifyResponse, error) {
+	var out ClassifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/classify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report posts one report sweep request.
+func (c *Client) Report(ctx context.Context, req ReportRequest) (*ReportResponse, error) {
+	var out ReportResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/report", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterDetector uploads a serialized model (the `fsml train -o`
+// format) and returns its registry key.
+func (c *Client) RegisterDetector(ctx context.Context, model []byte) (*RegisterResponse, error) {
+	var out RegisterResponse
+	req := RegisterRequest{Model: json.RawMessage(model)}
+	if err := c.do(ctx, http.MethodPost, "/v1/detectors", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Train asks the server for a lazily trained detector and returns its
+// registry key (training happens server-side on first use).
+func (c *Client) Train(ctx context.Context, spec TrainSpec) (*RegisterResponse, error) {
+	var out RegisterResponse
+	req := RegisterRequest{Train: &TrainSpecRequest{Quick: spec.Quick, Seed: spec.Seed}}
+	if err := c.do(ctx, http.MethodPost, "/v1/detectors", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Detectors lists the server's registry.
+func (c *Client) Detectors(ctx context.Context) (*DetectorsResponse, error) {
+	var out DetectorsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/detectors", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the raw metrics exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(blob))}
+	}
+	return string(blob), nil
+}

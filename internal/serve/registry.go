@@ -1,0 +1,350 @@
+package serve
+
+// The detector registry: a content-hash-keyed, LRU-bounded cache of
+// trained core.Detectors. Detectors enter it three ways — uploaded over
+// the wire (POST /v1/detectors), warm-loaded from a disk directory of
+// serialized models, or trained lazily on first use from a train-spec
+// key. Concurrent requests for the same untrained key share one training
+// run (singleflight): the first caller does the work, everyone else
+// waits on the entry, and nobody trains twice.
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fsml/internal/core"
+	"fsml/internal/exps"
+)
+
+// TrainSpec identifies a lazily trainable detector: the training options
+// that matter for the resulting model. Its Key is canonical, so two
+// requests that mean the same training land on the same registry entry.
+type TrainSpec struct {
+	// Quick selects the reduced collection grids.
+	Quick bool
+	// Seed drives collection and training determinism (0 means 1).
+	Seed uint64
+}
+
+// Key returns the canonical registry key of the spec.
+func (s TrainSpec) Key() string {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return fmt.Sprintf("train:quick=%t,seed=%d", s.Quick, seed)
+}
+
+// parseTrainKey parses a "train:quick=...,seed=..." registry key.
+func parseTrainKey(key string) (TrainSpec, bool) {
+	rest, ok := strings.CutPrefix(key, "train:")
+	if !ok {
+		return TrainSpec{}, false
+	}
+	spec := TrainSpec{}
+	for _, part := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return TrainSpec{}, false
+		}
+		switch k {
+		case "quick":
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return TrainSpec{}, false
+			}
+			spec.Quick = b
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return TrainSpec{}, false
+			}
+			spec.Seed = n
+		default:
+			return TrainSpec{}, false
+		}
+	}
+	return spec, true
+}
+
+// ContentKey returns the content-hash registry key of a serialized
+// detector: "sha256:" plus the first 16 hex digits of the SHA-256 of its
+// canonical encoding. Registering byte-identical models is idempotent.
+func ContentKey(encoded []byte) string {
+	sum := sha256.Sum256(encoded)
+	return "sha256:" + hex.EncodeToString(sum[:])[:16]
+}
+
+// RegistryConfig configures a Registry.
+type RegistryConfig struct {
+	// Capacity bounds the resident detectors (LRU eviction; default 8).
+	Capacity int
+	// Dir, when non-empty, is the disk side of the registry: models are
+	// persisted there as <key>.json after upload or training, and a Get
+	// miss checks it before training (warm start across restarts).
+	Dir string
+	// Parallelism caps concurrent case simulations during lazy training
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// Train overrides the lazy trainer (tests inject counting or instant
+	// trainers). Nil selects the exps.Lab pipeline.
+	Train func(spec TrainSpec) (*core.Detector, error)
+	// Metrics, when non-nil, receives hit/miss/eviction counts.
+	Metrics *Metrics
+}
+
+// entry is one registry slot. ready is closed once det/err are final;
+// until then the entry is "loading" and Get calls wait on it.
+type entry struct {
+	key    string
+	source string // "upload" | "disk" | "trained"
+	ready  chan struct{}
+	det    *core.Detector
+	err    error
+	elem   *list.Element
+}
+
+// DetectorInfo is one row of a registry listing.
+type DetectorInfo struct {
+	Key    string `json:"key"`
+	State  string `json:"state"`  // "ready" | "loading"
+	Source string `json:"source"` // "upload" | "disk" | "trained"
+	// TrainedOn is the training-set composition (ready entries only).
+	TrainedOn map[string]int `json:"trained_on,omitempty"`
+}
+
+// Registry is the detector cache. Safe for concurrent use.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8
+	}
+	if cfg.Train == nil {
+		par := cfg.Parallelism
+		cfg.Train = func(spec TrainSpec) (*core.Detector, error) {
+			seed := spec.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			lab := &exps.Lab{Quick: spec.Quick, Seed: seed, Parallelism: par}
+			return lab.Detector()
+		}
+	}
+	return &Registry{cfg: cfg, entries: map[string]*entry{}, lru: list.New()}
+}
+
+// count bumps a metrics counter if metrics are attached.
+func (r *Registry) count(name string) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Add(name, 1)
+	}
+}
+
+// Get returns the detector for key, loading or training it on first use.
+// hit reports whether the key was already resident (ready or in flight);
+// a waiter on an in-flight load counts as a hit because it triggered no
+// work. Waiting is bounded by ctx.
+func (r *Registry) Get(ctx context.Context, key string) (det *core.Detector, hit bool, err error) {
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.count(mRegistryHits)
+		select {
+		case <-e.ready:
+			return e.det, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	// Miss: create the in-flight entry while still holding the lock, so
+	// every concurrent Get for this key finds it and waits instead of
+	// training again (singleflight).
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.evictLocked()
+	r.mu.Unlock()
+	r.count(mRegistryMisses)
+
+	e.det, e.source, e.err = r.load(key)
+	close(e.ready)
+	if e.err != nil {
+		// Drop the failed entry so a later request can retry.
+		r.mu.Lock()
+		if r.entries[key] == e {
+			delete(r.entries, key)
+			r.lru.Remove(e.elem)
+		}
+		r.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e.det, false, nil
+}
+
+// load resolves a missing key: disk first (warm start), then the lazy
+// trainer for train-spec keys. Unknown content-hash keys are an error —
+// the bytes behind them exist nowhere.
+func (r *Registry) load(key string) (*core.Detector, string, error) {
+	if r.cfg.Dir != "" {
+		path := r.fileFor(key)
+		if blob, err := os.ReadFile(path); err == nil {
+			det, derr := core.DecodeDetector(blob)
+			if derr != nil {
+				// A typed *core.FormatError names the found and wanted
+				// versions; wrap it with the file so the operator knows
+				// which registry entry to retrain or delete.
+				return nil, "", fmt.Errorf("serve: registry warm start from %s: %w", path, derr)
+			}
+			return det, "disk", nil
+		}
+	}
+	if spec, ok := parseTrainKey(key); ok {
+		det, err := r.cfg.Train(spec)
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: training %s: %w", key, err)
+		}
+		r.persist(key, det)
+		return det, "trained", nil
+	}
+	return nil, "", &UnknownDetectorError{Key: key}
+}
+
+// Register inserts an already trained detector under its content-hash
+// key, persisting it when a registry dir is configured. Registering the
+// same model twice is an idempotent cache hit.
+func (r *Registry) Register(det *core.Detector) (key string, existed bool, err error) {
+	encoded, err := det.Encode()
+	if err != nil {
+		return "", false, err
+	}
+	key = ContentKey(encoded)
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.count(mRegistryHits)
+		<-e.ready // content-keyed entries are inserted ready; never blocks long
+		return key, true, e.err
+	}
+	e := &entry{key: key, source: "upload", ready: make(chan struct{}), det: det}
+	close(e.ready)
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.evictLocked()
+	r.mu.Unlock()
+	r.count(mRegistryMisses)
+	r.persist(key, det)
+	return key, false, nil
+}
+
+// persist writes a model file for key if a dir is configured. Best
+// effort: serving keeps working from memory if the disk write fails.
+func (r *Registry) persist(key string, det *core.Detector) {
+	if r.cfg.Dir == "" {
+		return
+	}
+	blob, err := det.Encode()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(r.fileFor(key), blob, 0o644)
+}
+
+// fileFor maps a registry key to its model file path. ':' is not
+// portable in file names, so it becomes '-'.
+func (r *Registry) fileFor(key string) string {
+	return filepath.Join(r.cfg.Dir, strings.ReplaceAll(key, ":", "-")+".json")
+}
+
+// evictLocked drops least-recently-used ready entries until the resident
+// count fits the capacity. In-flight entries are never evicted — their
+// waiters hold references — so a burst of distinct in-flight keys may
+// transiently exceed the bound.
+func (r *Registry) evictLocked() {
+	for len(r.entries) > r.cfg.Capacity {
+		evicted := false
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			select {
+			case <-e.ready:
+			default:
+				continue // still loading
+			}
+			delete(r.entries, e.key)
+			r.lru.Remove(el)
+			r.count(mRegistryEvicts)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// List returns the resident entries, most recently used first.
+func (r *Registry) List() []DetectorInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DetectorInfo, 0, len(r.entries))
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		info := DetectorInfo{Key: e.key, State: "loading", Source: e.source}
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				info.State = "ready"
+				info.TrainedOn = e.det.TrainedOn
+			}
+		default:
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// DiskKeys lists the model keys available in the registry dir (sorted),
+// whether or not they are resident. Used by the listing endpoint so a
+// warm-startable model is discoverable before its first request.
+func (r *Registry) DiskKeys() []string {
+	if r.cfg.Dir == "" {
+		return nil
+	}
+	glob, err := filepath.Glob(filepath.Join(r.cfg.Dir, "*.json"))
+	if err != nil {
+		return nil
+	}
+	keys := make([]string, 0, len(glob))
+	for _, path := range glob {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		// Reverse the ':' -> '-' mangling for the two known key families.
+		if rest, ok := strings.CutPrefix(name, "sha256-"); ok {
+			keys = append(keys, "sha256:"+rest)
+		} else if rest, ok := strings.CutPrefix(name, "train-"); ok {
+			keys = append(keys, "train:"+rest)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,518 @@
+// Package serve is the detection-as-a-service layer: a long-running
+// HTTP server that keeps trained detectors hot in a registry, batches
+// inference requests through the deterministic batch engine, and exposes
+// the paper's pipeline as a JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/classify    classify a normalized event vector or an
+//	                     uploaded (optionally gzip) access trace
+//	POST /v1/report      full report.Options sweep of a named workload
+//	GET  /v1/detectors   list the detector registry
+//	POST /v1/detectors   register an uploaded model or a train spec
+//	GET  /healthz        liveness
+//	GET  /metrics        self-contained counters and histograms
+//
+// Everything is stdlib net/http. Verdicts served through the batched
+// path are byte-identical to one-shot classification: each request owns
+// its seed and its simulated machine, so batching and parallelism change
+// wall-clock time only.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"fsml/internal/core"
+	"fsml/internal/faults"
+	"fsml/internal/pmu"
+	"fsml/internal/report"
+	"fsml/internal/suite"
+	"fsml/internal/trace"
+	"fsml/internal/xrand"
+)
+
+// Config shapes a Server. The zero value serves on 127.0.0.1:8723 with a
+// quick-trained default detector, batches of up to 16 with a 2ms linger,
+// and an 8-entry registry.
+type Config struct {
+	// Addr is the listen address for Start (default "127.0.0.1:8723").
+	Addr string
+	// MaxBatch caps how many classify requests one micro-batch groups
+	// (default 16; 1 disables batching).
+	MaxBatch int
+	// Linger is how long a forming batch waits for stragglers before it
+	// executes short of MaxBatch (default 2ms; negative disables the
+	// wait so batches form only from already queued requests).
+	Linger time.Duration
+	// Parallelism caps concurrent case simulations per batch and sweep
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// RegistryDir, when non-empty, persists trained/uploaded models and
+	// warm-starts the registry from disk (see Registry).
+	RegistryDir string
+	// RegistryCapacity bounds resident detectors (default 8).
+	RegistryCapacity int
+	// DefaultDetector is the registry key used when a request names none
+	// (default: the quick seed-1 train spec, so an empty config serves
+	// out of the box after one lazy training run).
+	DefaultDetector string
+	// DefaultTimeout is the per-request deadline when the request does
+	// not set timeout_ms (default 2m; negative disables).
+	DefaultTimeout time.Duration
+	// Faults injects deterministic counter faults into trace-replay
+	// measurements (degraded classifications then surface in responses).
+	// The zero value keeps counters honest.
+	Faults faults.Config
+	// Train overrides the registry's lazy trainer (tests).
+	Train func(spec TrainSpec) (*core.Detector, error)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8723"
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.Linger == 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	if c.RegistryCapacity <= 0 {
+		c.RegistryCapacity = 8
+	}
+	if c.DefaultDetector == "" {
+		c.DefaultDetector = TrainSpec{Quick: true, Seed: 1}.Key()
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the detection service.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	reg     *Registry
+	batcher *Batcher
+
+	httpServer *http.Server
+	ln         net.Listener
+}
+
+// New builds a server (not yet listening; use Start, or mount Handler
+// on a listener of your own).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		reg: NewRegistry(RegistryConfig{
+			Capacity:    cfg.RegistryCapacity,
+			Dir:         cfg.RegistryDir,
+			Parallelism: cfg.Parallelism,
+			Train:       cfg.Train,
+			Metrics:     m,
+		}),
+		batcher: NewBatcher(cfg.MaxBatch, cfg.Linger, cfg.Parallelism, m),
+	}
+	return s
+}
+
+// Metrics exposes the server's metric registry (tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the detector registry (embedders that pre-register).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the server's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/detectors", s.handleListDetectors)
+	mux.HandleFunc("POST /v1/detectors", s.handleRegisterDetector)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Start listens on cfg.Addr and serves until Shutdown. It returns once
+// the listener is accepting, so callers can immediately dial Addr().
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpServer = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpServer.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start; lets ":0"
+// configs discover their port).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for
+// in-flight handlers (whose batched jobs keep executing), then close
+// the batcher once no handler can submit anymore.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpServer != nil {
+		err = s.httpServer.Shutdown(ctx)
+	}
+	s.batcher.Close()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Request plumbing
+
+// maxBodyBytes bounds request bodies (uploaded traces dominate).
+const maxBodyBytes = 64 << 20
+
+// badRequestError marks client errors (HTTP 400).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// UnknownDetectorError reports a registry key that is neither resident,
+// nor on disk, nor lazily trainable (HTTP 404).
+type UnknownDetectorError struct{ Key string }
+
+func (e *UnknownDetectorError) Error() string {
+	return fmt.Sprintf("serve: unknown detector %q: not cached, not on disk, and not a train: spec", e.Key)
+}
+
+// reqContext applies the per-request deadline: the request's timeout_ms
+// if set, else the server default.
+func (s *Server) reqContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// decodeJSON reads one JSON body into v, strictly.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// writeJSON renders a 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error to its status and renders the JSON error
+// body.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.metrics.Add(mReqErrors, 1)
+	status := http.StatusInternalServerError
+	var br *badRequestError
+	var ud *UnknownDetectorError
+	switch {
+	case errors.As(err, &br):
+		status = http.StatusBadRequest
+	case errors.As(err, &ud):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// detector resolves a request's detector key through the registry.
+func (s *Server) detector(ctx context.Context, key string) (*core.Detector, string, error) {
+	if key == "" {
+		key = s.cfg.DefaultDetector
+	}
+	det, _, err := s.reg.Get(ctx, key)
+	if err != nil {
+		return nil, key, err
+	}
+	return det, key, nil
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, HealthResponse{Status: "ok", Detectors: len(s.reg.List())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(s.metrics.Render()))
+}
+
+func (s *Server) handleListDetectors(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.Add(mReqDetectors, 1)
+	writeJSON(w, DetectorsResponse{
+		Detectors: s.reg.List(),
+		Capacity:  s.cfg.RegistryCapacity,
+		Disk:      s.reg.DiskKeys(),
+	})
+}
+
+func (s *Server) handleRegisterDetector(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add(mReqDetectors, 1)
+	var req RegisterRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	switch {
+	case len(req.Model) > 0 && req.Train != nil:
+		s.writeError(w, badRequestf("register: set model or train, not both"))
+	case len(req.Model) > 0:
+		det, err := core.DecodeDetector(req.Model)
+		if err != nil {
+			s.writeError(w, badRequestf("register: %v", err))
+			return
+		}
+		key, existed, err := s.reg.Register(det)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, RegisterResponse{Key: key, Cached: existed, TrainedOn: det.TrainedOn})
+	case req.Train != nil:
+		ctx, cancel := s.reqContext(r, 0)
+		defer cancel()
+		key := TrainSpec{Quick: req.Train.Quick, Seed: req.Train.Seed}.Key()
+		det, hit, err := s.reg.Get(ctx, key)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, RegisterResponse{Key: key, Cached: hit, TrainedOn: det.TrainedOn})
+	default:
+		s.writeError(w, badRequestf("register: need a model upload or a train spec"))
+	}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.metrics.Add(mReqClassify, 1)
+	var req ClassifyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := validateClassify(&req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	det, key, err := s.detector(ctx, req.Detector)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
+		c0 := time.Now()
+		resp, err := s.classifyOne(det, key, &req)
+		s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds())
+		return resp, err
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if resp.Degraded {
+		s.metrics.Add(mDegraded, 1)
+	}
+	writeJSON(w, resp)
+	s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds())
+}
+
+// validateClassify enforces the request invariants before any work is
+// queued.
+func validateClassify(req *ClassifyRequest) error {
+	hasVector := len(req.Vector) > 0
+	hasTrace := len(req.Trace) > 0
+	switch {
+	case hasVector && hasTrace:
+		return badRequestf("classify: set vector or trace, not both")
+	case !hasVector && !hasTrace:
+		return badRequestf("classify: need a vector or a trace")
+	}
+	if hasTrace && (len(req.Events) > 0 || len(req.SuspectEvents) > 0) {
+		return badRequestf("classify: events/suspect_events apply to vector requests only")
+	}
+	if hasVector && len(req.Events) > 0 && len(req.Events) != len(req.Vector) {
+		return badRequestf("classify: %d events but %d vector entries", len(req.Events), len(req.Vector))
+	}
+	return nil
+}
+
+// classifyOne performs one classification inside a batch slot.
+func (s *Server) classifyOne(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+	if len(req.Trace) > 0 {
+		return s.classifyTrace(det, key, req)
+	}
+	return classifyVector(det, key, req)
+}
+
+// classifyVector classifies a pre-normalized event vector. The vector is
+// wrapped in a synthetic sample with an instruction normalizer of 1, so
+// the values pass through the detector's projection unchanged.
+func classifyVector(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+	events := req.Events
+	if len(events) == 0 {
+		if det.Tree != nil {
+			events = det.Tree.Attrs
+		} else {
+			events = pmu.FeatureNames()
+		}
+		if len(events) != len(req.Vector) {
+			return nil, badRequestf("classify: detector expects %d events, vector has %d (name them via events)", len(events), len(req.Vector))
+		}
+	}
+	sample := pmu.Sample{Names: events, Counts: req.Vector, Instructions: 1}
+	if len(req.SuspectEvents) > 0 {
+		idx := make(map[string]int, len(events))
+		for i, n := range events {
+			idx[n] = i
+		}
+		sample.Flags = make([]pmu.CountFlag, len(events))
+		for _, n := range req.SuspectEvents {
+			i, ok := idx[n]
+			if !ok {
+				return nil, badRequestf("classify: suspect event %q is not in the vector", n)
+			}
+			sample.Flags[i] = pmu.FlagStuck
+		}
+	}
+	rr, err := det.ClassifyRobust(sample)
+	if err != nil {
+		return nil, badRequestf("classify: %v", err)
+	}
+	return &ClassifyResponse{
+		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
+		Suspects: rr.Suspects, Detector: key,
+	}, nil
+}
+
+// classifyTrace replays an uploaded trace on a fresh simulated machine,
+// measures it with the emulated PMU (under the server's fault config,
+// if any), and classifies the measurement. An unusable sample — possible
+// only under fault injection — gets re-seeded retries, mirroring the
+// offline collector.
+func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+	tr, err := trace.Parse(bytes.NewReader(req.Trace))
+	if err != nil {
+		return nil, badRequestf("classify: %v", err)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := core.NewCollector()
+	retries := 0
+	if s.cfg.Faults.Enabled() {
+		c.Faults = faults.New(s.cfg.Faults)
+		retries = 2
+	}
+	desc := fmt.Sprintf("serve/trace/seed=%d", seed)
+	var obs core.Observation
+	for a := 0; ; a++ {
+		attempt := seed
+		if a > 0 {
+			attempt = xrand.DeriveSeed(seed, uint64(a))
+		}
+		obs = c.Measure(desc, attempt, tr.Kernels())
+		if obs.Sample.Instructions > 0 || a >= retries {
+			break
+		}
+	}
+	rr, err := det.ClassifyRobust(obs.Sample)
+	if err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
+	}
+	return &ClassifyResponse{
+		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
+		Suspects: rr.Suspects, Detector: key, Seconds: obs.Seconds,
+	}, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.metrics.Add(mReqReport, 1)
+	var req ReportRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Program == "" {
+		s.writeError(w, badRequestf("report: need a program name"))
+		return
+	}
+	if _, ok := suite.Lookup(req.Program); !ok {
+		s.writeError(w, badRequestf("report: unknown program %q (see `fsml list`)", req.Program))
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.TimeoutMS)
+	defer cancel()
+	det, key, err := s.detector(ctx, req.Detector)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	opts := report.Options{
+		Threads:     req.Threads,
+		MaxInputs:   req.MaxInputs,
+		Seed:        req.Seed,
+		Parallelism: s.cfg.Parallelism,
+	}
+	rep, err := report.BuildContext(ctx, det, req.Program, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, ReportResponse{Detector: key, Report: rep})
+	s.metrics.Observe(mReportSec, latencyBuckets, time.Since(t0).Seconds())
+	s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds())
+}

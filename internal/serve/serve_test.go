@@ -1,0 +1,643 @@
+package serve
+
+// Tests of the serving layer. The hot paths run against a tiny
+// hand-built detector (deterministic, trains in microseconds) so the
+// suite exercises batching, the registry, and the wire format without
+// paying for a full training sweep.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/pmu"
+	"fsml/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Attribute names of the tiny test detector. Both are real PMU feature
+// names, so trace-replay measurements project onto them.
+const (
+	attrHITM = "SNOOP_RESPONSE.HITM"
+	attrMiss = "L2_RQSTS.LD_MISS"
+)
+
+// tinyDetector hand-builds a deterministic two-attribute detector:
+// high HITM -> bad-fs, high miss rate -> bad-ma, both low -> good.
+func tinyDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	d := dataset.New([]string{attrHITM, attrMiss})
+	add := func(label string, hitm, miss float64) {
+		if err := d.Add(dataset.Instance{Features: []float64{hitm, miss}, Label: label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		f := float64(i) * 0.01
+		add("bad-fs", 0.50+f, 0.05+f/2)
+		add("bad-ma", 0.01+f/10, 0.60+f)
+		add("good", 0.01+f/10, 0.02+f/10)
+	}
+	det, err := core.TrainDetector(d)
+	if err != nil {
+		t.Fatalf("training tiny detector: %v", err)
+	}
+	return det
+}
+
+// newTestServer builds a server around the tiny detector (unless cfg
+// already injects a trainer) and mounts it on an httptest listener.
+func newTestServer(t testing.TB, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.Train == nil {
+		det := tinyDetector(t)
+		cfg.Train = func(TrainSpec) (*core.Detector, error) { return det, nil }
+	}
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.batcher.Close()
+	})
+	return s, NewClient(hs.URL)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// TestRegistrySingleflightTrainsOnce fires many concurrent Gets at the
+// same untrained key and asserts exactly one training run happens —
+// everyone else waits on the in-flight entry and shares the result.
+// Run under -race, this also exercises the entry's publication.
+func TestRegistrySingleflightTrainsOnce(t *testing.T) {
+	det := tinyDetector(t)
+	var trains atomic.Int64
+	m := NewMetrics()
+	reg := NewRegistry(RegistryConfig{
+		Metrics: m,
+		Train: func(TrainSpec) (*core.Detector, error) {
+			trains.Add(1)
+			time.Sleep(20 * time.Millisecond) // widen the race window
+			return det, nil
+		},
+	})
+	key := TrainSpec{Quick: true, Seed: 1}.Key()
+	const callers = 64
+	got := make([]*core.Detector, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, _, err := reg.Get(context.Background(), key)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			got[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if n := trains.Load(); n != 1 {
+		t.Fatalf("trained %d times, want exactly 1 (singleflight)", n)
+	}
+	for i, d := range got {
+		if d != det {
+			t.Fatalf("caller %d got a different detector instance", i)
+		}
+	}
+	if hits, misses := m.Counter(mRegistryHits), m.Counter(mRegistryMisses); misses != 1 || hits != callers-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+}
+
+// TestRegistryFailedTrainIsRetryable asserts a failed load is dropped so
+// the next Get tries again instead of caching the error forever.
+func TestRegistryFailedTrainIsRetryable(t *testing.T) {
+	det := tinyDetector(t)
+	var calls atomic.Int64
+	reg := NewRegistry(RegistryConfig{Train: func(TrainSpec) (*core.Detector, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return det, nil
+	}})
+	key := TrainSpec{Quick: true}.Key()
+	if _, _, err := reg.Get(context.Background(), key); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	d, _, err := reg.Get(context.Background(), key)
+	if err != nil || d != det {
+		t.Fatalf("retry Get = (%v, %v), want the detector", d, err)
+	}
+}
+
+// TestRegistryWarmStartFormatError pins the typed error path: a model
+// file with the wrong format version fails the warm start with a
+// *core.FormatError that names the file and both versions.
+func TestRegistryWarmStartFormatError(t *testing.T) {
+	dir := t.TempDir()
+	key := TrainSpec{Quick: true, Seed: 1}.Key()
+	stale := fmt.Sprintf(`{"format": "fsml-detector", "version": %d, "tree": null}`, core.ModelVersion+97)
+	path := filepath.Join(dir, strings.ReplaceAll(key, ":", "-")+".json")
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryConfig{Dir: dir, Train: func(TrainSpec) (*core.Detector, error) {
+		t.Fatal("must not fall through to training past a corrupt model file")
+		return nil, nil
+	}})
+	_, _, err := reg.Get(context.Background(), key)
+	var fe *core.FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want a wrapped *core.FormatError", err)
+	}
+	if fe.Version != core.ModelVersion+97 || fe.WantVersion != core.ModelVersion {
+		t.Errorf("FormatError versions = %d/%d, want %d/%d", fe.Version, fe.WantVersion, core.ModelVersion+97, core.ModelVersion)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the offending file", err)
+	}
+}
+
+// TestRegistryWarmStartRoundTrip persists through one registry and
+// warm-loads through a second, as across a server restart.
+func TestRegistryWarmStartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	det := tinyDetector(t)
+	reg1 := NewRegistry(RegistryConfig{Dir: dir})
+	key, existed, err := reg1.Register(det)
+	if err != nil || existed {
+		t.Fatalf("Register = (%q, %t, %v)", key, existed, err)
+	}
+	reg2 := NewRegistry(RegistryConfig{Dir: dir, Train: func(TrainSpec) (*core.Detector, error) {
+		t.Fatal("warm start must not train")
+		return nil, nil
+	}})
+	if disk := reg2.DiskKeys(); len(disk) != 1 || disk[0] != key {
+		t.Fatalf("DiskKeys = %v, want [%s]", disk, key)
+	}
+	d2, hit, err := reg2.Get(context.Background(), key)
+	if err != nil || hit {
+		t.Fatalf("Get = (hit=%t, %v), want cold disk load", hit, err)
+	}
+	s := pmu.Sample{Names: []string{attrHITM, attrMiss}, Counts: []float64{0.55, 0.05}, Instructions: 1}
+	c1, err1 := det.Classify(s)
+	c2, err2 := d2.Classify(s)
+	if err1 != nil || err2 != nil || c1 != c2 {
+		t.Fatalf("reloaded detector disagrees: (%q,%v) vs (%q,%v)", c1, err1, c2, err2)
+	}
+}
+
+// TestRegistryEviction fills past capacity and checks LRU order goes
+// first.
+func TestRegistryEviction(t *testing.T) {
+	m := NewMetrics()
+	reg := NewRegistry(RegistryConfig{Capacity: 2, Metrics: m})
+	base := tinyDetector(t)
+	var keys []string
+	for i := 0; i < 3; i++ {
+		det := &core.Detector{Tree: base.Tree, Model: base.Model, TrainedOn: map[string]int{"good": i + 1}}
+		key, _, err := reg.Register(det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	list := reg.List()
+	if len(list) != 2 {
+		t.Fatalf("resident = %d entries, want 2: %+v", len(list), list)
+	}
+	if list[0].Key != keys[2] || list[1].Key != keys[1] {
+		t.Errorf("LRU order = [%s %s], want [%s %s]", list[0].Key, list[1].Key, keys[2], keys[1])
+	}
+	if m.Counter(mRegistryEvicts) != 1 {
+		t.Errorf("evictions = %d, want 1", m.Counter(mRegistryEvicts))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+
+// TestBatcherGroupsBurst submits a burst inside one generous linger
+// window and asserts it executes as fewer batches than jobs, with every
+// job answered.
+func TestBatcherGroupsBurst(t *testing.T) {
+	m := NewMetrics()
+	b := NewBatcher(8, time.Second, 0, m)
+	defer b.Close()
+	const jobs = 8
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), func() (*ClassifyResponse, error) {
+				return &ClassifyResponse{Class: fmt.Sprintf("job-%d", i)}, nil
+			})
+			if err != nil || resp.Class != fmt.Sprintf("job-%d", i) {
+				t.Errorf("job %d: (%+v, %v)", i, resp, err)
+				return
+			}
+			done.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if done.Load() != jobs {
+		t.Fatalf("answered %d/%d jobs", done.Load(), jobs)
+	}
+	if batches := m.HistogramCount(mBatchSize); batches == 0 || batches >= jobs {
+		t.Errorf("burst of %d ran as %d batches, want grouping (1..%d)", jobs, batches, jobs-1)
+	}
+}
+
+// TestBatcherSubmitAfterClose pins the shutdown contract.
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	b := NewBatcher(4, 0, 0, nil)
+	b.Close()
+	_, err := b.Submit(context.Background(), func() (*ClassifyResponse, error) {
+		return &ClassifyResponse{}, nil
+	})
+	if !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Submit after Close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP API
+
+// vectorRequest builds the i-th deterministic classify request of the
+// acceptance sweep: the three class regions in rotation, every fifth
+// request with a flagged HITM counter to exercise degraded verdicts.
+func vectorRequest(i int) ClassifyRequest {
+	req := ClassifyRequest{Events: []string{attrHITM, attrMiss}}
+	jitter := float64(i%7) * 0.003
+	switch i % 3 {
+	case 0:
+		req.Vector = []float64{0.52 + jitter, 0.06}
+	case 1:
+		req.Vector = []float64{0.012, 0.64 + jitter}
+	default:
+		req.Vector = []float64{0.012, 0.03 + jitter}
+	}
+	if i%5 == 0 {
+		req.SuspectEvents = []string{attrHITM}
+	}
+	return req
+}
+
+// sampleOf mirrors the server's vector-to-sample construction, for
+// computing expected verdicts out of band.
+func sampleOf(req ClassifyRequest) pmu.Sample {
+	s := pmu.Sample{Names: req.Events, Counts: req.Vector, Instructions: 1}
+	if len(req.SuspectEvents) > 0 {
+		s.Flags = make([]pmu.CountFlag, len(req.Events))
+		for i, n := range req.Events {
+			for _, sus := range req.SuspectEvents {
+				if n == sus {
+					s.Flags[i] = pmu.FlagStuck
+				}
+			}
+		}
+	}
+	return s
+}
+
+// TestServeBatchedMatchesSequential is the acceptance test: >= 64
+// parallel requests through the batched path must produce verdicts
+// identical to sequential single-shot classification, the batch-size
+// histogram must be populated, and the shared default detector must
+// score registry cache hits.
+func TestServeBatchedMatchesSequential(t *testing.T) {
+	det := tinyDetector(t)
+	s, client := newTestServer(t, Config{
+		MaxBatch:    16,
+		Linger:      5 * time.Millisecond,
+		Parallelism: 4,
+		Train:       func(TrainSpec) (*core.Detector, error) { return det, nil },
+	})
+	const n = 96
+	got := make([]*ClassifyResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Classify(context.Background(), vectorRequest(i))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			got[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got[i] == nil {
+			t.Fatalf("request %d missing", i)
+		}
+		want, err := det.ClassifyRobust(sampleOf(vectorRequest(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Class != want.Class || got[i].Confidence != want.Confidence ||
+			got[i].Degraded != want.Degraded || !equalStrings(got[i].Suspects, want.Suspects) {
+			t.Errorf("request %d: batched verdict %+v != sequential %+v", i, got[i], want)
+		}
+	}
+	if c := s.Metrics().HistogramCount(mBatchSize); c == 0 {
+		t.Error("batch-size histogram is empty after a 96-request burst")
+	}
+	if hits := s.Metrics().Counter(mRegistryHits); hits < 1 {
+		t.Errorf("registry hits = %d, want >= 1 (shared default detector)", hits)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClassifyGoldenWire pins the classify wire format byte for byte —
+// including the Degraded/Confidence/Suspects fields of a flagged-counter
+// request — and asserts the bytes are identical across parallelism and
+// batching configurations. Regenerate with: go test ./internal/serve -run
+// TestClassifyGoldenWire -update
+func TestClassifyGoldenWire(t *testing.T) {
+	reqBody := `{
+  "events": ["` + attrHITM + `", "` + attrMiss + `"],
+  "vector": [0.52, 0.06],
+  "suspect_events": ["` + attrHITM + `"]
+}`
+	configs := []Config{
+		{MaxBatch: 1},
+		{MaxBatch: 8, Linger: 2 * time.Millisecond, Parallelism: 8},
+	}
+	var bodies [][]byte
+	for _, cfg := range configs {
+		_, client := newTestServer(t, cfg)
+		resp, err := http.Post(client.BaseURL+"/v1/classify", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("response bytes differ across configs:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	golden := filepath.Join("testdata", "classify_degraded.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, bodies[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(bodies[0], want) {
+		t.Errorf("wire format drifted from golden:\ngot:\n%s\nwant:\n%s", bodies[0], want)
+	}
+	// The golden response must actually exercise the degraded fields.
+	var parsed ClassifyResponse
+	if err := json.Unmarshal(bodies[0], &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Degraded || parsed.Confidence >= 1 || len(parsed.Suspects) != 1 {
+		t.Errorf("golden response is not a degraded verdict: %+v", parsed)
+	}
+}
+
+// TestClassifyTraceRoundTrip classifies an uploaded trace — plain and
+// gzipped — and asserts the verdict matches an identically seeded local
+// measurement of the same trace.
+func TestClassifyTraceRoundTrip(t *testing.T) {
+	det := tinyDetector(t)
+	_, client := newTestServer(t, Config{Train: func(TrainSpec) (*core.Detector, error) { return det, nil }})
+
+	// Two threads hammering one cache line: the classic false-sharing
+	// shape, interleaved with enough plain work to keep the sample sane.
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "T0 S 0x1000 x8\nT0 E 40\nT1 S 0x1008 x8\nT1 E 40\n")
+	}
+	raw := []byte(sb.String())
+
+	tr, err := trace.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 7
+	c := core.NewCollector()
+	obs := c.Measure(fmt.Sprintf("serve/trace/seed=%d", seed), seed, tr.Kernels())
+	want, err := det.ClassifyRobust(obs.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		blob []byte
+	}{{"plain", raw}, {"gzip", gz.Bytes()}} {
+		resp, err := client.Classify(context.Background(), ClassifyRequest{Trace: tc.blob, Seed: seed})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.Class != want.Class || resp.Confidence != want.Confidence || resp.Degraded != want.Degraded {
+			t.Errorf("%s: wire verdict %+v != local %+v", tc.name, resp, want)
+		}
+		if resp.Seconds != obs.Seconds {
+			t.Errorf("%s: simulated runtime %v != local %v", tc.name, resp.Seconds, obs.Seconds)
+		}
+	}
+}
+
+// TestServeErrors pins the HTTP status mapping.
+func TestServeErrors(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(client.BaseURL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"vector and trace", "/v1/classify", `{"vector":[1],"trace":"` + "dDAgTCAw" + `"}`, 400},
+		{"neither", "/v1/classify", `{}`, 400},
+		{"length mismatch", "/v1/classify", `{"events":["a"],"vector":[1,2]}`, 400},
+		{"unknown field", "/v1/classify", `{"vectors":[1]}`, 400},
+		{"unknown suspect", "/v1/classify", `{"events":["` + attrHITM + `"],"vector":[0.5],"suspect_events":["nope"]}`, 400},
+		{"unknown detector", "/v1/classify", `{"detector":"sha256:doesnotexist0000","vector":[0.5,0.5]}`, 404},
+		{"report no program", "/v1/report", `{}`, 400},
+		{"report unknown program", "/v1/report", `{"program":"pdot"}`, 400},
+		{"report timeout", "/v1/report", `{"program":"histogram","timeout_ms":1}`, 504},
+		{"register empty", "/v1/detectors", `{}`, 400},
+		{"register both", "/v1/detectors", `{"model":{},"train":{"quick":true}}`, 400},
+	}
+	for _, tc := range cases {
+		if got, body := post(tc.path, tc.body); got != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, got, tc.want, body)
+		}
+	}
+}
+
+// TestServeSmoke is the end-to-end lifecycle test the Makefile smoke
+// target runs: bind :0, health-check, register a model, classify with
+// it, scrape metrics, shut down gracefully.
+func TestServeSmoke(t *testing.T) {
+	det := tinyDetector(t)
+	s := New(Config{
+		Addr:  "127.0.0.1:0",
+		Train: func(TrainSpec) (*core.Detector, error) { return det, nil },
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient("http://" + s.Addr())
+	ctx := context.Background()
+
+	h, err := client.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = (%+v, %v)", h, err)
+	}
+
+	model, err := det.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := client.RegisterDetector(ctx, model)
+	if err != nil || !strings.HasPrefix(reg.Key, "sha256:") {
+		t.Fatalf("register = (%+v, %v)", reg, err)
+	}
+
+	resp, err := client.Classify(ctx, ClassifyRequest{
+		Detector: reg.Key,
+		Events:   []string{attrHITM, attrMiss},
+		Vector:   []float64{0.55, 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Class != "bad-fs" || resp.Detector != reg.Key {
+		t.Errorf("classify = %+v, want bad-fs via %s", resp, reg.Key)
+	}
+
+	list, err := client.Detectors(ctx)
+	if err != nil || len(list.Detectors) == 0 {
+		t.Fatalf("detectors = (%+v, %v)", list, err)
+	}
+
+	metrics, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{mReqClassify, mBatchSize + "_count"} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics exposition missing %s:\n%s", series, metrics)
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := client.Health(ctx); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+
+// BenchmarkServeClassify measures classify round trips with batching off
+// and on (results recorded in EXPERIMENTS.md).
+func BenchmarkServeClassify(b *testing.B) {
+	det := tinyDetector(b)
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"unbatched", Config{MaxBatch: 1}},
+		{"batched16", Config{MaxBatch: 16, Linger: 200 * time.Microsecond, Parallelism: 4}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := bc.cfg
+			cfg.Train = func(TrainSpec) (*core.Detector, error) { return det, nil }
+			s := New(cfg)
+			hs := httptest.NewServer(s.Handler())
+			defer func() {
+				hs.Close()
+				s.batcher.Close()
+			}()
+			client := NewClient(hs.URL)
+			// Warm the registry outside the timer.
+			if _, err := client.Classify(context.Background(), vectorRequest(1)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := client.Classify(context.Background(), vectorRequest(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}

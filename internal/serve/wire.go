@@ -1,0 +1,131 @@
+package serve
+
+// The JSON wire format of the detection service. Field order in the
+// structs is the serialization order, and every response is rendered
+// with encoding/json defaults — together with the deterministic
+// simulator this makes responses byte-identical across parallelism
+// levels and batch compositions, which the golden wire test pins.
+
+import (
+	"encoding/json"
+
+	"fsml/internal/report"
+)
+
+// ClassifyRequest is the body of POST /v1/classify. Exactly one of
+// Vector or Trace must be set.
+type ClassifyRequest struct {
+	// Detector is the registry key to classify with ("" = the server's
+	// default detector).
+	Detector string `json:"detector,omitempty"`
+	// Events names the entries of Vector (defaults to the detector's
+	// own attribute list, in order).
+	Events []string `json:"events,omitempty"`
+	// Vector is a normalized event vector: counts per instruction, the
+	// paper's feature normalization, parallel to Events.
+	Vector []float64 `json:"vector,omitempty"`
+	// SuspectEvents marks events of Vector whose counter reads the
+	// producer flagged (saturated, stuck, starved). The detector
+	// degrades to a partial-subset prediction instead of trusting them.
+	SuspectEvents []string `json:"suspect_events,omitempty"`
+	// Trace is a memory-access trace file in the internal/trace text
+	// format, plain or gzip-compressed (base64-encoded in JSON). The
+	// server replays it on the simulated platform, measures it with the
+	// emulated PMU, and classifies the measurement.
+	Trace []byte `json:"trace,omitempty"`
+	// Seed drives trace-replay measurement determinism (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ClassifyResponse is the body of a successful classification.
+type ClassifyResponse struct {
+	// Class is the predicted label (good / bad-fs / bad-ma).
+	Class string `json:"class"`
+	// Confidence is the detector's confidence in Class: 1 for a clean
+	// full-vector prediction, lower when suspect counter reads degraded
+	// the prediction to a partial event subset.
+	Confidence float64 `json:"confidence"`
+	// Degraded reports that the prediction was computed on a partial
+	// event subset (see core.Detector.ClassifyRobust).
+	Degraded bool `json:"degraded"`
+	// Suspects lists the flagged events behind a degraded prediction.
+	Suspects []string `json:"suspects,omitempty"`
+	// Detector is the registry key that produced the verdict.
+	Detector string `json:"detector"`
+	// Seconds is the simulated runtime (trace replays only).
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// ReportRequest is the body of POST /v1/report: a full report.Options
+// sweep of a named suite workload.
+type ReportRequest struct {
+	// Program is the workload name (see `fsml list`).
+	Program string `json:"program"`
+	// Detector is the registry key ("" = server default).
+	Detector string `json:"detector,omitempty"`
+	// Threads overrides the sweep's thread grid (default 4/8/12).
+	Threads []int `json:"threads,omitempty"`
+	// MaxInputs caps the swept input sets (0 = all).
+	MaxInputs int `json:"max_inputs,omitempty"`
+	// Seed drives sweep determinism (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ReportResponse wraps the assembled report with the detector that
+// produced it.
+type ReportResponse struct {
+	Detector string         `json:"detector"`
+	Report   *report.Report `json:"report"`
+}
+
+// RegisterRequest is the body of POST /v1/detectors. Exactly one of
+// Model or Train must be set.
+type RegisterRequest struct {
+	// Model is a serialized detector (the `fsml train -o` format). It is
+	// registered under its content-hash key.
+	Model json.RawMessage `json:"model,omitempty"`
+	// Train asks the registry for a lazily trained detector instead;
+	// the response key is the canonical train-spec key.
+	Train *TrainSpecRequest `json:"train,omitempty"`
+}
+
+// TrainSpecRequest mirrors TrainSpec on the wire.
+type TrainSpecRequest struct {
+	Quick bool   `json:"quick"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// RegisterResponse reports where a registration landed.
+type RegisterResponse struct {
+	// Key is the registry key to use in classify/report requests.
+	Key string `json:"key"`
+	// Cached reports that the detector was already resident.
+	Cached bool `json:"cached"`
+	// TrainedOn is the training-set composition, when known.
+	TrainedOn map[string]int `json:"trained_on,omitempty"`
+}
+
+// DetectorsResponse is the body of GET /v1/detectors.
+type DetectorsResponse struct {
+	// Detectors lists the resident entries, most recently used first.
+	Detectors []DetectorInfo `json:"detectors"`
+	// Capacity is the LRU bound.
+	Capacity int `json:"capacity"`
+	// Disk lists the warm-startable model keys in the registry dir.
+	Disk []string `json:"disk,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Detectors int    `json:"detectors"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
