@@ -13,7 +13,9 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,7 +105,9 @@ type RegistryConfig struct {
 }
 
 // entry is one registry slot. ready is closed once det/err are final;
-// until then the entry is "loading" and Get calls wait on it.
+// until then the entry is "loading" and Get calls wait on it. det,
+// source, and err are only ever written under Registry.mu, so List may
+// read them under the lock without waiting on ready.
 type entry struct {
 	key    string
 	source string // "upload" | "disk" | "trained"
@@ -184,19 +188,25 @@ func (r *Registry) Get(ctx context.Context, key string) (det *core.Detector, hit
 	r.mu.Unlock()
 	r.count(mRegistryMisses)
 
-	e.det, e.source, e.err = r.load(key)
+	// Publish the load result under the lock: List reads e.source (and
+	// Get's hit path reads det/err after ready) concurrently, so the
+	// fields must never be written outside r.mu.
+	det, source, lerr := r.load(key)
+	r.mu.Lock()
+	e.det, e.source, e.err = det, source, lerr
 	close(e.ready)
-	if e.err != nil {
+	if lerr != nil {
 		// Drop the failed entry so a later request can retry.
-		r.mu.Lock()
 		if r.entries[key] == e {
 			delete(r.entries, key)
 			r.lru.Remove(e.elem)
 		}
-		r.mu.Unlock()
-		return nil, false, e.err
 	}
-	return e.det, false, nil
+	r.mu.Unlock()
+	if lerr != nil {
+		return nil, false, lerr
+	}
+	return det, false, nil
 }
 
 // load resolves a missing key: disk first (warm start), then the lazy
@@ -205,7 +215,9 @@ func (r *Registry) Get(ctx context.Context, key string) (det *core.Detector, hit
 func (r *Registry) load(key string) (*core.Detector, string, error) {
 	if r.cfg.Dir != "" {
 		path := r.fileFor(key)
-		if blob, err := os.ReadFile(path); err == nil {
+		blob, err := os.ReadFile(path)
+		switch {
+		case err == nil:
 			det, derr := core.DecodeDetector(blob)
 			if derr != nil {
 				// A typed *core.FormatError names the found and wanted
@@ -214,6 +226,11 @@ func (r *Registry) load(key string) (*core.Detector, string, error) {
 				return nil, "", fmt.Errorf("serve: registry warm start from %s: %w", path, derr)
 			}
 			return det, "disk", nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// A model file exists but cannot be read (permissions, I/O
+			// fault). Falling through to retraining would mask the disk
+			// problem and could overwrite the file; surface it instead.
+			return nil, "", fmt.Errorf("serve: registry warm start reading %s: %w", path, err)
 		}
 	}
 	if spec, ok := parseTrainKey(key); ok {

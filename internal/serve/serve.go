@@ -170,13 +170,26 @@ func (s *Server) Addr() string {
 
 // Shutdown drains gracefully: stop accepting connections, wait for
 // in-flight handlers (whose batched jobs keep executing), then close
-// the batcher once no handler can submit anymore.
+// the batcher once no handler can submit anymore. The whole drain is
+// bounded by ctx: if queued batches outlive the deadline, Shutdown
+// returns ctx.Err() and leaves the drain goroutine to finish behind it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpServer != nil {
 		err = s.httpServer.Shutdown(ctx)
 	}
-	s.batcher.Close()
+	drained := make(chan struct{})
+	go func() {
+		s.batcher.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
 	return err
 }
 
@@ -331,6 +344,9 @@ func (s *Server) handleRegisterDetector(w http.ResponseWriter, r *http.Request) 
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	// Observed via defer so error and timeout responses land in the
+	// latency histogram too, not just successes.
+	defer func() { s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds()) }()
 	s.metrics.Add(mReqClassify, 1)
 	var req ClassifyRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -362,7 +378,6 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Add(mDegraded, 1)
 	}
 	writeJSON(w, resp)
-	s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds())
 }
 
 // validateClassify enforces the request invariants before any work is
@@ -477,6 +492,12 @@ func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequ
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	// Deferred so error and timeout responses are measured too.
+	defer func() {
+		sec := time.Since(t0).Seconds()
+		s.metrics.Observe(mReportSec, latencyBuckets, sec)
+		s.metrics.Observe(mRequestSec, latencyBuckets, sec)
+	}()
 	s.metrics.Add(mReqReport, 1)
 	var req ReportRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -513,6 +534,4 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, ReportResponse{Detector: key, Report: rep})
-	s.metrics.Observe(mReportSec, latencyBuckets, time.Since(t0).Seconds())
-	s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds())
 }

@@ -128,6 +128,63 @@ func TestRegistrySingleflightTrainsOnce(t *testing.T) {
 	}
 }
 
+// TestRegistryListDuringLoad lists the registry while a lazy train is in
+// flight. Under -race this pins the publish-under-lock invariant: the
+// loader must not write entry fields concurrently with List's reads.
+func TestRegistryListDuringLoad(t *testing.T) {
+	det := tinyDetector(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	reg := NewRegistry(RegistryConfig{Train: func(TrainSpec) (*core.Detector, error) {
+		close(started)
+		<-release
+		return det, nil
+	}})
+	key := TrainSpec{Quick: true, Seed: 1}.Key()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := reg.Get(context.Background(), key)
+		done <- err
+	}()
+	<-started
+	list := reg.List()
+	if len(list) != 1 || list[0].State != "loading" || list[0].Source != "" {
+		t.Errorf("mid-load List = %+v, want one loading entry with no source yet", list)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	list = reg.List()
+	if len(list) != 1 || list[0].State != "ready" || list[0].Source != "trained" {
+		t.Errorf("post-load List = %+v, want one ready trained entry", list)
+	}
+}
+
+// TestRegistryWarmStartReadError asserts a model file that exists but
+// cannot be read surfaces the disk error instead of silently retraining
+// (which would mask the fault and overwrite the file). A directory in
+// the file's place yields a read error that is not fs.ErrNotExist.
+func TestRegistryWarmStartReadError(t *testing.T) {
+	dir := t.TempDir()
+	key := TrainSpec{Quick: true, Seed: 1}.Key()
+	path := filepath.Join(dir, strings.ReplaceAll(key, ":", "-")+".json")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryConfig{Dir: dir, Train: func(TrainSpec) (*core.Detector, error) {
+		t.Fatal("must not fall through to training past an unreadable model file")
+		return nil, nil
+	}})
+	_, _, err := reg.Get(context.Background(), key)
+	if err == nil {
+		t.Fatal("Get should surface the read error")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the unreadable file", err)
+	}
+}
+
 // TestRegistryFailedTrainIsRetryable asserts a failed load is dropped so
 // the next Get tries again instead of caching the error forever.
 func TestRegistryFailedTrainIsRetryable(t *testing.T) {
@@ -595,6 +652,46 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if _, err := client.Health(ctx); err == nil {
 		t.Error("server still answering after Shutdown")
+	}
+}
+
+// TestShutdownHonorsDeadline pins the bounded drain: a classify job
+// stuck in the batcher must not hang Shutdown past its ctx deadline.
+func TestShutdownHonorsDeadline(t *testing.T) {
+	s := New(Config{Train: func(TrainSpec) (*core.Detector, error) { return tinyDetector(t), nil }})
+	release := make(chan struct{})
+	defer close(release) // let the stuck job (and drain goroutine) finish
+	running := make(chan struct{})
+	go func() {
+		_, _ = s.batcher.Submit(context.Background(), func() (*ClassifyResponse, error) {
+			close(running)
+			<-release
+			return &ClassifyResponse{}, nil
+		})
+	}()
+	<-running
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v despite a 50ms deadline", elapsed)
+	}
+}
+
+// TestErrorLatencyObserved asserts error responses land in the request
+// latency histogram, so operational percentiles include failures.
+func TestErrorLatencyObserved(t *testing.T) {
+	s, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := client.Classify(ctx, ClassifyRequest{}); err == nil {
+		t.Fatal("empty classify request should fail")
+	}
+	if n := s.Metrics().HistogramCount(mRequestSec); n != 1 {
+		t.Errorf("%s count = %d after one failed request, want 1", mRequestSec, n)
 	}
 }
 
