@@ -5,9 +5,9 @@ GO ?= go
 # run instrumented on every push.
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
-            ./internal/faults ./internal/serve
+            ./internal/faults ./internal/serve ./internal/resilience
 
-.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke ci
+.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke chaos ci
 
 all: build test
 
@@ -42,6 +42,12 @@ bench:
 # batched path, scrape metrics, and shut down gracefully.
 serve-smoke:
 	$(GO) test ./internal/serve -run TestServeSmoke -count=1 -v
+
+# chaos drives the serving layer through every failure mode at once —
+# corrupt registry files, failing trainers, shed storms, shutdown under
+# load — under the race detector (see internal/serve/chaos_test.go).
+chaos:
+	$(GO) test ./internal/serve -run TestChaos -race -count=1 -v
 
 ci:
 	./ci.sh

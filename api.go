@@ -17,6 +17,7 @@ import (
 	"fsml/internal/ml"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
+	"fsml/internal/resilience"
 	"fsml/internal/serve"
 	"fsml/internal/shadow"
 	"fsml/internal/suite"
@@ -654,6 +655,16 @@ type (
 	// DetectorSpec identifies a lazily trainable detector in the serving
 	// registry; its Key() is the registry key.
 	DetectorSpec = serve.TrainSpec
+	// ReadyResponse is the GET /readyz body: readiness split into its
+	// causes (shutdown drain, admission overload, open training breakers).
+	ReadyResponse = serve.ReadyResponse
+	// ServeRetryPolicy shapes ServeClient's self-healing retries: capped
+	// exponential backoff with deterministic seeded jitter, Retry-After
+	// honoring, and retry-only-when-safe semantics.
+	ServeRetryPolicy = serve.RetryPolicy
+	// RetryBackoff is the backoff shape inside a ServeRetryPolicy; delays
+	// are a pure function of (Seed, attempt).
+	RetryBackoff = resilience.Backoff
 	// FormatError is the typed mismatch error produced when a serialized
 	// detector's format version does not match this build (see
 	// DetectorModelVersion).

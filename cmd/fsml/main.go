@@ -11,7 +11,9 @@
 //	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
 //	fsml repro   [-quick] [-j N] [-faults SPEC] <table1|...|fault-matrix|all>
-//	fsml serve   [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR] [-faults SPEC]
+//	fsml serve   [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR]
+//	             [-max-inflight N] [-shed-after D] [-breaker-threshold N]
+//	             [-breaker-cooldown D] [-faults SPEC]
 //	fsml list
 //
 // The -j flag caps concurrent case simulations (0 = all CPUs,
@@ -92,8 +94,9 @@ func usage() {
                                                      run the verification tool
   fsml measure  [-threads N] [-input NAME] [-opt N] <program>
                                                      print the normalized event vector
-  fsml trace    [-quick] [-model F] [-verify] <file>...
+  fsml trace    [-quick] [-model F] [-verify] [-server URL [-retries N]] <file>...
                                                      classify access-trace files
+                                                     (locally, or via a server)
   fsml record   [-threads N] [-input NAME] [-opt N] [-o FILE] <program>
                                                      record a program run as a trace
   fsml report   [-quick] [-model F] [-j N] [-json] [-o FILE] <program>
@@ -101,8 +104,9 @@ func usage() {
   fsml platform [-quick] [-j N] <name>               retrain for a platform (steps 2-6)
   fsml repro    [-quick] [-j N] [-faults SPEC] <experiment|all>
                                                      regenerate a paper table
-  fsml serve    [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR] [-faults SPEC]
-                                                     run the detection server
+  fsml serve    [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR]
+                [-max-inflight N] [-shed-after D] [-breaker-threshold N]
+                [-breaker-cooldown D] [-faults SPEC]  run the detection server
   fsml list                                          list programs & experiments
 `)
 }
@@ -330,10 +334,33 @@ func cmdTrace(args []string) error {
 	quick := fs.Bool("quick", false, "reduced training")
 	model := fs.String("model", "", "trained model path (default: train now)")
 	verify := fs.Bool("verify", false, "also run the shadow-memory verification tool")
+	server := fs.String("server", "", "classify via a running `fsml serve` at this URL instead of a local model")
+	retries := fs.Int("retries", 4, "client retries when the server sheds or is briefly unavailable (with -server)")
 	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("trace needs at least one trace file")
+	}
+	if *server != "" {
+		if *verify {
+			return fmt.Errorf("-verify runs locally; drop it when classifying via -server")
+		}
+		// Remote path: upload each trace and let the retry policy ride
+		// out sheds (429) and shutdown blips (503).
+		c := fsml.NewServeClient(*server)
+		c.Retry = fsml.ServeRetryPolicy{Max: *retries}
+		for _, path := range fs.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			resp, err := c.Classify(context.Background(), fsml.ClassifyRequest{Trace: data})
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Printf("%-24s %-8s (detector %s, %.4f simulated s)\n", path, resp.Class, resp.Detector, resp.Seconds)
+		}
+		return nil
 	}
 	det, err := loadOrTrain(*model, *quick, *jobs)
 	if err != nil {
@@ -511,6 +538,10 @@ func cmdServe(args []string) error {
 	registryDir := fs.String("registry-dir", "", "persist models here and warm-start from it on boot")
 	quick := fs.Bool("quick", true, "default detector trains on the reduced grids")
 	seed := fs.Uint64("seed", 1, "default detector training seed")
+	maxInflight := fs.Int("max-inflight", 64, "admitted requests per heavy endpoint before shedding (negative = unlimited)")
+	shedAfter := fs.Duration("shed-after", 100*time.Millisecond, "how long an over-limit request may wait for a slot before a 429 (negative = shed immediately)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive training failures that open a train spec's circuit (negative = no breakers)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 15*time.Second, "open-circuit wait before one half-open retrain probe")
 	faultSpec := faultsFlag(fs)
 	fs.Parse(args)
 	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
@@ -518,13 +549,17 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv := fsml.NewServer(fsml.ServeConfig{
-		Addr:            *addr,
-		MaxBatch:        *batch,
-		Linger:          *linger,
-		Parallelism:     *jobs,
-		RegistryDir:     *registryDir,
-		DefaultDetector: fsml.DetectorSpec{Quick: *quick, Seed: *seed}.Key(),
-		Faults:          fcfg,
+		Addr:             *addr,
+		MaxBatch:         *batch,
+		Linger:           *linger,
+		Parallelism:      *jobs,
+		RegistryDir:      *registryDir,
+		DefaultDetector:  fsml.DetectorSpec{Quick: *quick, Seed: *seed}.Key(),
+		Faults:           fcfg,
+		MaxInflight:      *maxInflight,
+		ShedAfter:        *shedAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err := srv.Start(); err != nil {
 		return err

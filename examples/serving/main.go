@@ -1,7 +1,9 @@
 // Serving runs the detection server in-process and talks to it over
 // HTTP the way an external client would: train a detector, upload it to
 // the registry, classify a measured event vector with it, and scrape the
-// server's metrics — the detection-as-a-service workflow.
+// server's metrics — the detection-as-a-service workflow. It ends with
+// an overload demo: a one-slot server sheds concurrent clients with 429
+// and every client rides it out on seeded-backoff retries.
 //
 //	go run ./examples/serving
 package main
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 	"time"
 
 	"fsml"
@@ -74,7 +77,62 @@ func main() {
 		}
 	}
 
-	// 5. Graceful shutdown drains any in-flight batches.
+	// 5. Operating under load: a deliberately tiny server — one admission
+	// slot, immediate shedding, a slow cold-start trainer — hit by eight
+	// concurrent clients. Over-limit requests are shed with 429 +
+	// Retry-After; each client's retry policy (capped exponential backoff
+	// with seeded jitter) rides the sheds out, so every request still
+	// succeeds and the shed counter shows the overload the server survived.
+	tiny := fsml.NewServer(fsml.ServeConfig{
+		Addr:        "127.0.0.1:0",
+		MaxInflight: 1,
+		ShedAfter:   -1, // no slot-wait window: demonstrate shedding
+		Train: func(fsml.DetectorSpec) (*fsml.Detector, error) {
+			time.Sleep(300 * time.Millisecond) // slow cold start holds the one slot
+			return det, nil
+		},
+	})
+	if err := tiny.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noverload demo on http://%s (1 admission slot)\n", tiny.Addr())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := fsml.NewServeClient("http://" + tiny.Addr())
+			c.Retry = fsml.ServeRetryPolicy{
+				Max:     100,
+				Backoff: fsml.RetryBackoff{Seed: uint64(i + 1)},
+			}
+			resp, err := c.Classify(ctx, fsml.ClassifyRequest{
+				Events: obs.Sample.Names,
+				Vector: obs.Sample.Normalized(),
+			})
+			if err != nil {
+				log.Fatalf("client %d gave up: %v", i, err)
+			}
+			fmt.Printf("client %d: %s after backoff\n", i, resp.Class)
+		}(i)
+	}
+	wg.Wait()
+	tinyMetrics, err := fsml.NewServeClient("http://" + tiny.Addr()).MetricsText(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(tinyMetrics, "\n") {
+		if strings.HasPrefix(line, "fsml_shed_classify_total") {
+			fmt.Println(line)
+		}
+	}
+	tctx, tcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer tcancel()
+	if err := tiny.Shutdown(tctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Graceful shutdown drains any in-flight batches.
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,91 @@
+package resilience
+
+// Capped exponential backoff with deterministic seeded jitter. Every
+// delay is a pure function of (Seed, attempt): attempt n draws its
+// jitter from an xrand stream derived via xrand.DeriveSeed(Seed, n),
+// never from shared generator state, so a retry schedule replays
+// bit-identically from its seed — the same property the simulator's
+// batch engine relies on, applied to client behavior.
+
+import (
+	"time"
+
+	"fsml/internal/xrand"
+)
+
+// Backoff shapes a retry schedule. The zero value is usable: 50ms base
+// doubling to a 2s cap with ±20% jitter from seed 1.
+type Backoff struct {
+	// Base is the attempt-0 delay before jitter (default 50ms).
+	Base time.Duration
+	// Cap bounds the grown delay before jitter (default 2s).
+	Cap time.Duration
+	// Factor is the per-attempt growth (default 2; values < 1 are
+	// treated as the default).
+	Factor float64
+	// Jitter is the relative jitter amplitude in [0, 1): attempt n's
+	// delay is scaled by 1 + Jitter*(2u-1) with u uniform in [0, 1)
+	// drawn deterministically from (Seed, n). Negative disables jitter;
+	// zero selects the default 0.2.
+	Jitter float64
+	// Seed roots the jitter streams (default 1).
+	Seed uint64
+}
+
+// withDefaults resolves the zero values.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	return b
+}
+
+// Delay returns the wait before retry attempt (0-based): the capped
+// exponential base*Factor^attempt, jittered deterministically from
+// (Seed, attempt). Negative attempts are treated as 0.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt && d < float64(b.Cap); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 {
+		u := xrand.New(xrand.DeriveSeed(b.Seed, uint64(attempt))).Float64()
+		d *= 1 + b.Jitter*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Schedule returns the first n delays — the exact waits a client with
+// this backoff will sleep — for tests and logs.
+func (b Backoff) Schedule(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = b.Delay(i)
+	}
+	return out
+}

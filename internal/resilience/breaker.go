@@ -1,0 +1,178 @@
+package resilience
+
+// The circuit breaker. A guarded operation (lazy detector training, in
+// the serving layer) reports each outcome; after Threshold consecutive
+// failures the breaker opens and callers fail fast instead of paying
+// for an operation that keeps failing. After the cooldown one caller is
+// let through as a half-open probe: its success closes the breaker, its
+// failure re-opens it for another cooldown.
+//
+//	Closed --threshold consecutive failures--> Open
+//	Open --cooldown elapsed--> HalfOpen (exactly one probe admitted)
+//	HalfOpen --probe succeeds--> Closed
+//	HalfOpen --probe fails--> Open
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Allow while the breaker is open (or
+// while a half-open probe is already in flight).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed admits every caller (the healthy state).
+	Closed BreakerState = iota
+	// Open fails every caller fast until the cooldown elapses.
+	Open
+	// HalfOpen admits exactly one probe; everyone else fails fast.
+	HalfOpen
+)
+
+// String renders the state for listings and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Breaker is a consecutive-failure circuit breaker. Safe for concurrent
+// use. The zero Breaker is not valid; use NewBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+
+	onTransition func(from, to BreakerState)
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown. threshold < 1
+// is clamped to 1; cooldown <= 0 means the next caller after an open
+// always probes.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock overrides the breaker's time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// OnTransition registers a callback invoked (under the breaker's lock,
+// so keep it cheap) on every state change — the metrics hook.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// transitionLocked moves to a new state, firing the callback.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow asks whether a caller may run the guarded operation. A nil
+// return admits the caller, which must then report Success or Failure
+// exactly once. ErrBreakerOpen fails the caller fast. While half-open,
+// only the single probe that flipped the state is admitted.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.transitionLocked(HalfOpen)
+			return nil // this caller is the probe
+		}
+		return ErrBreakerOpen
+	default: // HalfOpen: the probe is already in flight
+		return ErrBreakerOpen
+	}
+}
+
+// Success reports a successful guarded operation: it closes a half-open
+// breaker and resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != Closed {
+		b.transitionLocked(Closed)
+	}
+}
+
+// Failure reports a failed guarded operation: the probe's failure
+// re-opens a half-open breaker; in the closed state the consecutive
+// count grows and opens the breaker at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.openedAt = b.now()
+		b.transitionLocked(Open)
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.failures = 0
+			b.openedAt = b.now()
+			b.transitionLocked(Open)
+		}
+	case Open:
+		// A straggler from before the open; the breaker is already
+		// doing its job.
+	}
+}
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter reports how long until an open breaker will admit its
+// half-open probe (0 when not open or already due).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	if d := b.cooldown - b.now().Sub(b.openedAt); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+// Package resilience provides the overload-and-failure primitives of
+// the serving layer: a bounded admission limiter with load shedding, a
+// circuit breaker with a half-open probe, and a capped exponential
+// backoff with deterministic seeded jitter.
+//
+// All three are policy mechanisms, not transports: the limiter knows
+// nothing about HTTP, the breaker nothing about training, the backoff
+// nothing about clients. internal/serve wires them to endpoints, the
+// detector registry, and the ServeClient respectively, and surfaces
+// every decision they make in /metrics.
+//
+// Determinism matters here exactly as much as in the simulator: the
+// backoff's jitter is a pure function of (seed, attempt) via
+// internal/xrand, so a retry schedule is reproducible from its seed —
+// chaos tests can assert the exact delays a client will wait.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrOverloaded is returned by Limiter.Acquire when no slot frees up
+// within the shed window. Servers map it to HTTP 429.
+var ErrOverloaded = errors.New("resilience: overloaded, request shed")
+
+// Limiter is a bounded in-flight admission limiter. At most Capacity
+// requests hold slots concurrently; an over-limit Acquire waits up to
+// the shed window for a slot and is then shed with ErrOverloaded. The
+// zero Limiter is not valid; use NewLimiter.
+type Limiter struct {
+	slots     chan struct{}
+	shedAfter time.Duration
+}
+
+// NewLimiter returns a limiter admitting up to max concurrent holders.
+// An over-limit Acquire waits at most shedAfter for a slot (<= 0 sheds
+// immediately). max <= 0 disables limiting: Acquire always succeeds.
+func NewLimiter(max int, shedAfter time.Duration) *Limiter {
+	l := &Limiter{shedAfter: shedAfter}
+	if max > 0 {
+		l.slots = make(chan struct{}, max)
+	}
+	return l
+}
+
+// Acquire claims a slot, waiting up to the shed window. It returns a
+// release function that must be called exactly once when the work
+// holding the slot finishes. Acquire fails with ErrOverloaded when the
+// window expires and with ctx.Err() when the caller gives up first.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l.slots == nil {
+		return func() {}, nil
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	if l.shedAfter <= 0 {
+		return nil, ErrOverloaded
+	}
+	timer := time.NewTimer(l.shedAfter)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	case <-timer.C:
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release frees one slot.
+func (l *Limiter) release() { <-l.slots }
+
+// Inflight reports the currently held slots.
+func (l *Limiter) Inflight() int {
+	if l.slots == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// Capacity reports the slot bound (0 = unlimited).
+func (l *Limiter) Capacity() int {
+	if l.slots == nil {
+		return 0
+	}
+	return cap(l.slots)
+}
+
+// Saturated reports whether every slot is held right now — the
+// overload signal /readyz exposes.
+func (l *Limiter) Saturated() bool {
+	if l.slots == nil {
+		return false
+	}
+	return len(l.slots) == cap(l.slots)
+}

@@ -1,0 +1,318 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Limiter
+
+// TestLimiterShedsAtCapacity fills the limiter and asserts the next
+// immediate-shed Acquire fails with ErrOverloaded, then succeeds once a
+// slot frees.
+func TestLimiterShedsAtCapacity(t *testing.T) {
+	l := NewLimiter(2, 0)
+	rel1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Saturated() || l.Inflight() != 2 || l.Capacity() != 2 {
+		t.Fatalf("saturated=%t inflight=%d cap=%d, want true/2/2", l.Saturated(), l.Inflight(), l.Capacity())
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit Acquire = %v, want ErrOverloaded", err)
+	}
+	rel1()
+	rel3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("post-release Acquire = %v", err)
+	}
+	rel2()
+	rel3()
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all releases, want 0", l.Inflight())
+	}
+}
+
+// TestLimiterShedWindowAdmitsFreedSlot parks an over-limit Acquire in a
+// generous shed window and frees a slot: the waiter must be admitted,
+// not shed.
+func TestLimiterShedWindowAdmitsFreedSlot(t *testing.T) {
+	l := NewLimiter(1, 5*time.Second)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := l.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("waiter = %v, want admission after release", err)
+	}
+}
+
+// TestLimiterShedWindowExpires bounds the wait: a short window with no
+// release sheds.
+func TestLimiterShedWindowExpires(t *testing.T) {
+	l := NewLimiter(1, 5*time.Millisecond)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired wait = %v, want ErrOverloaded", err)
+	}
+}
+
+// TestLimiterHonorsContext lets the caller give up before the shed
+// window does.
+func TestLimiterHonorsContext(t *testing.T) {
+	l := NewLimiter(1, time.Hour)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx-bounded Acquire = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestLimiterUnlimited pins the max <= 0 escape hatch.
+func TestLimiterUnlimited(t *testing.T) {
+	l := NewLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := l.Acquire(context.Background()); err != nil {
+			t.Fatalf("unlimited Acquire %d = %v", i, err)
+		}
+	}
+	if l.Saturated() || l.Capacity() != 0 {
+		t.Errorf("unlimited limiter reports saturated=%t cap=%d", l.Saturated(), l.Capacity())
+	}
+}
+
+// TestLimiterConcurrent hammers the limiter from many goroutines under
+// -race and asserts the inflight bound is never exceeded.
+func TestLimiterConcurrent(t *testing.T) {
+	const capacity = 4
+	l := NewLimiter(capacity, 50*time.Millisecond)
+	var (
+		mu      sync.Mutex
+		cur, hi int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := l.Acquire(context.Background())
+			if err != nil {
+				return // shed is a legal outcome under load
+			}
+			mu.Lock()
+			cur++
+			if cur > hi {
+				hi = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if hi > capacity {
+		t.Fatalf("observed %d concurrent holders, limit is %d", hi, capacity)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Breaker
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerStateMachine walks the full closed -> open -> half-open ->
+// closed cycle, including a failed probe that re-opens.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, time.Minute)
+	b.SetClock(clock.now)
+	var transitions []string
+	b.OnTransition(func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+
+	// Two failures stay closed; the third opens.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow %d = %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Allow = %v, want ErrBreakerOpen", err)
+	}
+	if ra := b.RetryAfter(); ra != time.Minute {
+		t.Fatalf("RetryAfter = %v, want 1m", ra)
+	}
+
+	// Cooldown elapses: one probe admitted, fellow callers still fast-fail.
+	clock.advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second caller during probe = %v, want ErrBreakerOpen", err)
+	}
+
+	// Failed probe re-opens for another cooldown.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clock.advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow = %v", err)
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	// Closed again: failures must count from zero.
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 post-recovery failures = %v, want closed", b.State())
+	}
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+// TestBreakerSuccessResetsCount interleaves successes so the
+// consecutive count never reaches the threshold.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow %d = %v", i, err)
+		}
+		b.Failure()
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow %d = %v", i, err)
+		}
+		b.Success()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (failures never consecutive)", b.State())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+// TestBackoffDeterministic pins seed-reproducibility: the same seed
+// yields the same schedule, a different seed a different one.
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Seed: 7}.Schedule(8)
+	b := Backoff{Seed: 7}.Schedule(8)
+	c := Backoff{Seed: 8}.Schedule(8)
+	differs := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed schedules differ at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestBackoffGrowsAndCaps checks the exponential envelope: jitter-free
+// delays double exactly and stop at the cap.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestBackoffJitterBounds keeps every jittered delay inside the
+// documented ±Jitter envelope of its raw value.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.2, Seed: 3}
+	raw := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: -1}
+	for i := 0; i < 12; i++ {
+		d, r := b.Delay(i), raw.Delay(i)
+		lo := time.Duration(float64(r) * 0.8)
+		hi := time.Duration(float64(r) * 1.2)
+		if d < lo || d > hi {
+			t.Errorf("Delay(%d) = %v, outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}

@@ -196,6 +196,13 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				// Check for cancellation before dispatching each queued
+				// item: once the batch is cancelled, already-staged
+				// indices must not start work — cancellation latency is
+				// one in-flight case per worker, not a queue drain.
+				if ctx.Err() != nil {
+					return
+				}
 				r, err := call(ctx, i, fn)
 				if err != nil {
 					fail(i, err)

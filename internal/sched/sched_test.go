@@ -106,15 +106,22 @@ func TestMapFirstErrorWins(t *testing.T) {
 func TestMapErrorCancelsContext(t *testing.T) {
 	boom := errors.New("boom")
 	var sawCancel atomic.Bool
+	// The failing case holds its error until a sibling case is committed
+	// to waiting on ctx, so there is always a running case to observe the
+	// cancellation (workers stop dispatching once it lands).
+	parked := make(chan struct{})
+	var parkedOnce sync.Once
 	_, err := Map(context.Background(), 32, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
 		if i == 0 {
+			<-parked
 			return 0, boom
 		}
+		parkedOnce.Do(func() { close(parked) })
 		select {
 		case <-ctx.Done():
 			sawCancel.Store(true)
 			return 0, ctx.Err()
-		case <-time.After(200 * time.Millisecond):
+		case <-time.After(10 * time.Second):
 			return i, nil
 		}
 	})
@@ -313,5 +320,58 @@ func TestMapPanicDoesNotDeadlockLargeBatch(t *testing.T) {
 	case <-done:
 	case <-time.After(30 * time.Second):
 		t.Fatal("panicking batch did not unwind (deadlock)")
+	}
+}
+
+// TestMapPreCancelledStartsNothing: a batch handed an already-cancelled
+// context must not dispatch a single case — workers check for
+// cancellation before pulling staged work, not only after finishing an
+// item.
+func TestMapPreCancelledStartsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var started atomic.Int64
+	_, err := Map(ctx, 64, Options{Parallelism: 4, QueueDepth: 64}, func(context.Context, int) (int, error) {
+		started.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("cancelled batch started %d cases, want 0", n)
+	}
+}
+
+// TestMapCancellationLatency pins the cancellation-latency bound: once
+// the batch context is cancelled, each worker may finish its in-flight
+// case but must not dispatch another, even with a deep staged queue.
+// 64 staged cases, 4 workers, cancel while all 4 are mid-case: exactly
+// 4 cases ever start.
+func TestMapCancellationLatency(t *testing.T) {
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	inflight := make(chan struct{}, workers)
+	gate := make(chan struct{})
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-inflight // all workers parked inside a case
+		}
+		cancel()
+		close(gate)
+	}()
+	_, err := Map(ctx, 64, Options{Parallelism: workers, QueueDepth: 64}, func(context.Context, int) (int, error) {
+		started.Add(1)
+		inflight <- struct{}{}
+		<-gate
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != workers {
+		t.Fatalf("cancellation latency: %d cases started, want exactly %d (one in-flight per worker)", n, workers)
 	}
 }

@@ -1,0 +1,226 @@
+package serve
+
+// The chaos test: one server, every failure mode at once. It plants a
+// corrupt model file under the default key, wires a trainer that is
+// slow for one spec and broken for another, bounds admission at four
+// slots with immediate shedding, and then drives concurrent retrying
+// clients through quarantine-and-retrain, a breaker open/probe/close
+// cycle, and a shed storm — asserting the server never deadlocks,
+// never serves a wrong verdict, recovers to ready, and shuts down
+// cleanly within its budget. Run it under -race (`make chaos`).
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsml/internal/core"
+	"fsml/internal/resilience"
+)
+
+func TestChaosOverloadAndRecovery(t *testing.T) {
+	det := tinyDetector(t)
+	defaultKey := TrainSpec{Quick: true, Seed: 1}.Key()
+	slowSpec := TrainSpec{Quick: true, Seed: 7}
+	flakySpec := TrainSpec{Quick: true, Seed: 13}
+
+	dir := t.TempDir()
+	modelPath := func(key string) string {
+		return filepath.Join(dir, strings.ReplaceAll(key, ":", "-")+".json")
+	}
+	// Phase A setup: the default key's persisted model is truncated
+	// garbage, as after a crash on a non-atomic writer.
+	if err := os.WriteFile(modelPath(defaultKey), []byte(`{"tree": {"attrs": ["SNOOP`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		trains       atomic.Int64 // every real training run
+		flakyHealthy atomic.Bool  // flips the broken spec back to health
+		slowRelease  = make(chan struct{})
+		releaseOnce  sync.Once
+	)
+	cfg := Config{
+		RegistryDir:      dir,
+		MaxInflight:      4,
+		ShedAfter:        -1, // shed immediately: the storm must actually shed
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		Train: func(spec TrainSpec) (*core.Detector, error) {
+			trains.Add(1)
+			switch spec {
+			case slowSpec:
+				<-slowRelease
+			case flakySpec:
+				if !flakyHealthy.Load() {
+					return nil, errors.New("chaos: synthetic training failure")
+				}
+			}
+			return det, nil
+		},
+	}
+	s, client := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	// Phase A: first classification hits the corrupt file. It must be
+	// quarantined and retrained — not served, not fatal.
+	resp, err := client.Classify(ctx, ClassifyRequest{
+		Events: []string{attrHITM, attrMiss},
+		Vector: []float64{0.55, 0.05},
+	})
+	if err != nil {
+		t.Fatalf("phase A: classify over corrupt model file: %v", err)
+	}
+	if resp.Class != "bad-fs" {
+		t.Fatalf("phase A: verdict = %q, want bad-fs (a corrupt detector must never serve)", resp.Class)
+	}
+	if _, err := os.Stat(quarantinePath(modelPath(defaultKey))); err != nil {
+		t.Fatalf("phase A: corrupt file not quarantined: %v", err)
+	}
+	if n := s.Metrics().Counter(mQuarantined); n != 1 {
+		t.Fatalf("phase A: %s = %d, want 1", mQuarantined, n)
+	}
+	if n := trains.Load(); n != 1 {
+		t.Fatalf("phase A: trains = %d, want 1 retrain", n)
+	}
+
+	// Phase B: the flaky spec fails twice — breaker opens — then fails
+	// fast without burning training runs, and readiness reports why.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Train(ctx, flakySpec); err == nil {
+			t.Fatalf("phase B: training attempt %d should fail", i)
+		}
+	}
+	if got := trains.Load(); got != 3 { // 1 retrain + 2 failures
+		t.Fatalf("phase B: trains = %d, want 3", got)
+	}
+	_, err = client.Train(ctx, flakySpec)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("phase B: circuit-open error = %v, want 503 fast-fail", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("phase B: fast-fail carries no Retry-After hint: %+v", apiErr)
+	}
+	if got := trains.Load(); got != 3 {
+		t.Fatalf("phase B: fast-fail ran training anyway (trains = %d)", got)
+	}
+	rr, err := client.Ready(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Ready || len(rr.OpenBreakers) != 1 || rr.OpenBreakers[0] != flakySpec.Key() {
+		t.Fatalf("phase B: readyz = %+v, want not-ready with the open breaker listed", rr)
+	}
+	// Recovery: the spec heals, the cooldown elapses, one half-open
+	// probe retrains and closes the circuit.
+	flakyHealthy.Store(true)
+	waitFor(t, func() bool {
+		_, err := client.Train(ctx, flakySpec)
+		return err == nil
+	})
+	if n := s.Metrics().Counter(mBreakerClosed); n != 1 {
+		t.Fatalf("phase B: %s = %d, want 1", mBreakerClosed, n)
+	}
+
+	// Phase C: shed storm. Eight retrying clients want the slow key
+	// (training blocked on slowRelease), four more hammer the warm
+	// default key. Four admission slots: the rest must shed, retry, and
+	// ultimately succeed once training releases.
+	const (
+		slowClients = 8
+		warmClients = 4
+	)
+	var shedObserved atomic.Int64
+	results := make(chan error, slowClients+warmClients)
+	verdicts := make(chan string, slowClients+warmClients)
+	spawn := func(seed uint64, req ClassifyRequest) {
+		c := NewClient(client.BaseURL)
+		c.Retry = RetryPolicy{
+			Max:     1000,
+			Backoff: resilience.Backoff{Seed: seed},
+			Sleep: func(ctx context.Context, _ time.Duration) error {
+				shedObserved.Add(1)
+				t := time.NewTimer(time.Millisecond)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			},
+		}
+		go func() {
+			resp, err := c.Classify(ctx, req)
+			if resp != nil {
+				verdicts <- resp.Class
+			}
+			results <- err
+		}()
+	}
+	for i := 0; i < slowClients; i++ {
+		spawn(uint64(i+1), ClassifyRequest{
+			Detector: slowSpec.Key(),
+			Events:   []string{attrHITM, attrMiss},
+			Vector:   []float64{0.55, 0.05},
+		})
+	}
+	for i := 0; i < warmClients; i++ {
+		spawn(uint64(100+i), ClassifyRequest{
+			Events: []string{attrHITM, attrMiss},
+			Vector: []float64{0.02, 0.65},
+		})
+	}
+	// Hold training until the storm is demonstrably shedding: the
+	// limiter saturated and at least one client parked in a retry wait.
+	waitFor(t, func() bool {
+		return s.limClassify.Saturated() && shedObserved.Load() >= 1
+	})
+	if n := s.Metrics().Counter(mShedClassify); n == 0 {
+		t.Fatal("phase C: no sheds counted during a saturated storm")
+	}
+	releaseOnce.Do(func() { close(slowRelease) })
+	for i := 0; i < slowClients+warmClients; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("phase C: storm client failed after retries: %v", err)
+		}
+	}
+	close(verdicts)
+	var slowOK, warmOK int
+	for v := range verdicts {
+		switch v {
+		case "bad-fs":
+			slowOK++
+		case "bad-ma":
+			warmOK++
+		default:
+			t.Fatalf("phase C: impossible verdict %q — a corrupt or wrong detector served", v)
+		}
+	}
+	if slowOK != slowClients || warmOK != warmClients {
+		t.Fatalf("phase C: verdicts = %d bad-fs / %d bad-ma, want %d / %d",
+			slowOK, warmOK, slowClients, warmClients)
+	}
+
+	// The dust settles: the instance reports ready again.
+	waitFor(t, func() bool {
+		rr, err := client.Ready(ctx)
+		return err == nil && rr.Ready
+	})
+
+	// And it shuts down cleanly within budget — no deadlocked slots,
+	// no stranded batches.
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after chaos: %v", err)
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 // A minimal client for the detection service, wrapping the wire types
 // so Go callers don't hand-roll JSON. Stdlib net/http only, like the
-// server.
+// server — plus a self-healing retry layer: capped exponential backoff
+// with deterministic seeded jitter (internal/resilience), Retry-After
+// honoring, and retry-only-when-safe semantics.
 
 import (
 	"bytes"
@@ -11,8 +13,50 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"fsml/internal/resilience"
 )
+
+// RetryPolicy shapes the client's self-healing behavior. The zero value
+// never retries; set Max to opt in.
+//
+// Retry safety: a shed (429) or shutdown/breaker rejection (503)
+// response is a server-side guarantee that the request was NOT
+// processed, so those are retried for every verb. Anything else —
+// transport errors included, where the request may have reached the
+// server — is retried only for idempotent (GET) calls. When the server
+// sends a Retry-After hint, the client waits at least that long,
+// whichever of hint and backoff is larger.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt
+	// (0 = at most one attempt, no retries).
+	Max int
+	// Backoff shapes the delays between attempts; the zero value is
+	// 50ms doubling to a 2s cap with ±20% seeded jitter. Delays are a
+	// pure function of (Backoff.Seed, attempt) — reproducible.
+	Backoff resilience.Backoff
+	// Sleep overrides the inter-attempt wait (tests record schedules
+	// or skip real time). Nil sleeps on the wall clock, honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// sleep waits d, honoring ctx, via the override when set.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Client talks to a detection server.
 type Client struct {
@@ -20,6 +64,8 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Retry is the self-healing policy (zero value: no retries).
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the given server root.
@@ -31,27 +77,77 @@ func NewClient(baseURL string) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when present (shed
+	// and circuit-open responses carry one).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
 }
 
-// do runs one JSON round trip. out may be nil.
+// retryable classifies an attempt's failure: can this verb safely try
+// again, and did the server ask for a minimum wait?
+func retryable(method string, err error) (ok bool, hint time.Duration) {
+	if apiErr, isAPI := err.(*APIError); isAPI {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Shed / shutting down / breaker open: the server did not
+			// process the request; any verb may retry.
+			return true, apiErr.RetryAfter
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			// The request may have executed somewhere; only idempotent
+			// calls retry.
+			return method == http.MethodGet, apiErr.RetryAfter
+		default:
+			return false, 0
+		}
+	}
+	// Transport-level failure: the request may or may not have reached
+	// the server, so only idempotent calls retry.
+	return method == http.MethodGet, 0
+}
+
+// do runs one JSON round trip with the client's retry policy. out may
+// be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.roundTrip(ctx, method, path, blob, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		ok, hint := retryable(method, err)
+		if !ok || attempt >= c.Retry.Max {
+			return err
+		}
+		delay := c.Retry.Backoff.Delay(attempt)
+		if hint > delay {
+			delay = hint
+		}
+		if serr := c.Retry.sleep(ctx, delay); serr != nil {
+			return serr
+		}
+	}
+}
+
+// roundTrip performs one attempt.
+func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -63,21 +159,37 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	respBlob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		var e ErrorResponse
-		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: e.Error}
+		if json.Unmarshal(respBlob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(respBlob))
 		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(blob))}
+		return apiErr
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(blob, out)
+	return json.Unmarshal(respBlob, out)
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form this server emits; HTTP-date hints are ignored).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
 }
 
 // Classify posts one classification request.
@@ -133,6 +245,39 @@ func (c *Client) Detectors(ctx context.Context) (*DetectorsResponse, error) {
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready checks readiness. Unlike the other calls it returns the parsed
+// body even when the server answers 503 — a not-ready report is data,
+// not an error — so rr.Ready distinguishes the cases; err is reserved
+// for transport and decoding failures. Readiness probes are exempt from
+// the retry policy: a prober wants the current answer, not a padded one.
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(blob))}
+	}
+	var out ReadyResponse
+	if err := json.Unmarshal(blob, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

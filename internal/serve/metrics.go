@@ -147,19 +147,31 @@ func formatBound(v float64) string {
 // cover the configurable MaxBatch range; latency buckets span 100µs to
 // ~100s in roughly 10x steps, in seconds.
 const (
-	mReqClassify      = "fsml_requests_classify_total"
-	mReqReport        = "fsml_requests_report_total"
-	mReqDetectors     = "fsml_requests_detectors_total"
-	mReqErrors        = "fsml_request_errors_total"
-	mRegistryHits     = "fsml_registry_hits_total"
-	mRegistryMisses   = "fsml_registry_misses_total"
-	mRegistryEvicts   = "fsml_registry_evictions_total"
-	mDegraded         = "fsml_classify_degraded_total"
-	mBatchSize        = "fsml_batch_size"
-	mBatchQueueSec    = "fsml_batch_queue_seconds"
-	mClassifySec      = "fsml_stage_classify_seconds"
-	mReportSec        = "fsml_stage_report_seconds"
-	mRequestSec       = "fsml_request_seconds"
+	mReqClassify    = "fsml_requests_classify_total"
+	mReqReport      = "fsml_requests_report_total"
+	mReqDetectors   = "fsml_requests_detectors_total"
+	mReqErrors      = "fsml_request_errors_total"
+	mRegistryHits   = "fsml_registry_hits_total"
+	mRegistryMisses = "fsml_registry_misses_total"
+	mRegistryEvicts = "fsml_registry_evictions_total"
+	mDegraded       = "fsml_classify_degraded_total"
+	mBatchSize      = "fsml_batch_size"
+	mBatchQueueSec  = "fsml_batch_queue_seconds"
+	mClassifySec    = "fsml_stage_classify_seconds"
+	mReportSec      = "fsml_stage_report_seconds"
+	mRequestSec     = "fsml_request_seconds"
+
+	// Resilience series: every admission, breaker, and persistence
+	// decision is observable, so shed storms and failing train specs
+	// show up in a scrape instead of only in latency tails.
+	mShedClassify    = "fsml_shed_classify_total"
+	mShedReport      = "fsml_shed_report_total"
+	mRejectShutdown  = "fsml_rejected_shutdown_total"
+	mBreakerOpened   = "fsml_breaker_opened_total"
+	mBreakerProbes   = "fsml_breaker_halfopen_probes_total"
+	mBreakerClosed   = "fsml_breaker_closed_total"
+	mBreakerFastFail = "fsml_breaker_fastfail_total"
+	mQuarantined     = "fsml_registry_quarantined_total"
 )
 
 var (

@@ -22,9 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"fsml/internal/core"
 	"fsml/internal/exps"
+	"fsml/internal/resilience"
 )
 
 // TrainSpec identifies a lazily trainable detector: the training options
@@ -102,6 +104,16 @@ type RegistryConfig struct {
 	Train func(spec TrainSpec) (*core.Detector, error)
 	// Metrics, when non-nil, receives hit/miss/eviction counts.
 	Metrics *Metrics
+	// BreakerThreshold is the consecutive training failures that open a
+	// train spec's circuit breaker, after which requests for that spec
+	// fail fast instead of re-running full training (default 3;
+	// negative disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting
+	// one half-open probe retrain (default 15s).
+	BreakerCooldown time.Duration
+	// Now overrides the breakers' time source (tests).
+	Now func() time.Time
 }
 
 // entry is one registry slot. ready is closed once det/err are final;
@@ -130,15 +142,22 @@ type DetectorInfo struct {
 type Registry struct {
 	cfg RegistryConfig
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recently used; values are *entry
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	breakers map[string]*resilience.Breaker
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 8
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 15 * time.Second
 	}
 	if cfg.Train == nil {
 		par := cfg.Parallelism
@@ -151,7 +170,74 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 			return lab.Detector()
 		}
 	}
-	return &Registry{cfg: cfg, entries: map[string]*entry{}, lru: list.New()}
+	return &Registry{
+		cfg:      cfg,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+		breakers: map[string]*resilience.Breaker{},
+	}
+}
+
+// breakerFor returns the training circuit breaker of a train-spec key,
+// creating it on first use (nil when breakers are disabled). Breaker
+// transitions feed the metrics so an open circuit is visible in a
+// scrape and in /readyz.
+func (r *Registry) breakerFor(key string) *resilience.Breaker {
+	if r.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[key]
+	if !ok {
+		b = resilience.NewBreaker(r.cfg.BreakerThreshold, r.cfg.BreakerCooldown)
+		if r.cfg.Now != nil {
+			b.SetClock(r.cfg.Now)
+		}
+		b.OnTransition(func(_, to resilience.BreakerState) {
+			switch to {
+			case resilience.Open:
+				r.count(mBreakerOpened)
+			case resilience.HalfOpen:
+				r.count(mBreakerProbes)
+			case resilience.Closed:
+				r.count(mBreakerClosed)
+			}
+		})
+		r.breakers[key] = b
+	}
+	return b
+}
+
+// OpenBreakers lists the train-spec keys whose breaker is not closed
+// (sorted). /readyz reports them so an operator sees which specs are
+// failing without grepping logs.
+func (r *Registry) OpenBreakers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for key, b := range r.breakers {
+		if b.State() != resilience.Closed {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrainingUnavailableError reports a train-spec key whose circuit
+// breaker is open: training has failed repeatedly and the registry is
+// failing fast until the cooldown's half-open probe (HTTP 503 with
+// Retry-After).
+type TrainingUnavailableError struct {
+	// Key is the failing train-spec registry key.
+	Key string
+	// RetryAfter is how long until the breaker admits a probe.
+	RetryAfter time.Duration
+}
+
+func (e *TrainingUnavailableError) Error() string {
+	return fmt.Sprintf("serve: training for %s keeps failing; circuit open, retry in %s", e.Key, e.RetryAfter.Round(time.Millisecond))
 }
 
 // count bumps a metrics counter if metrics are attached.
@@ -212,6 +298,14 @@ func (r *Registry) Get(ctx context.Context, key string) (det *core.Detector, hit
 // load resolves a missing key: disk first (warm start), then the lazy
 // trainer for train-spec keys. Unknown content-hash keys are an error —
 // the bytes behind them exist nowhere.
+//
+// A model file that exists but does not decode (truncated by a crash
+// mid-write, bit-rotted, or written by an incompatible build) is
+// quarantined — renamed to <name>.corrupt — and the key falls through
+// to the lazy trainer, so one bad file degrades a restart to a retrain
+// instead of making the key permanently unservable. Content-hash keys
+// have no trainer to fall through to; for them the quarantine error
+// surfaces.
 func (r *Registry) load(key string) (*core.Detector, string, error) {
 	if r.cfg.Dir != "" {
 		path := r.fileFor(key)
@@ -219,13 +313,20 @@ func (r *Registry) load(key string) (*core.Detector, string, error) {
 		switch {
 		case err == nil:
 			det, derr := core.DecodeDetector(blob)
-			if derr != nil {
-				// A typed *core.FormatError names the found and wanted
-				// versions; wrap it with the file so the operator knows
-				// which registry entry to retrain or delete.
-				return nil, "", fmt.Errorf("serve: registry warm start from %s: %w", path, derr)
+			if derr == nil {
+				return det, "disk", nil
 			}
-			return det, "disk", nil
+			if qerr := r.quarantine(path); qerr != nil {
+				// Can't even move the bad file aside; surface the decode
+				// error (a typed *core.FormatError names the found and
+				// wanted versions) so the operator knows which entry to
+				// delete by hand.
+				return nil, "", fmt.Errorf("serve: registry warm start from %s: %w (quarantine failed: %v)", path, derr, qerr)
+			}
+			if _, ok := parseTrainKey(key); !ok {
+				return nil, "", fmt.Errorf("serve: registry warm start from %s: %w (quarantined to %s; %s is content-keyed and must be re-uploaded)", path, derr, quarantinePath(path), key)
+			}
+			// Train-spec key: retrain below as if the file never existed.
 		case !errors.Is(err, fs.ErrNotExist):
 			// A model file exists but cannot be read (permissions, I/O
 			// fault). Falling through to retraining would mask the disk
@@ -234,14 +335,42 @@ func (r *Registry) load(key string) (*core.Detector, string, error) {
 		}
 	}
 	if spec, ok := parseTrainKey(key); ok {
+		br := r.breakerFor(key)
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				r.count(mBreakerFastFail)
+				return nil, "", &TrainingUnavailableError{Key: key, RetryAfter: br.RetryAfter()}
+			}
+		}
 		det, err := r.cfg.Train(spec)
 		if err != nil {
+			if br != nil {
+				br.Failure()
+			}
 			return nil, "", fmt.Errorf("serve: training %s: %w", key, err)
+		}
+		if br != nil {
+			br.Success()
 		}
 		r.persist(key, det)
 		return det, "trained", nil
 	}
 	return nil, "", &UnknownDetectorError{Key: key}
+}
+
+// quarantinePath maps a model file to its quarantine name.
+func quarantinePath(path string) string {
+	return strings.TrimSuffix(path, ".json") + ".corrupt"
+}
+
+// quarantine moves a corrupt model file aside so the next load does not
+// trip over it again and the bytes stay available for a post-mortem.
+func (r *Registry) quarantine(path string) error {
+	if err := os.Rename(path, quarantinePath(path)); err != nil {
+		return err
+	}
+	r.count(mQuarantined)
+	return nil
 }
 
 // Register inserts an already trained detector under its content-hash
@@ -274,6 +403,10 @@ func (r *Registry) Register(det *core.Detector) (key string, existed bool, err e
 
 // persist writes a model file for key if a dir is configured. Best
 // effort: serving keeps working from memory if the disk write fails.
+// The write is crash-safe — temp file, fsync, atomic rename — so a
+// crash mid-persist leaves either the previous good model or nothing,
+// never a truncated file (which a later warm start would have to
+// quarantine and retrain).
 func (r *Registry) persist(key string, det *core.Detector) {
 	if r.cfg.Dir == "" {
 		return
@@ -285,7 +418,50 @@ func (r *Registry) persist(key string, det *core.Detector) {
 	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
 		return
 	}
-	_ = os.WriteFile(r.fileFor(key), blob, 0o644)
+	_ = atomicWriteFile(r.fileFor(key), blob, 0o644)
+}
+
+// atomicWriteFile writes path via a same-directory temp file, fsyncs
+// the data, and renames it into place. The temp name never matches the
+// registry's *.json glob, so a concurrent DiskKeys cannot list a
+// half-written model.
+func atomicWriteFile(path string, blob []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(blob); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the rename owns the file now; skip the deferred cleanup
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Best effort: persist the rename itself. A crash between rename
+	// and directory sync can lose the new entry but never corrupts it.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // fileFor maps a registry key to its model file path. ':' is not

@@ -11,12 +11,23 @@
 //	GET  /v1/detectors   list the detector registry
 //	POST /v1/detectors   register an uploaded model or a train spec
 //	GET  /healthz        liveness
+//	GET  /readyz         readiness: overload, shutdown, breaker state
 //	GET  /metrics        self-contained counters and histograms
 //
 // Everything is stdlib net/http. Verdicts served through the batched
 // path are byte-identical to one-shot classification: each request owns
 // its seed and its simulated machine, so batching and parallelism change
 // wall-clock time only.
+//
+// The server is built to stay up under abuse (see internal/resilience):
+// classify and report admissions are bounded per endpoint and shed with
+// 429 + Retry-After once the inflight cap and shed window are exhausted;
+// lazy training sits behind a per-spec circuit breaker so a broken train
+// spec fails fast instead of re-running full training per request; and
+// registry persistence is crash-safe (atomic writes, corrupt files
+// quarantined and retrained). /healthz answers as long as the process
+// lives; /readyz tells load balancers whether this instance should be
+// receiving traffic right now.
 package serve
 
 import (
@@ -27,12 +38,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"fsml/internal/core"
 	"fsml/internal/faults"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
+	"fsml/internal/resilience"
 	"fsml/internal/suite"
 	"fsml/internal/trace"
 	"fsml/internal/xrand"
@@ -70,6 +84,22 @@ type Config struct {
 	// measurements (degraded classifications then surface in responses).
 	// The zero value keeps counters honest.
 	Faults faults.Config
+	// MaxInflight bounds concurrently admitted requests per heavy
+	// endpoint — classify and report each get their own limiter, so a
+	// report storm cannot starve classification (default 64; negative
+	// disables admission control).
+	MaxInflight int
+	// ShedAfter is how long an over-limit request may wait for an
+	// admission slot before it is shed with 429 + Retry-After
+	// (default 100ms; negative sheds immediately).
+	ShedAfter time.Duration
+	// BreakerThreshold is the consecutive lazy-training failures that
+	// open a train spec's circuit breaker (default 3; negative
+	// disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open training breaker waits
+	// before admitting one half-open retrain probe (default 15s).
+	BreakerCooldown time.Duration
 	// Train overrides the registry's lazy trainer (tests).
 	Train func(spec TrainSpec) (*core.Detector, error)
 }
@@ -94,6 +124,18 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 2 * time.Minute
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.ShedAfter == 0 {
+		c.ShedAfter = 100 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
 	return c
 }
 
@@ -104,6 +146,19 @@ type Server struct {
 	reg     *Registry
 	batcher *Batcher
 
+	limClassify *resilience.Limiter
+	limReport   *resilience.Limiter
+
+	// mu guards the shutdown gate: shutting flips once, inflight counts
+	// admitted handlers still running, and handlersDone closes when the
+	// last of them exits after shutdown began. An admitted request
+	// always completes the drain; a request arriving after shutdown
+	// began is rejected with 503 at the gate, never queued.
+	mu           sync.Mutex
+	shutting     bool
+	inflight     int
+	handlersDone chan struct{}
+
 	httpServer *http.Server
 	ln         net.Listener
 }
@@ -113,17 +168,26 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	shedAfter := cfg.ShedAfter
+	if shedAfter < 0 {
+		shedAfter = 0
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
 		reg: NewRegistry(RegistryConfig{
-			Capacity:    cfg.RegistryCapacity,
-			Dir:         cfg.RegistryDir,
-			Parallelism: cfg.Parallelism,
-			Train:       cfg.Train,
-			Metrics:     m,
+			Capacity:         cfg.RegistryCapacity,
+			Dir:              cfg.RegistryDir,
+			Parallelism:      cfg.Parallelism,
+			Train:            cfg.Train,
+			Metrics:          m,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
 		}),
-		batcher: NewBatcher(cfg.MaxBatch, cfg.Linger, cfg.Parallelism, m),
+		batcher:      NewBatcher(cfg.MaxBatch, cfg.Linger, cfg.Parallelism, m),
+		limClassify:  resilience.NewLimiter(cfg.MaxInflight, shedAfter),
+		limReport:    resilience.NewLimiter(cfg.MaxInflight, shedAfter),
+		handlersDone: make(chan struct{}),
 	}
 	return s
 }
@@ -134,16 +198,90 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Registry exposes the detector registry (embedders that pre-register).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the server's routing table.
+// Handler returns the server's routing table. Work endpoints pass the
+// admission gate (shutdown rejection, per-endpoint inflight limiting);
+// the health, readiness, and metrics probes never do — they must answer
+// precisely when the server is refusing work.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("GET /v1/detectors", s.handleListDetectors)
-	mux.HandleFunc("POST /v1/detectors", s.handleRegisterDetector)
+	mux.HandleFunc("POST /v1/classify", s.admit(s.limClassify, mShedClassify, s.handleClassify))
+	mux.HandleFunc("POST /v1/report", s.admit(s.limReport, mShedReport, s.handleReport))
+	mux.HandleFunc("GET /v1/detectors", s.admit(nil, "", s.handleListDetectors))
+	mux.HandleFunc("POST /v1/detectors", s.admit(nil, "", s.handleRegisterDetector))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// admit is the admission-control middleware. It rejects requests that
+// arrive after shutdown began (503, never queued), sheds over-limit
+// requests once the shed window expires (429 + Retry-After), and tracks
+// admitted handlers so Shutdown can drain them before closing the
+// batcher. lim may be nil for endpoints that only need the shutdown
+// gate.
+func (s *Server) admit(lim *resilience.Limiter, shedMetric string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		if s.shutting {
+			s.mu.Unlock()
+			s.metrics.Add(mRejectShutdown, 1)
+			s.writeError(w, ErrShuttingDown)
+			return
+		}
+		s.inflight++
+		s.mu.Unlock()
+		defer s.handlerExit()
+		if lim != nil {
+			release, err := lim.Acquire(r.Context())
+			if err != nil {
+				if errors.Is(err, resilience.ErrOverloaded) {
+					s.shed(w, shedMetric)
+				} else {
+					s.writeError(w, err) // the client gave up while waiting
+				}
+				return
+			}
+			defer release()
+		}
+		h(w, r)
+	}
+}
+
+// shed renders a 429 load-shed response. Shed requests were never
+// started, so clients may retry them after the Retry-After hint even
+// when the verb is not idempotent.
+func (s *Server) shed(w http.ResponseWriter, metric string) {
+	s.metrics.Add(metric, 1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.ShedAfter)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "serve: overloaded, request shed; retry after backoff"})
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// hint, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// handlerExit retires one admitted handler and completes the shutdown
+// drain when it was the last.
+func (s *Server) handlerExit() {
+	s.mu.Lock()
+	s.inflight--
+	if s.shutting && s.inflight == 0 {
+		select {
+		case <-s.handlersDone:
+		default:
+			close(s.handlersDone)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Start listens on cfg.Addr and serves until Shutdown. It returns once
@@ -168,19 +306,30 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown drains gracefully: stop accepting connections, wait for
-// in-flight handlers (whose batched jobs keep executing), then close
-// the batcher once no handler can submit anymore. The whole drain is
-// bounded by ctx: if queued batches outlive the deadline, Shutdown
-// returns ctx.Err() and leaves the drain goroutine to finish behind it.
+// Shutdown drains gracefully: close the admission gate (new requests
+// get 503, never queued), stop accepting connections, wait for every
+// already-admitted handler to complete (their batched jobs keep
+// executing), then close the batcher once no handler can submit
+// anymore. The whole drain is bounded by ctx: if admitted handlers or
+// queued batches outlive the deadline, Shutdown returns ctx.Err() and
+// leaves the drain goroutine to finish behind it.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.shutting {
+		s.shutting = true
+		if s.inflight == 0 {
+			close(s.handlersDone)
+		}
+	}
+	s.mu.Unlock()
 	var err error
 	if s.httpServer != nil {
 		err = s.httpServer.Shutdown(ctx)
 	}
 	drained := make(chan struct{})
 	go func() {
-		s.batcher.Close()
+		<-s.handlersDone  // admitted handlers first ...
+		s.batcher.Close() // ... then the batches they queued
 		close(drained)
 	}()
 	select {
@@ -255,11 +404,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var br *badRequestError
 	var ud *UnknownDetectorError
+	var tu *TrainingUnavailableError
 	switch {
 	case errors.As(err, &br):
 		status = http.StatusBadRequest
 	case errors.As(err, &ud):
 		status = http.StatusNotFound
+	case errors.As(err, &tu):
+		// The train spec's circuit is open: fail fast, and tell the
+		// client when the half-open probe will be admitted.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(tu.RetryAfter)))
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -289,6 +444,35 @@ func (s *Server) detector(ctx context.Context, key string) (*core.Detector, stri
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, HealthResponse{Status: "ok", Detectors: len(s.reg.List())})
+}
+
+// handleReady is the readiness probe: distinct from /healthz liveness,
+// it reports whether this instance should receive traffic right now.
+// Not ready (503 with the same JSON body) while shutting down, while
+// both admission limiters are saturated, or while a training breaker is
+// open. Load balancers poll it; the chaos test pins its transitions.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	shutting := s.shutting
+	s.mu.Unlock()
+	resp := ReadyResponse{
+		ShuttingDown:     shutting,
+		Overloaded:       s.limClassify.Saturated() || s.limReport.Saturated(),
+		InflightClassify: s.limClassify.Inflight(),
+		InflightReport:   s.limReport.Inflight(),
+		OpenBreakers:     s.reg.OpenBreakers(),
+		Detectors:        len(s.reg.List()),
+	}
+	resp.Ready = !resp.ShuttingDown && !resp.Overloaded && len(resp.OpenBreakers) == 0
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -64,11 +65,16 @@ func tinyDetector(t testing.TB) *core.Detector {
 
 // newTestServer builds a server around the tiny detector (unless cfg
 // already injects a trainer) and mounts it on an httptest listener.
+// Admission control is off unless the test opts in with an explicit
+// MaxInflight, so burst tests exercise batching rather than shedding.
 func newTestServer(t testing.TB, cfg Config) (*Server, *Client) {
 	t.Helper()
 	if cfg.Train == nil {
 		det := tinyDetector(t)
 		cfg.Train = func(TrainSpec) (*core.Detector, error) { return det, nil }
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = -1
 	}
 	s := New(cfg)
 	hs := httptest.NewServer(s.Handler())
@@ -206,31 +212,177 @@ func TestRegistryFailedTrainIsRetryable(t *testing.T) {
 	}
 }
 
-// TestRegistryWarmStartFormatError pins the typed error path: a model
-// file with the wrong format version fails the warm start with a
-// *core.FormatError that names the file and both versions.
-func TestRegistryWarmStartFormatError(t *testing.T) {
+// TestRegistryQuarantineAndRetrain pins the crash-safe load path: a
+// corrupt model file behind a train-spec key is quarantined to
+// <name>.corrupt and the key retrains automatically, instead of the
+// load failing forever on the same bad bytes.
+func TestRegistryQuarantineAndRetrain(t *testing.T) {
 	dir := t.TempDir()
+	det := tinyDetector(t)
 	key := TrainSpec{Quick: true, Seed: 1}.Key()
 	stale := fmt.Sprintf(`{"format": "fsml-detector", "version": %d, "tree": null}`, core.ModelVersion+97)
 	path := filepath.Join(dir, strings.ReplaceAll(key, ":", "-")+".json")
 	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	reg := NewRegistry(RegistryConfig{Dir: dir, Train: func(TrainSpec) (*core.Detector, error) {
-		t.Fatal("must not fall through to training past a corrupt model file")
+	var trains atomic.Int64
+	m := NewMetrics()
+	reg := NewRegistry(RegistryConfig{Dir: dir, Metrics: m, Train: func(TrainSpec) (*core.Detector, error) {
+		trains.Add(1)
+		return det, nil
+	}})
+	got, _, err := reg.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Get over a corrupt file = %v, want quarantine + retrain", err)
+	}
+	if got != det || trains.Load() != 1 {
+		t.Fatalf("got %p after %d trains, want the retrained detector from 1 train", got, trains.Load())
+	}
+	qpath := strings.TrimSuffix(path, ".json") + ".corrupt"
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if m.Counter(mQuarantined) != 1 {
+		t.Errorf("%s = %d, want 1", mQuarantined, m.Counter(mQuarantined))
+	}
+	// The retrained model was re-persisted atomically over the old path.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("retrained model not re-persisted: %v", err)
+	}
+	if _, err := core.DecodeDetector(blob); err != nil {
+		t.Errorf("re-persisted model does not decode: %v", err)
+	}
+	// A restart warm-starts from the healthy file without training.
+	reg2 := NewRegistry(RegistryConfig{Dir: dir, Train: func(TrainSpec) (*core.Detector, error) {
+		t.Fatal("healthy warm start must not train")
 		return nil, nil
 	}})
+	if _, _, err := reg2.Get(context.Background(), key); err != nil {
+		t.Fatalf("post-quarantine warm start: %v", err)
+	}
+}
+
+// TestRegistryQuarantineContentKey: a corrupt file behind a
+// content-hash key has no trainer to fall back on — the bytes exist
+// nowhere else — so the load fails, but the file is still quarantined
+// and the error says to re-upload.
+func TestRegistryQuarantineContentKey(t *testing.T) {
+	dir := t.TempDir()
+	key := "sha256:deadbeefdeadbeef"
+	path := filepath.Join(dir, strings.ReplaceAll(key, ":", "-")+".json")
+	if err := os.WriteFile(path, []byte(`{"format":"fsml-detector","ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryConfig{Dir: dir})
 	_, _, err := reg.Get(context.Background(), key)
-	var fe *core.FormatError
-	if !errors.As(err, &fe) {
-		t.Fatalf("err = %v, want a wrapped *core.FormatError", err)
+	if err == nil {
+		t.Fatal("corrupt content-keyed model must fail the load")
 	}
-	if fe.Version != core.ModelVersion+97 || fe.WantVersion != core.ModelVersion {
-		t.Errorf("FormatError versions = %d/%d, want %d/%d", fe.Version, fe.WantVersion, core.ModelVersion+97, core.ModelVersion)
+	if !strings.Contains(err.Error(), "re-upload") {
+		t.Errorf("error %q does not tell the operator to re-upload", err)
 	}
-	if !strings.Contains(err.Error(), path) {
-		t.Errorf("error %q does not name the offending file", err)
+	if _, serr := os.Stat(strings.TrimSuffix(path, ".json") + ".corrupt"); serr != nil {
+		t.Errorf("corrupt content-keyed file not quarantined: %v", serr)
+	}
+	if _, serr := os.Stat(path); !errors.Is(serr, fs.ErrNotExist) {
+		t.Errorf("original corrupt file still present: %v", serr)
+	}
+}
+
+// TestRegistryTrainingBreaker drives the training circuit through its
+// full cycle: threshold consecutive failures open it, callers then fail
+// fast with a typed TrainingUnavailableError (no training work), and
+// after the cooldown a half-open probe retrains and closes it.
+func TestRegistryTrainingBreaker(t *testing.T) {
+	det := tinyDetector(t)
+	clock := time.Unix(2000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+	var trains atomic.Int64
+	healthy := atomic.Bool{}
+	m := NewMetrics()
+	reg := NewRegistry(RegistryConfig{
+		Metrics:          m,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+		Now:              now,
+		Train: func(TrainSpec) (*core.Detector, error) {
+			trains.Add(1)
+			if !healthy.Load() {
+				return nil, errors.New("injected training failure")
+			}
+			return det, nil
+		},
+	})
+	key := TrainSpec{Quick: true, Seed: 5}.Key()
+	ctx := context.Background()
+
+	// Two real failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, _, err := reg.Get(ctx, key); err == nil {
+			t.Fatalf("failing train %d should error", i)
+		}
+	}
+	if trains.Load() != 2 {
+		t.Fatalf("trains = %d, want 2", trains.Load())
+	}
+	// Open: requests fail fast without training.
+	_, _, err := reg.Get(ctx, key)
+	var tu *TrainingUnavailableError
+	if !errors.As(err, &tu) {
+		t.Fatalf("open-circuit Get = %v, want *TrainingUnavailableError", err)
+	}
+	if tu.Key != key || tu.RetryAfter <= 0 {
+		t.Errorf("TrainingUnavailableError = %+v, want key %s and positive RetryAfter", tu, key)
+	}
+	if trains.Load() != 2 {
+		t.Fatalf("fast-fail still trained: %d", trains.Load())
+	}
+	if got := reg.OpenBreakers(); len(got) != 1 || got[0] != key {
+		t.Errorf("OpenBreakers = %v, want [%s]", got, key)
+	}
+	if m.Counter(mBreakerOpened) != 1 || m.Counter(mBreakerFastFail) != 1 {
+		t.Errorf("opened=%d fastfail=%d, want 1/1", m.Counter(mBreakerOpened), m.Counter(mBreakerFastFail))
+	}
+
+	// Cooldown elapses but training still fails: the probe re-opens it.
+	advance(11 * time.Second)
+	if _, _, err := reg.Get(ctx, key); err == nil {
+		t.Fatal("failing probe should error")
+	}
+	if trains.Load() != 3 {
+		t.Fatalf("probe trains = %d, want 3", trains.Load())
+	}
+	if _, _, err := reg.Get(ctx, key); !errors.As(err, &tu) {
+		t.Fatalf("post-probe Get = %v, want fast fail again", err)
+	}
+
+	// Training recovers: the next probe closes the circuit.
+	healthy.Store(true)
+	advance(11 * time.Second)
+	d, _, err := reg.Get(ctx, key)
+	if err != nil || d != det {
+		t.Fatalf("recovery probe = (%v, %v), want the detector", d, err)
+	}
+	if len(reg.OpenBreakers()) != 0 {
+		t.Errorf("OpenBreakers after recovery = %v, want none", reg.OpenBreakers())
+	}
+	if m.Counter(mBreakerClosed) != 1 {
+		t.Errorf("closed transitions = %d, want 1", m.Counter(mBreakerClosed))
+	}
+	// And the key now serves from cache.
+	if _, hit, err := reg.Get(ctx, key); err != nil || !hit {
+		t.Fatalf("post-recovery Get = (hit=%t, %v), want cache hit", hit, err)
 	}
 }
 
@@ -335,6 +487,94 @@ func TestBatcherSubmitAfterClose(t *testing.T) {
 	})
 	if !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("Submit after Close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestBatcherZeroLingerFlushesImmediately pins the linger<=0 edge: a
+// lone job must not wait for batch-mates — it executes as a batch of
+// one as soon as the loop picks it up.
+func TestBatcherZeroLingerFlushesImmediately(t *testing.T) {
+	m := NewMetrics()
+	b := NewBatcher(8, 0, 0, m)
+	defer b.Close()
+	start := time.Now()
+	resp, err := b.Submit(context.Background(), func() (*ClassifyResponse, error) {
+		return &ClassifyResponse{Class: "solo"}, nil
+	})
+	if err != nil || resp.Class != "solo" {
+		t.Fatalf("solo job: (%+v, %v)", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("zero-linger job waited %v for batch-mates", elapsed)
+	}
+	if batches := m.HistogramCount(mBatchSize); batches != 1 {
+		t.Fatalf("ran %d batches, want 1", batches)
+	}
+}
+
+// TestBatcherFlushesAtSizeBoundary pins the size-trigger edge: exactly
+// MaxBatch jobs execute as one full batch the moment the last one
+// arrives, without waiting out a generous linger window.
+func TestBatcherFlushesAtSizeBoundary(t *testing.T) {
+	const max = 4
+	m := NewMetrics()
+	b := NewBatcher(max, 10*time.Second, 0, m)
+	defer b.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < max; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), func() (*ClassifyResponse, error) {
+				return &ClassifyResponse{Class: fmt.Sprintf("job-%d", i)}, nil
+			})
+			if err != nil || resp.Class != fmt.Sprintf("job-%d", i) {
+				t.Errorf("job %d: (%+v, %v)", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch took %v, want execution at the size boundary, not linger expiry", elapsed)
+	}
+	if batches := m.HistogramCount(mBatchSize); batches != 1 {
+		t.Fatalf("ran %d batches, want exactly 1 full batch", batches)
+	}
+}
+
+// TestBatcherCloseFlushesPartialBatch pins the drain edge: jobs parked
+// in a half-formed batch (linger far from expiring) are executed and
+// answered when Close lands, and Close does not wait out the linger.
+func TestBatcherCloseFlushesPartialBatch(t *testing.T) {
+	const jobs = 3
+	m := NewMetrics()
+	b := NewBatcher(8, 10*time.Minute, 0, m)
+	var wg sync.WaitGroup
+	var answered atomic.Int64
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), func() (*ClassifyResponse, error) {
+				return &ClassifyResponse{Class: fmt.Sprintf("job-%d", i)}, nil
+			})
+			if err != nil || resp.Class != fmt.Sprintf("job-%d", i) {
+				t.Errorf("job %d: (%+v, %v)", i, resp, err)
+				return
+			}
+			answered.Add(1)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let every job enqueue into the forming batch
+	start := time.Now()
+	b.Close()
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v, want an immediate partial-batch flush", elapsed)
+	}
+	if answered.Load() != jobs {
+		t.Fatalf("answered %d/%d queued jobs across Close", answered.Load(), jobs)
 	}
 }
 
@@ -706,8 +946,8 @@ func BenchmarkServeClassify(b *testing.B) {
 		name string
 		cfg  Config
 	}{
-		{"unbatched", Config{MaxBatch: 1}},
-		{"batched16", Config{MaxBatch: 16, Linger: 200 * time.Microsecond, Parallelism: 4}},
+		{"unbatched", Config{MaxBatch: 1, MaxInflight: -1}},
+		{"batched16", Config{MaxBatch: 16, Linger: 200 * time.Microsecond, Parallelism: 4, MaxInflight: -1}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			cfg := bc.cfg

@@ -125,6 +125,30 @@ type HealthResponse struct {
 	Detectors int    `json:"detectors"`
 }
 
+// ReadyResponse is the body of GET /readyz (status 200 when Ready,
+// 503 otherwise — liveness stays on /healthz). It separates the three
+// not-ready causes so a load balancer's probe and an operator's curl
+// read the same story.
+type ReadyResponse struct {
+	// Ready reports whether this instance should receive traffic.
+	Ready bool `json:"ready"`
+	// ShuttingDown reports that graceful shutdown has begun: admitted
+	// work is draining and new work is rejected with 503.
+	ShuttingDown bool `json:"shutting_down"`
+	// Overloaded reports that an admission limiter is saturated right
+	// now (new classify/report requests are being shed with 429).
+	Overloaded bool `json:"overloaded"`
+	// InflightClassify / InflightReport are the admission slots held
+	// per endpoint at probe time.
+	InflightClassify int `json:"inflight_classify"`
+	InflightReport   int `json:"inflight_report"`
+	// OpenBreakers lists train-spec keys whose training circuit is
+	// open or probing (training keeps failing; requests fail fast).
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// Detectors is the resident registry size, as on /healthz.
+	Detectors int `json:"detectors"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
