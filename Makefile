@@ -5,9 +5,10 @@ GO ?= go
 # run instrumented on every push.
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
-            ./internal/faults ./internal/serve ./internal/resilience
+            ./internal/faults ./internal/serve ./internal/resilience \
+            ./internal/stream
 
-.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke chaos ci
+.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke watch-smoke chaos ci
 
 all: build test
 
@@ -42,6 +43,14 @@ bench:
 # batched path, scrape metrics, and shut down gracefully.
 serve-smoke:
 	$(GO) test ./internal/serve -run TestServeSmoke -count=1 -v
+
+# watch-smoke exercises the live-monitoring path end to end: the online
+# monitor catching an injected false-sharing phase with exact
+# boundaries, and the SSE endpoint streaming, shedding under load, and
+# draining on shutdown.
+watch-smoke:
+	$(GO) test ./internal/stream -run TestMonitorCatchesInjectedPhase -count=1 -v
+	$(GO) test ./internal/serve -run TestWatch -count=1 -v
 
 # chaos drives the serving layer through every failure mode at once —
 # corrupt registry files, failing trainers, shed storms, shutdown under

@@ -20,6 +20,7 @@ import (
 	"fsml/internal/resilience"
 	"fsml/internal/serve"
 	"fsml/internal/shadow"
+	"fsml/internal/stream"
 	"fsml/internal/suite"
 	"fsml/internal/trace"
 )
@@ -682,3 +683,97 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // NewServeClient returns a client for the detection server at baseURL,
 // e.g. "http://127.0.0.1:8723".
 func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }
+
+// ---------------------------------------------------------------------------
+// Streaming detection
+
+// Streaming-layer types, re-exported from internal/stream: an online
+// detection engine that classifies sliding windows of live PMU slice
+// samples, smooths verdicts with hysteresis, reports phase changes and
+// feature-drift alarms, and fans events out to bounded drop-oldest
+// subscriptions.
+type (
+	// WindowSpec is the sliding-window geometry (size, stride,
+	// hysteresis), parsed from "size[:stride[:hysteresis]]".
+	WindowSpec = stream.WindowSpec
+	// WindowSpecError is the typed rejection ParseWindowSpec returns,
+	// naming the offending field.
+	WindowSpecError = stream.SpecError
+	// StreamEvent is one element of a monitoring stream (window verdict,
+	// phase change, drift alarm, or closing summary).
+	StreamEvent = stream.Event
+	// StreamWindowVerdict is the classification of one window.
+	StreamWindowVerdict = stream.WindowVerdict
+	// StreamPhaseChange reports the smoothed class shifting.
+	StreamPhaseChange = stream.PhaseChange
+	// StreamDriftAlarm reports the window features leaving the training
+	// envelope.
+	StreamDriftAlarm = stream.DriftAlarm
+	// StreamSummary closes a stream with its phase timeline.
+	StreamSummary = stream.Summary
+	// StreamEnvelope is the per-attribute training envelope drift is
+	// measured against.
+	StreamEnvelope = stream.Envelope
+	// StreamEngine is the pure, synchronous windowed classifier (use
+	// StreamMonitor to run it over a live workload).
+	StreamEngine = stream.Engine
+	// StreamEngineConfig shapes a StreamEngine.
+	StreamEngineConfig = stream.EngineConfig
+	// StreamMonitor is one live monitoring session over a workload.
+	StreamMonitor = stream.Monitor
+	// StreamMonitorConfig shapes a session (window spec, seed, slice
+	// length, envelope, event callback).
+	StreamMonitorConfig = stream.MonitorConfig
+	// StreamSubscription is a bounded drop-oldest event feed.
+	StreamSubscription = stream.Subscription
+	// WatchQuery is the parameter surface of the server's GET /v1/watch
+	// endpoint and ServeClient.Watch.
+	WatchQuery = serve.WatchQuery
+)
+
+// Stream event kinds.
+const (
+	StreamKindWindow = stream.KindWindow
+	StreamKindPhase  = stream.KindPhase
+	StreamKindDrift  = stream.KindDrift
+	StreamKindDone   = stream.KindDone
+)
+
+// StreamDemoProgram names the built-in phased demo workload (good ->
+// bad-fs -> good) that `fsml watch` and GET /v1/watch monitor.
+const StreamDemoProgram = stream.DemoProgram
+
+// ParseWindowSpec parses "size[:stride[:hysteresis]]" ("" yields the
+// default 8:8:3). Errors are *WindowSpecError values.
+func ParseWindowSpec(s string) (WindowSpec, error) { return stream.ParseWindowSpec(s) }
+
+// DefaultWindowSpec returns the default window geometry (8:8:3).
+func DefaultWindowSpec() WindowSpec { return stream.DefaultWindowSpec() }
+
+// NewStreamEngine builds the pure windowed classifier.
+func NewStreamEngine(det *Detector, cfg StreamEngineConfig) (*StreamEngine, error) {
+	return stream.NewEngine(det, cfg)
+}
+
+// NewStreamMonitor builds a live monitoring session. A nil collector
+// uses the paper-default platform.
+func NewStreamMonitor(col *Collector, det *Detector, cfg StreamMonitorConfig) (*StreamMonitor, error) {
+	return stream.NewMonitor(col, det, cfg)
+}
+
+// StreamEnvelopeFromTree derives a drift envelope from the split
+// thresholds of a trained tree, widened by slack (e.g. 0.25 = 25%).
+func StreamEnvelopeFromTree(t *Tree, slack float64) *StreamEnvelope {
+	return stream.EnvelopeFromTree(t, slack)
+}
+
+// StreamEnvelopeFromDataset derives a drift envelope from the observed
+// per-attribute ranges of a training dataset, widened by margin.
+func StreamEnvelopeFromDataset(d *Dataset, margin float64) *StreamEnvelope {
+	return stream.EnvelopeFromDataset(d, margin)
+}
+
+// PhasedKernels builds the demo workload behind StreamDemoProgram:
+// threads workers running a good -> bad-fs -> good phase sequence of
+// perPhase iterations each, with barriers at the phase boundaries.
+func PhasedKernels(threads, perPhase int) []Kernel { return stream.PhasedKernels(threads, perPhase) }

@@ -14,6 +14,8 @@
 //	fsml serve   [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR]
 //	             [-max-inflight N] [-shed-after D] [-breaker-threshold N]
 //	             [-breaker-cooldown D] [-faults SPEC]
+//	fsml watch   [-window S[:T[:H]]] [-seed N] [-threads N] [-iters N]
+//	             [-slice-rounds N] [-drift=0] [-json] [-server URL]
 //	fsml list
 //
 // The -j flag caps concurrent case simulations (0 = all CPUs,
@@ -25,8 +27,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +71,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -107,6 +113,11 @@ func usage() {
   fsml serve    [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR]
                 [-max-inflight N] [-shed-after D] [-breaker-threshold N]
                 [-breaker-cooldown D] [-faults SPEC]  run the detection server
+  fsml watch    [-window S[:T[:H]]] [-seed N] [-threads N] [-iters N]
+                [-slice-rounds N] [-drift=0] [-json] [-quick] [-model F] [-j N]
+                [-server URL [-retries N] [-detector KEY]]
+                                                     live-monitor the phased demo
+                                                     (locally, or via a server)
   fsml list                                          list programs & experiments
 `)
 }
@@ -572,6 +583,158 @@ func cmdServe(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// cmdWatch live-monitors the phased demo workload: window verdicts,
+// phase transitions and drift alarms stream to stdout as they happen,
+// either from a local session or relayed from a server's /v1/watch SSE
+// endpoint. ^C truncates cleanly — the closing summary still prints,
+// marked truncated.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	window := fs.String("window", "", `window spec "size[:stride[:hysteresis]]" (default 8:8:3)`)
+	seed := fs.Uint64("seed", 1, "session seed (machine + PMU)")
+	threads := fs.Int("threads", 6, "demo workload worker threads")
+	iters := fs.Int("iters", 20000, "per-phase iterations per thread")
+	sliceRounds := fs.Int("slice-rounds", 500, "scheduler rounds per slice sample")
+	drift := fs.Bool("drift", true, "raise drift alarms against the model's tree envelope")
+	asJSON := fs.Bool("json", false, "emit raw event JSON lines instead of the readable feed")
+	quick := fs.Bool("quick", false, "reduced training (without -model/-server)")
+	model := fs.String("model", "", "trained model path (default: train now)")
+	jobs := jobsFlag(fs)
+	server := fs.String("server", "", "watch via a running `fsml serve` at this URL instead of a local session")
+	retries := fs.Int("retries", 4, "client dial retries when the server sheds or is briefly unavailable (with -server)")
+	detector := fs.String("detector", "", "server-side detector registry key (with -server; \"\" = server default)")
+	fs.Parse(args)
+	if fs.NArg() > 1 || (fs.NArg() == 1 && fs.Arg(0) != fsml.StreamDemoProgram) {
+		return fmt.Errorf("watch streams only the built-in %q workload", fsml.StreamDemoProgram)
+	}
+
+	// ^C cancels the session context; the engine still closes the stream
+	// with a truncated done event, which prints below like any other.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	print := func(ev fsml.StreamEvent) error { return printWatchEvent(os.Stdout, ev, *asJSON) }
+
+	if *server != "" {
+		if *model != "" || *quick {
+			return fmt.Errorf("-model/-quick configure a local session; use -detector with -server")
+		}
+		c := fsml.NewServeClient(*server)
+		c.Retry = fsml.ServeRetryPolicy{Max: *retries}
+		_, err := c.Watch(ctx, fsml.WatchQuery{
+			Spec:        *window,
+			Detector:    *detector,
+			Seed:        *seed,
+			Threads:     *threads,
+			Iters:       *iters,
+			SliceRounds: *sliceRounds,
+			NoDrift:     !*drift,
+		}, print)
+		if err != nil && ctx.Err() != nil {
+			// The server noticed the hangup; the truncated summary may not
+			// have made it back, so say why the feed stopped.
+			fmt.Fprintln(os.Stderr, "fsml: watch interrupted")
+			return nil
+		}
+		return err
+	}
+	if *detector != "" {
+		return fmt.Errorf("-detector selects a server-side model; use -model locally")
+	}
+
+	spec, err := fsml.ParseWindowSpec(*window)
+	if err != nil {
+		return err
+	}
+	det, err := loadOrTrain(*model, *quick, *jobs)
+	if err != nil {
+		return err
+	}
+	var env *fsml.StreamEnvelope
+	if *drift {
+		env = fsml.StreamEnvelopeFromTree(det.Tree, 0)
+	}
+	col := fsml.NewCollector()
+	col.Parallelism = *jobs
+	var printErr error
+	mon, err := fsml.NewStreamMonitor(col, det, fsml.StreamMonitorConfig{
+		Spec:        spec,
+		SliceRounds: *sliceRounds,
+		Seed:        *seed,
+		Envelope:    env,
+		OnEvent: func(ev fsml.StreamEvent) {
+			if printErr == nil {
+				printErr = print(ev)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := mon.Run(ctx, fsml.PhasedKernels(*threads, *iters)); err != nil {
+		return err
+	}
+	return printErr
+}
+
+// printWatchEvent renders one stream event: raw JSON lines for tooling,
+// or a readable one-line-per-event feed.
+func printWatchEvent(w io.Writer, ev fsml.StreamEvent, asJSON bool) error {
+	if asJSON {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", blob)
+		return err
+	}
+	switch ev.Kind {
+	case fsml.StreamKindWindow:
+		v := ev.Window
+		class := v.Class
+		if class == "" {
+			class = "(idle)"
+		}
+		note := ""
+		if v.Degraded {
+			note = fmt.Sprintf("  [degraded %.2f: %s]", v.Confidence, strings.Join(v.Suspects, ","))
+		}
+		_, err := fmt.Fprintf(w, "window %3d  samples [%3d,%3d)  %-8s smoothed %-8s%s\n",
+			v.Index, v.Start, v.End, class, v.Smoothed, note)
+		return err
+	case fsml.StreamKindPhase:
+		p := ev.Phase
+		from := p.From
+		if from == "" {
+			from = "(start)"
+		}
+		_, err := fmt.Fprintf(w, ">>> phase  %s -> %s  (confirmed at window %d, begins window %d / sample %d)\n",
+			from, p.To, p.Window, p.Start, p.Sample)
+		return err
+	case fsml.StreamKindDrift:
+		d := ev.Drift
+		_, err := fmt.Fprintf(w, "!!! drift  window %d: %s outside the training envelope (score %.2f)\n",
+			d.Window, strings.Join(d.Features, ", "), d.Score)
+		return err
+	case fsml.StreamKindDone:
+		s := ev.Summary
+		runs := make([]string, len(s.PhaseRuns))
+		for i, r := range s.PhaseRuns {
+			runs[i] = fmt.Sprintf("%s[%d-%d]", r.Class, r.Start, r.End)
+		}
+		trunc := ""
+		if s.Truncated {
+			trunc = " (truncated)"
+		}
+		_, err := fmt.Fprintf(w, "done%s: %d samples, %d windows (%d classified), %d phase changes, %d drift alarms\n"+
+			"final class %s; timeline %s; %.4f simulated s\n",
+			trunc, s.Samples, s.Windows, s.Classified, s.Phases, s.DriftAlarms,
+			s.Final, strings.Join(runs, " -> "), s.Seconds)
+		return err
+	}
+	return nil
 }
 
 func cmdList() error {

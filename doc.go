@@ -70,6 +70,12 @@
 //   - internal/shadow, internal/sheriff — the verification and
 //     comparison baselines
 //   - internal/exps — regenerates every table and figure of the paper
+//   - internal/serve, internal/resilience — the long-running detection
+//     service: micro-batched inference, model registry, admission
+//     control and circuit breakers
+//   - internal/stream — online streaming detection: sliding-window
+//     classification with phase and drift tracking, behind GET
+//     /v1/watch and `fsml watch`
 //
 // See DESIGN.md for the substitution map (paper hardware -> simulator)
 // and EXPERIMENTS.md for paper-vs-measured results.

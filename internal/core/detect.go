@@ -26,6 +26,10 @@ type Detector struct {
 	Model ml.Classifier
 	// TrainedOn records the training-set composition for reports.
 	TrainedOn map[string]int
+
+	// proj caches the sample-layout -> tree-attribute projection of the
+	// classify hot path (see project.go). Zero value = cold cache.
+	proj projCache
 }
 
 // TrainDetector fits the default C4.5 detector from a labeled dataset.
@@ -55,10 +59,13 @@ func TrainDetectorWith(tr ml.Trainer, d *dataset.Dataset) (*Detector, error) {
 // sample onto the tree's own attribute list, so detectors trained on a
 // platform-specific event selection (see TrainOnPlatform) classify
 // samples from that platform's PMU; feeding a sample that lacks the
-// model's events is an error, not a silent zero-fill.
+// model's events is an error, not a silent zero-fill. The projection
+// setup (name resolution and validation) is cached per sample layout —
+// see project.go — so repeated classifications over one event
+// programming, the windowed streaming hot path, do it once.
 func (d *Detector) Classify(s pmu.Sample) (string, error) {
 	if d.Tree != nil {
-		fv, err := s.Project(d.Tree.Attrs)
+		fv, err := d.projectTree(s)
 		if err != nil {
 			return "", err
 		}

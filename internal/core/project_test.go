@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"fsml/internal/dataset"
+	"fsml/internal/pmu"
+)
+
+// projTestDetector trains a small two-attribute tree so classification
+// exercises the real projection path without a full collection run.
+func projTestDetector(tb testing.TB) *Detector {
+	tb.Helper()
+	d := dataset.New([]string{"EV_A", "EV_B"})
+	add := func(label string, a, b float64) {
+		if err := d.Add(dataset.Instance{Features: []float64{a, b}, Label: label}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		f := float64(i) * 0.01
+		add("bad-fs", 0.50+f, 0.05+f/2)
+		add("bad-ma", 0.01+f/10, 0.60+f)
+		add("good", 0.01+f/10, 0.02+f/10)
+	}
+	det, err := TrainDetector(d)
+	if err != nil {
+		tb.Fatalf("training: %v", err)
+	}
+	return det
+}
+
+// projTestSample builds a sample carrying more events than the tree
+// consults, in a different order — the projection has to do real work.
+func projTestSample(a, b float64) pmu.Sample {
+	return pmu.Sample{
+		Names:        []string{"EV_PAD0", "EV_B", "EV_PAD1", "EV_A", "INST"},
+		Counts:       []float64{3, b * 1000, 7, a * 1000, 1000},
+		Instructions: 1000,
+	}
+}
+
+// TestClassifyProjectionCacheReuse pins the hoisted projection: repeated
+// classifications with the same layout (shared or equal Names) reuse the
+// cached index mapping and still produce identical verdicts, and a layout
+// change (same length, different names) rebuilds instead of misprojecting.
+func TestClassifyProjectionCacheReuse(t *testing.T) {
+	det := projTestDetector(t)
+
+	s := projTestSample(0.55, 0.04)
+	c1, err := det.Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != "bad-fs" {
+		t.Fatalf("class = %q, want bad-fs", c1)
+	}
+	// Same backing Names slice: the fast pointer-equality path.
+	s.Counts[3] = 0.002 * 1000
+	s.Counts[1] = 0.7 * 1000
+	c2, err := det.Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != "bad-ma" {
+		t.Fatalf("class = %q, want bad-ma", c2)
+	}
+	// Equal but distinct Names slice: the element-compare path.
+	s2 := projTestSample(0.01, 0.01)
+	c3, err := det.Classify(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != "good" {
+		t.Fatalf("class = %q, want good", c3)
+	}
+	// A different layout of the same length must rebuild the projection,
+	// not reuse stale indices.
+	s3 := projTestSample(0.55, 0.04)
+	s3.Names = []string{"EV_PAD0", "EV_A", "EV_PAD1", "EV_B", "INST"}
+	s3.Counts = []float64{3, 0.55 * 1000, 7, 0.04 * 1000, 1000}
+	c4, err := det.Classify(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 != "bad-fs" {
+		t.Fatalf("reordered layout: class = %q, want bad-fs", c4)
+	}
+	// Missing events still error, typed per event name.
+	s4 := projTestSample(1, 1)
+	s4.Names = []string{"EV_PAD0", "EV_B", "EV_PAD1", "EV_X", "INST"}
+	if _, err := det.Classify(s4); err == nil {
+		t.Fatal("sample missing EV_A accepted")
+	}
+}
+
+// TestClassifyProjectionConcurrent hammers the cached projection from
+// many goroutines with two alternating layouts; run under -race this
+// pins the cache's publication safety.
+func TestClassifyProjectionConcurrent(t *testing.T) {
+	det := projTestDetector(t)
+	layoutA := projTestSample(0.55, 0.04)
+	layoutB := projTestSample(0.01, 0.7)
+	layoutB.Names = []string{"EV_A", "EV_B", "INST"}
+	layoutB.Counts = []float64{10, 700, 1000}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 200; i++ {
+				s := layoutA
+				want := "bad-fs"
+				if (i+g)%2 == 1 {
+					s = layoutB
+					want = "bad-ma"
+				}
+				got, err := det.Classify(s)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got != want {
+					done <- errClassMismatch(got, want)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type classMismatch struct{ got, want string }
+
+func (e *classMismatch) Error() string { return "class " + e.got + ", want " + e.want }
+
+func errClassMismatch(got, want string) error { return &classMismatch{got, want} }
+
+// BenchmarkDetectorClassify measures the hot windowed-classification
+// path: one Classify per iteration on a fixed sample layout. The
+// projection hoist (cached name->index mapping on the detector) is what
+// this pins — see EXPERIMENTS.md for the before/after record.
+func BenchmarkDetectorClassify(b *testing.B) {
+	det := projTestDetector(b)
+	s := projTestSample(0.55, 0.04)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Classify(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorClassifyColdProjection measures the pre-hoist cost:
+// alternating between two layouts defeats the cache, so every call
+// rebuilds the name->index mapping — exactly the per-call work the old
+// Sample.Project path did. The delta against BenchmarkDetectorClassify
+// is what the hoist buys the steady-state windowed path.
+func BenchmarkDetectorClassifyColdProjection(b *testing.B) {
+	det := projTestDetector(b)
+	a := projTestSample(0.55, 0.04)
+	c := projTestSample(0.55, 0.04)
+	c.Names = []string{"EV_PAD0", "EV_A", "EV_PAD1", "EV_B", "INST"}
+	c.Counts = []float64{3, 0.55 * 1000, 7, 0.04 * 1000, 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := a
+		if i%2 == 1 {
+			s = c
+		}
+		if _, err := det.Classify(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorClassifyRobust is the degraded-path analog: the
+// sample carries one flagged event, so every call takes the
+// partial-prediction route.
+func BenchmarkDetectorClassifyRobust(b *testing.B) {
+	det := projTestDetector(b)
+	s := projTestSample(0.55, 0.04)
+	s.Flags = make([]pmu.CountFlag, len(s.Names))
+	s.Flags[1] = pmu.FlagStuck
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.ClassifyRobust(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -151,7 +151,7 @@ func (d *Detector) ClassifyRobust(s pmu.Sample) (RobustResult, error) {
 		return RobustResult{Class: class, Confidence: conf, Degraded: true, Suspects: suspects}, nil
 	}
 
-	fv, err := s.Project(d.Tree.Attrs)
+	fv, err := d.projectTree(s)
 	if err != nil {
 		return RobustResult{}, err
 	}

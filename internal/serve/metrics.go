@@ -166,6 +166,8 @@ const (
 	// show up in a scrape instead of only in latency tails.
 	mShedClassify    = "fsml_shed_classify_total"
 	mShedReport      = "fsml_shed_report_total"
+	mShedWatch       = "fsml_shed_watch_total"
+	mReqWatch        = "fsml_requests_watch_total"
 	mRejectShutdown  = "fsml_rejected_shutdown_total"
 	mBreakerOpened   = "fsml_breaker_opened_total"
 	mBreakerProbes   = "fsml_breaker_halfopen_probes_total"

@@ -8,6 +8,8 @@
 //	POST /v1/classify    classify a normalized event vector or an
 //	                     uploaded (optionally gzip) access trace
 //	POST /v1/report      full report.Options sweep of a named workload
+//	GET  /v1/watch       live monitoring: stream windowed verdicts,
+//	                     phase changes, and drift alarms as SSE
 //	GET  /v1/detectors   list the detector registry
 //	POST /v1/detectors   register an uploaded model or a train spec
 //	GET  /healthz        liveness
@@ -47,6 +49,7 @@ import (
 	"fsml/internal/pmu"
 	"fsml/internal/report"
 	"fsml/internal/resilience"
+	"fsml/internal/stream"
 	"fsml/internal/suite"
 	"fsml/internal/trace"
 	"fsml/internal/xrand"
@@ -148,6 +151,12 @@ type Server struct {
 
 	limClassify *resilience.Limiter
 	limReport   *resilience.Limiter
+	limWatch    *resilience.Limiter
+
+	// watchStop is closed when shutdown begins, so long-lived watch
+	// sessions truncate at their next slice boundary and the drain can
+	// complete.
+	watchStop chan struct{}
 
 	// mu guards the shutdown gate: shutting flips once, inflight counts
 	// admitted handlers still running, and handlersDone closes when the
@@ -187,6 +196,8 @@ func New(cfg Config) *Server {
 		batcher:      NewBatcher(cfg.MaxBatch, cfg.Linger, cfg.Parallelism, m),
 		limClassify:  resilience.NewLimiter(cfg.MaxInflight, shedAfter),
 		limReport:    resilience.NewLimiter(cfg.MaxInflight, shedAfter),
+		limWatch:     resilience.NewLimiter(cfg.MaxInflight, shedAfter),
+		watchStop:    make(chan struct{}),
 		handlersDone: make(chan struct{}),
 	}
 	return s
@@ -206,6 +217,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.admit(s.limClassify, mShedClassify, s.handleClassify))
 	mux.HandleFunc("POST /v1/report", s.admit(s.limReport, mShedReport, s.handleReport))
+	mux.HandleFunc("GET /v1/watch", s.admit(s.limWatch, mShedWatch, s.handleWatch))
 	mux.HandleFunc("GET /v1/detectors", s.admit(nil, "", s.handleListDetectors))
 	mux.HandleFunc("POST /v1/detectors", s.admit(nil, "", s.handleRegisterDetector))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -317,6 +329,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.shutting {
 		s.shutting = true
+		// Watch sessions are long-lived by design; signal them before
+		// waiting so they truncate (emitting their done event) instead
+		// of holding the drain until their workload finishes.
+		close(s.watchStop)
 		if s.inflight == 0 {
 			close(s.handlersDone)
 		}
@@ -405,8 +421,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var br *badRequestError
 	var ud *UnknownDetectorError
 	var tu *TrainingUnavailableError
+	var se *stream.SpecError
 	switch {
-	case errors.As(err, &br):
+	case errors.As(err, &br), errors.As(err, &se):
 		status = http.StatusBadRequest
 	case errors.As(err, &ud):
 		status = http.StatusNotFound
@@ -457,9 +474,10 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	resp := ReadyResponse{
 		ShuttingDown:     shutting,
-		Overloaded:       s.limClassify.Saturated() || s.limReport.Saturated(),
+		Overloaded:       s.limClassify.Saturated() || s.limReport.Saturated() || s.limWatch.Saturated(),
 		InflightClassify: s.limClassify.Inflight(),
 		InflightReport:   s.limReport.Inflight(),
+		InflightWatch:    s.limWatch.Inflight(),
 		OpenBreakers:     s.reg.OpenBreakers(),
 		Detectors:        len(s.reg.List()),
 	}

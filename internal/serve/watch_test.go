@@ -1,0 +1,229 @@
+package serve
+
+// Tests of the live monitoring endpoint: the SSE wire contract, the
+// admission/shed behavior under load, and the shutdown drain. The serve
+// package is part of the race leg, so these also run under -race.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fsml/internal/stream"
+)
+
+// TestWatchStreamsDemoPhases runs one complete session through the SSE
+// endpoint and checks the event stream's structural contract: ordered
+// sequence numbers, valid kinds, exactly one terminal done event whose
+// summary matches the events delivered, and the stream metrics moving.
+func TestWatchStreamsDemoPhases(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	var events []stream.Event
+	sum, err := c.Watch(context.Background(), WatchQuery{
+		Spec:  "4:4:3",
+		Seed:  5,
+		Iters: 4000,
+		Buf:   4096, // lossless: the buffer exceeds any possible event count
+	}, func(ev stream.Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	windows := 0
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: stream reordered or lossy despite the huge buffer", i, ev.Seq)
+		}
+		switch ev.Kind {
+		case stream.KindWindow:
+			windows++
+			if ev.Window == nil {
+				t.Fatalf("window event %d has no payload", i)
+			}
+		case stream.KindPhase, stream.KindDrift:
+		case stream.KindDone:
+			if i != len(events)-1 {
+				t.Fatalf("done event at %d of %d: not terminal", i, len(events))
+			}
+		default:
+			t.Fatalf("event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	if sum == nil {
+		t.Fatal("no summary returned")
+	}
+	if sum.Truncated {
+		t.Error("complete run reported truncated")
+	}
+	if sum.Windows != windows {
+		t.Errorf("summary says %d windows, stream delivered %d", sum.Windows, windows)
+	}
+	if sum.Classified == 0 {
+		t.Error("no window was classified")
+	}
+	m := s.Metrics()
+	if m.Counter(stream.MetricSessionsStarted) != 1 || m.Counter(stream.MetricSessionsClosed) != 1 {
+		t.Errorf("session counters = %d started / %d closed, want 1/1",
+			m.Counter(stream.MetricSessionsStarted), m.Counter(stream.MetricSessionsClosed))
+	}
+	if got := m.Counter(stream.MetricWindowsClassified); got != uint64(sum.Classified) {
+		t.Errorf("windows-classified counter = %d, want %d", got, sum.Classified)
+	}
+}
+
+// TestWatchRejectsBadQueries pins the 400 surface: malformed window
+// specs (typed *stream.SpecError) and out-of-bounds session parameters.
+func TestWatchRejectsBadQueries(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	for _, q := range []WatchQuery{
+		{Spec: "0"},
+		{Spec: "8:9"},
+		{Spec: "8:4:0"},
+		{Program: "no-such-program"},
+		{Threads: maxWatchThreads + 1},
+		{Buf: -1},
+	} {
+		_, err := c.Watch(context.Background(), q, nil)
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.Status != http.StatusBadRequest {
+			t.Errorf("query %+v: err = %v, want a 400 APIError", q, err)
+		}
+	}
+}
+
+// watchDial opens a raw SSE request and returns once the first event
+// line has arrived — proof the session is admitted and streaming.
+func watchDial(t *testing.T, base, query string) (*http.Response, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/watch?"+query, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("watch dial: status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			resp.Body.Close()
+			cancel()
+			t.Fatalf("waiting for first event: %v", err)
+		}
+		if strings.HasPrefix(line, "data:") {
+			return resp, cancel
+		}
+	}
+}
+
+// longSession is a query whose workload cannot finish within the test:
+// shed and drain behavior must be observed mid-stream.
+const longSession = "iters=4000000&slice_rounds=500"
+
+// TestWatchShedUnderLoad saturates the watch limiter with one admitted
+// session and asserts the next is shed with 429 + Retry-After — and
+// that closing the first session frees the slot.
+func TestWatchShedUnderLoad(t *testing.T) {
+	s, c := newTestServer(t, Config{MaxInflight: 1, ShedAfter: -1})
+	hs := "http://" + strings.TrimPrefix(c.BaseURL, "http://")
+	resp, cancel := watchDial(t, hs, longSession)
+	defer resp.Body.Close()
+	defer cancel()
+
+	shed, err := http.Get(hs + "/v1/watch?" + longSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed.Body.Close()
+	if shed.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session status = %d, want 429", shed.StatusCode)
+	}
+	if shed.Header.Get("Retry-After") == "" {
+		t.Error("shed response carries no Retry-After hint")
+	}
+	if got := s.Metrics().Counter(mShedWatch); got != 1 {
+		t.Errorf("%s = %d, want 1", mShedWatch, got)
+	}
+
+	// Hang up the admitted session; the slot must come back.
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.limWatch.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watch slot not released after client hangup")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchShutdownDrains proves the drain contract: a mid-stream
+// session is truncated by Shutdown — the client still receives the
+// terminal done event, marked truncated — while late sessions are
+// rejected at the gate with 503, and Shutdown itself returns within its
+// deadline.
+func TestWatchShutdownDrains(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	started := make(chan struct{})
+	type result struct {
+		sum *stream.Summary
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		first := true
+		sum, err := c.Watch(context.Background(), WatchQuery{Iters: 4000000}, func(ev stream.Event) error {
+			if first {
+				first = false
+				close(started)
+			}
+			return nil
+		})
+		got <- result{sum, err}
+	}()
+	<-started
+
+	ctx, cancelShut := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancelShut()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown overran its deadline: %v", err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("truncated session should still end cleanly, got %v", r.err)
+		}
+		if r.sum == nil || !r.sum.Truncated {
+			t.Fatalf("summary = %+v, want a truncated one", r.sum)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never received the done event after shutdown")
+	}
+
+	// Late arrivals are rejected at the admission gate, never queued.
+	resp, err := http.Get(c.BaseURL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown watch status = %d, want 503", resp.StatusCode)
+	}
+}

@@ -138,10 +138,11 @@ type ReadyResponse struct {
 	// Overloaded reports that an admission limiter is saturated right
 	// now (new classify/report requests are being shed with 429).
 	Overloaded bool `json:"overloaded"`
-	// InflightClassify / InflightReport are the admission slots held
-	// per endpoint at probe time.
+	// InflightClassify / InflightReport / InflightWatch are the
+	// admission slots held per endpoint at probe time.
 	InflightClassify int `json:"inflight_classify"`
 	InflightReport   int `json:"inflight_report"`
+	InflightWatch    int `json:"inflight_watch"`
 	// OpenBreakers lists train-spec keys whose training circuit is
 	// open or probing (training keeps failing; requests fail fast).
 	OpenBreakers []string `json:"open_breakers,omitempty"`

@@ -1,0 +1,83 @@
+package stream
+
+// BenchmarkStreamClassify compares the two ways to classify a recorded
+// slice-sample stream: the online windowed engine (incremental rolling
+// sums, one classification per window, phase/drift tracking) against
+// the batch baseline (aggregate the whole run, classify once). One op
+// processes the full benchStreamLen-sample stream, so the ratio is the
+// price of live per-window verdicts over a single end-of-run verdict.
+// Numbers are recorded in EXPERIMENTS.md with the 1-CPU host caveat.
+
+import (
+	"testing"
+
+	"fsml/internal/pmu"
+)
+
+const benchStreamLen = 1024
+
+// benchSamples builds a three-phase sample stream. Each sample owns its
+// Names slice, mirroring pmu.Read, so the engine pays its real
+// layout-comparison cost.
+func benchSamples() []pmu.Sample {
+	samples := make([]pmu.Sample, benchStreamLen)
+	for i := range samples {
+		a, b := 0.001, 0.001
+		if i >= benchStreamLen/3 && i < 2*benchStreamLen/3 {
+			a = 0.5 // the false-sharing middle phase
+		}
+		samples[i] = pmu.Sample{
+			Names:        []string{"EV_A", "EV_B"},
+			Counts:       []float64{a * 1000, b * 1000},
+			Instructions: 1000,
+		}
+	}
+	return samples
+}
+
+func BenchmarkStreamClassify(b *testing.B) {
+	det := streamTestDetector(b)
+	samples := benchSamples()
+	spec := WindowSpec{Size: 8, Stride: 8, Hysteresis: 3}
+
+	b.Run("windowed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := NewEngine(det, EngineConfig{Spec: spec, MinInstructions: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range samples {
+				if _, err := e.Push(s, 1e-3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := e.Finish(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("fullrun", func(b *testing.B) {
+		b.ReportAllocs()
+		agg := pmu.Sample{
+			Names:  samples[0].Names,
+			Counts: make([]float64, len(samples[0].Counts)),
+		}
+		for i := 0; i < b.N; i++ {
+			for j := range agg.Counts {
+				agg.Counts[j] = 0
+			}
+			agg.Instructions = 0
+			for _, s := range samples {
+				for j, c := range s.Counts {
+					agg.Counts[j] += c
+				}
+				agg.Instructions += s.Instructions
+			}
+			if _, err := det.ClassifyRobust(agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

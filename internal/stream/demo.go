@@ -1,0 +1,51 @@
+package stream
+
+// The seeded demo workload the acceptance tests, the watch smoke target,
+// and examples/streaming all share: a three-phase program whose middle
+// phase false-shares. Keeping it here (rather than in the example) lets
+// the automated phase test and the human-facing demo exercise literally
+// the same kernels.
+
+import (
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+)
+
+// DemoProgram names the built-in phased workload for CLI and API use.
+const DemoProgram = "phases-demo"
+
+// PhasedKernels builds the good -> bad-fs -> good demonstration
+// workload: each thread streams over a private input slice (clean),
+// then hammers its slot of one packed counter line shared with every
+// other thread (false sharing), then streams again. perPhase is the
+// iteration count of each phase.
+func PhasedKernels(threads, perPhase int) []machine.Kernel {
+	// The space is a pure address allocator (no backing memory), so size
+	// it to the workload: the streamed input dominates, plus a line-
+	// padded slack for the two counter arrays.
+	sp := mem.NewSpace(uint64(perPhase*threads)*8 + uint64(threads)*2*mem.LineSize + 1<<16)
+	input := mem.NewArray(sp, perPhase*threads, 8)
+	packed := mem.NewArray(sp, threads, 8)
+	padded := mem.NewPaddedArray(sp, threads, 8)
+	kernels := make([]machine.Kernel, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		start := tid * perPhase
+		scan := func() machine.Kernel {
+			return &machine.IterKernel{I: start, End: start + perPhase,
+				Body: func(ctx *machine.Ctx, i int) {
+					ctx.Load(input.Addr(i))
+					ctx.Exec(2)
+					ctx.Store(padded.Addr(tid))
+				}}
+		}
+		hammer := &machine.IterKernel{I: start, End: start + perPhase,
+			Body: func(ctx *machine.Ctx, i int) {
+				ctx.Load(packed.Addr(tid))
+				ctx.Exec(1)
+				ctx.Store(packed.Addr(tid))
+			}}
+		kernels[tid] = &machine.SeqKernel{Stages: []machine.Kernel{scan(), hammer, scan()}}
+	}
+	return kernels
+}

@@ -1,0 +1,380 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/pmu"
+)
+
+// streamTestDetector trains a tiny two-attribute tree so engine tests
+// can dial any raw verdict sequence by hand: a high EV_A rate reads as
+// bad-fs, a high EV_B rate as bad-ma, both low as good.
+func streamTestDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	d := dataset.New([]string{"EV_A", "EV_B"})
+	add := func(a, b float64, label string, n int) {
+		for i := 0; i < n; i++ {
+			jitter := float64(i) * 1e-4
+			d.Add(dataset.Instance{Features: []float64{a + jitter, b + jitter}, Label: label})
+		}
+	}
+	add(0.001, 0.001, "good", 4)
+	add(0.5, 0.001, "bad-fs", 4)
+	add(0.001, 0.5, "bad-ma", 4)
+	det, err := core.TrainDetector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// testSample builds one slice sample with the given EV_A/EV_B rates
+// over 1000 instructions.
+func testSample(aRate, bRate float64) pmu.Sample {
+	return pmu.Sample{
+		Names:        []string{"EV_A", "EV_B"},
+		Counts:       []float64{aRate * 1000, bRate * 1000},
+		Instructions: 1000,
+	}
+}
+
+const (
+	goodRate = 0.001
+	badRate  = 0.5
+)
+
+// pushClasses feeds one sample per raw class letter ('g' good, 'b'
+// bad-fs, 'm' bad-ma) and returns every event produced.
+func pushClasses(t *testing.T, e *Engine, classes string) []Event {
+	t.Helper()
+	var out []Event
+	for i, c := range classes {
+		a, b := goodRate, goodRate
+		switch c {
+		case 'b':
+			a = badRate
+		case 'm':
+			b = badRate
+		}
+		evs, err := e.Push(testSample(a, b), 0.5)
+		if err != nil {
+			t.Fatalf("push %d (%c): %v", i, c, err)
+		}
+		out = append(out, evs...)
+	}
+	return out
+}
+
+func newTestEngine(t *testing.T, spec WindowSpec, env *Envelope) *Engine {
+	t.Helper()
+	e, err := NewEngine(streamTestDetector(t), EngineConfig{Spec: spec, Envelope: env, MinInstructions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineWindowGeometry(t *testing.T) {
+	e := newTestEngine(t, WindowSpec{Size: 4, Stride: 2, Hysteresis: 1}, nil)
+	events := pushClasses(t, e, "gggggggg")
+	var wins []*WindowVerdict
+	for _, ev := range events {
+		if ev.Kind == KindWindow {
+			wins = append(wins, ev.Window)
+		}
+	}
+	want := []struct{ idx, start, end int }{{0, 0, 4}, {1, 2, 6}, {2, 4, 8}}
+	if len(wins) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(wins), len(want))
+	}
+	for i, w := range want {
+		v := wins[i]
+		if v.Index != w.idx || v.Start != w.start || v.End != w.end {
+			t.Errorf("window %d = (idx %d, %d..%d), want (idx %d, %d..%d)",
+				i, v.Index, v.Start, v.End, w.idx, w.start, w.end)
+		}
+		if v.Instructions != 4000 {
+			t.Errorf("window %d instructions = %g, want 4000", i, v.Instructions)
+		}
+		if v.Seconds != 2 {
+			t.Errorf("window %d seconds = %g, want 2", i, v.Seconds)
+		}
+		if v.Class != "good" {
+			t.Errorf("window %d class = %q", i, v.Class)
+		}
+	}
+}
+
+func TestEngineRollingSumsExact(t *testing.T) {
+	// The incremental sums must match a direct recomputation exactly:
+	// the counts are integer-valued float64s, so add/subtract is exact.
+	e := newTestEngine(t, WindowSpec{Size: 3, Stride: 1, Hysteresis: 1}, nil)
+	var all []pmu.Sample
+	winIdx := 0
+	for i := 0; i < 40; i++ {
+		s := pmu.Sample{
+			Names:        []string{"EV_A", "EV_B"},
+			Counts:       []float64{float64((i*7919 + 13) % 5000), float64((i*104729 + 7) % 3000)},
+			Instructions: float64(1000 + i%17),
+		}
+		all = append(all, s)
+		events, err := e.Push(s, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			if ev.Kind != KindWindow {
+				continue
+			}
+			v := ev.Window
+			var instr float64
+			for _, ws := range all[v.Start:v.End] {
+				instr += ws.Instructions
+			}
+			if v.Instructions != instr {
+				t.Fatalf("window %d instructions = %g, want exact %g", v.Index, v.Instructions, instr)
+			}
+			winIdx++
+		}
+	}
+	if winIdx != 40-2 {
+		t.Errorf("saw %d windows, want %d", winIdx, 38)
+	}
+}
+
+// phaseEvents filters the phase changes out of an event stream.
+func phaseEvents(events []Event) []*PhaseChange {
+	var out []*PhaseChange
+	for _, ev := range events {
+		if ev.Kind == KindPhase {
+			out = append(out, ev.Phase)
+		}
+	}
+	return out
+}
+
+func TestEngineHysteresisSuppressesBlips(t *testing.T) {
+	// One noisy bad-fs window inside a good run must not flip the
+	// smoothed class; a sustained run must, back-dated to its start.
+	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 3}, nil)
+	events := pushClasses(t, e, "ggbggbbbgg")
+	phases := phaseEvents(events)
+	want := []PhaseChange{
+		{From: "", To: "good", Window: 0, Start: 0, Sample: 0},
+		{From: "good", To: "bad-fs", Window: 6, Start: 5, Sample: 5},
+		{From: "bad-fs", To: "good", Window: 9, Start: 8, Sample: 8},
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("got %d phase changes %+v, want %d", len(phases), phases, len(want))
+	}
+	for i, w := range want {
+		if *phases[i] != w {
+			t.Errorf("phase %d = %+v, want %+v", i, *phases[i], w)
+		}
+	}
+	// The blip window itself must still report its raw class alongside
+	// the held smoothed class.
+	for _, ev := range events {
+		if ev.Kind == KindWindow && ev.Window.Index == 2 {
+			if ev.Window.Class != "bad-fs" || ev.Window.Smoothed != "good" {
+				t.Errorf("blip window: class %q smoothed %q, want bad-fs/good", ev.Window.Class, ev.Window.Smoothed)
+			}
+		}
+	}
+
+	done, err := e.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := done[0].Summary
+	if sum.Phases != 3 || sum.Final != "good" {
+		t.Errorf("summary phases=%d final=%q, want 3/good", sum.Phases, sum.Final)
+	}
+	wantSegs := []PhaseSegment{
+		{Class: "good", Start: 0, End: 4},
+		{Class: "bad-fs", Start: 5, End: 7},
+		{Class: "good", Start: 8, End: 9},
+	}
+	if len(sum.PhaseRuns) != len(wantSegs) {
+		t.Fatalf("segments = %+v, want %+v", sum.PhaseRuns, wantSegs)
+	}
+	for i, w := range wantSegs {
+		if sum.PhaseRuns[i] != w {
+			t.Errorf("segment %d = %+v, want %+v", i, sum.PhaseRuns[i], w)
+		}
+	}
+}
+
+func TestEngineHysteresisOneIsUnsmoothed(t *testing.T) {
+	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}, nil)
+	events := pushClasses(t, e, "gbg")
+	if n := len(phaseEvents(events)); n != 3 {
+		t.Errorf("hysteresis 1 produced %d phase changes over g,b,g; want every flip (3)", n)
+	}
+}
+
+func TestEngineDriftEdgeTriggered(t *testing.T) {
+	env := &Envelope{Attrs: []string{"EV_A"}, Lo: []float64{0}, Hi: []float64{0.01}}
+	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}, env)
+	events := pushClasses(t, e, "ggbbbggbg")
+	var drifts []*DriftAlarm
+	for _, ev := range events {
+		if ev.Kind == KindDrift {
+			drifts = append(drifts, ev.Drift)
+		}
+	}
+	// Two excursions outside the envelope -> exactly two alarms, at the
+	// first window of each.
+	if len(drifts) != 2 {
+		t.Fatalf("got %d drift alarms %+v, want 2", len(drifts), drifts)
+	}
+	if drifts[0].Window != 2 || drifts[1].Window != 7 {
+		t.Errorf("alarm windows = %d, %d; want 2, 7", drifts[0].Window, drifts[1].Window)
+	}
+	for _, d := range drifts {
+		if len(d.Features) != 1 || d.Features[0] != "EV_A" || d.Score != 1 {
+			t.Errorf("alarm = %+v; want EV_A out with score 1", d)
+		}
+	}
+	done, err := e.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0].Summary.DriftAlarms != 2 {
+		t.Errorf("summary drift alarms = %d, want 2", done[0].Summary.DriftAlarms)
+	}
+}
+
+func TestEngineDriftUnknownAttr(t *testing.T) {
+	env := &Envelope{Attrs: []string{"NO_SUCH"}, Lo: []float64{0}, Hi: []float64{1}}
+	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}, env)
+	_, err := e.Push(testSample(goodRate, goodRate), 0.5)
+	if err == nil || !errors.Is(err, err) || err.Error() == "" {
+		t.Fatalf("unknown envelope attribute accepted: %v", err)
+	}
+}
+
+func TestEngineMinInstructionsGuard(t *testing.T) {
+	// The default 2000-instruction guard leaves a 1000-instruction
+	// window unclassified.
+	e, err := NewEngine(streamTestDetector(t), EngineConfig{Spec: WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := e.Push(testSample(badRate, goodRate), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != KindWindow {
+		t.Fatalf("events = %+v, want one window", events)
+	}
+	if v := events[0].Window; v.Class != "" || v.Smoothed != "" {
+		t.Errorf("starved window classified as %q/%q", v.Class, v.Smoothed)
+	}
+	done, err := e.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := done[0].Summary
+	if sum.Windows != 1 || sum.Classified != 0 {
+		t.Errorf("summary windows=%d classified=%d, want 1/0", sum.Windows, sum.Classified)
+	}
+}
+
+func TestEngineLayoutChangeRejected(t *testing.T) {
+	e := newTestEngine(t, DefaultWindowSpec(), nil)
+	if _, err := e.Push(testSample(goodRate, goodRate), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	bad := pmu.Sample{Names: []string{"EV_B", "EV_A"}, Counts: []float64{1, 1}, Instructions: 1000}
+	if _, err := e.Push(bad, 0.5); err == nil {
+		t.Fatal("reordered layout accepted mid-stream")
+	}
+}
+
+func TestEngineLifecycleErrors(t *testing.T) {
+	if _, err := NewEngine(nil, EngineConfig{}); err == nil {
+		t.Error("nil detector accepted")
+	}
+	var specErr *SpecError
+	if _, err := NewEngine(streamTestDetector(t), EngineConfig{Spec: WindowSpec{Size: 2, Stride: 3, Hysteresis: 1}}); !errors.As(err, &specErr) {
+		t.Errorf("bad spec error = %v, want *SpecError", err)
+	}
+	e := newTestEngine(t, DefaultWindowSpec(), nil)
+	if _, err := e.Finish(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Finish(false); err == nil {
+		t.Error("second Finish accepted")
+	}
+	if _, err := e.Push(testSample(goodRate, goodRate), 0.5); err == nil {
+		t.Error("push after Finish accepted")
+	}
+}
+
+func TestEngineDegradedWindow(t *testing.T) {
+	// A window containing flagged counter reads must degrade, not fail:
+	// the union of flags reaches ClassifyRobust.
+	e := newTestEngine(t, WindowSpec{Size: 2, Stride: 2, Hysteresis: 1}, nil)
+	s := testSample(badRate, goodRate)
+	s.Flags = []pmu.CountFlag{pmu.FlagSaturated, 0}
+	if _, err := e.Push(s, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	events, err := e.Push(testSample(badRate, goodRate), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Kind != KindWindow {
+		t.Fatalf("events = %+v", events)
+	}
+	v := events[0].Window
+	if !v.Degraded || len(v.Suspects) == 0 {
+		t.Errorf("flagged window not degraded: %+v", v)
+	}
+	if v.Class == "" || v.Confidence >= 1 {
+		t.Errorf("degraded window: class %q confidence %g, want a blended prediction with confidence < 1", v.Class, v.Confidence)
+	}
+}
+
+func TestEnvelopeFromDataset(t *testing.T) {
+	d := dataset.New([]string{"EV_A", "EV_B"})
+	d.Add(dataset.Instance{Features: []float64{0.1, 5}, Label: "good"})
+	d.Add(dataset.Instance{Features: []float64{0.3, 5}, Label: "good"})
+	env := EnvelopeFromDataset(d, 0.5)
+	// EV_A: range [0.1, 0.3], width 0.2, margin 0.1 each side.
+	if math.Abs(env.Lo[0]-0.0) > 1e-12 || math.Abs(env.Hi[0]-0.4) > 1e-12 {
+		t.Errorf("EV_A bounds = [%g, %g], want [0, 0.4]", env.Lo[0], env.Hi[0])
+	}
+	// EV_B is constant: widened by margin * magnitude.
+	if math.Abs(env.Lo[1]-2.5) > 1e-12 || math.Abs(env.Hi[1]-7.5) > 1e-12 {
+		t.Errorf("EV_B bounds = [%g, %g], want [2.5, 7.5]", env.Lo[1], env.Hi[1])
+	}
+}
+
+func TestEnvelopeFromTree(t *testing.T) {
+	det := streamTestDetector(t)
+	env := EnvelopeFromTree(det.Tree, 1)
+	if len(env.Attrs) != len(det.Tree.Attrs) {
+		t.Fatalf("envelope attrs = %v", env.Attrs)
+	}
+	splitSeen := false
+	for i, a := range env.Attrs {
+		if env.Lo[i] != 0 {
+			t.Errorf("%s lo = %g, want 0", a, env.Lo[i])
+		}
+		if !math.IsInf(env.Hi[i], 1) {
+			splitSeen = true
+			if env.Hi[i] <= 0 {
+				t.Errorf("%s hi = %g", a, env.Hi[i])
+			}
+		}
+	}
+	if !splitSeen {
+		t.Error("no attribute got a finite bound from the tree's splits")
+	}
+}

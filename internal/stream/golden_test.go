@@ -1,0 +1,138 @@
+package stream
+
+// The streaming determinism contract, pinned to bytes: the canonical
+// event stream of a seeded phase workload is a pure function of
+// (detector, seed, window spec, kernels). It must not change across
+// collector parallelism settings (-j 1 vs -j 8), across how many
+// sessions run concurrently, or across subscriber buffering configs —
+// backpressure may drop events from a lossy feed, but never reorder or
+// alter the canonical stream.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fsml/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/stream_phases.golden.json"
+
+// goldenSession is the pinned session: a 4-thread good -> bad-fs ->
+// good run, overlapping windows (stride < size), hysteresis 3, drift
+// alarms against the tree-derived envelope.
+func goldenSession(tb testing.TB, det *core.Detector, parallelism int, bufs []int) (canonical []byte, subs [][]Event) {
+	tb.Helper()
+	col := core.NewCollector()
+	col.Parallelism = parallelism
+	var buf bytes.Buffer
+	mon, err := NewMonitor(col, det, MonitorConfig{
+		Spec:        WindowSpec{Size: 4, Stride: 2, Hysteresis: 3},
+		SliceRounds: 400,
+		Seed:        7,
+		Envelope:    EnvelopeFromTree(det.Tree, 0),
+		OnEvent: func(ev Event) {
+			blob, err := json.Marshal(ev)
+			if err != nil {
+				tb.Errorf("marshaling event: %v", err)
+				return
+			}
+			buf.Write(blob)
+			buf.WriteByte('\n')
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	subscriptions := make([]*Subscription, len(bufs))
+	for i, b := range bufs {
+		if subscriptions[i], err = mon.Subscribe(b); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if _, err := mon.Run(context.Background(), PhasedKernels(4, 8000)); err != nil {
+		tb.Fatal(err)
+	}
+	subs = make([][]Event, len(bufs))
+	for i, s := range subscriptions {
+		for ev := range s.Events() {
+			subs[i] = append(subs[i], ev)
+		}
+	}
+	return buf.Bytes(), subs
+}
+
+// TestStreamGoldenPhases pins the canonical event stream byte-for-byte
+// and proves it identical across parallelism, concurrent sessions, and
+// buffering configurations.
+func TestStreamGoldenPhases(t *testing.T) {
+	det := realDetector(t)
+
+	// The reference run: collector parallelism 1, one big lossless
+	// subscriber and one tiny lossy one riding along.
+	canonical, subs := goldenSession(t, det, 1, []int{1 << 12, 1})
+	if len(canonical) == 0 {
+		t.Fatal("empty canonical stream")
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, canonical, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(canonical, golden) {
+		t.Errorf("canonical stream diverged from %s (run with -update if intended)\ngot %d bytes, want %d",
+			goldenPath, len(canonical), len(golden))
+	}
+
+	// The lossless subscriber saw exactly the canonical stream; the
+	// lossy one a strictly ordered subsequence ending in the done event.
+	var rejoined bytes.Buffer
+	for _, ev := range subs[0] {
+		blob, _ := json.Marshal(ev)
+		rejoined.Write(blob)
+		rejoined.WriteByte('\n')
+	}
+	if !bytes.Equal(rejoined.Bytes(), canonical) {
+		t.Error("lossless subscriber diverged from the canonical stream")
+	}
+	lossy := subs[1]
+	if n := len(lossy); n == 0 || lossy[n-1].Kind != KindDone {
+		t.Errorf("lossy subscriber ended with %+v, want the done event", lossy)
+	}
+
+	// -j 8, eight concurrent sessions, different buffer configs: every
+	// canonical stream must be byte-identical to the golden one.
+	const sessions = 8
+	var wg sync.WaitGroup
+	streams := make([][]byte, sessions)
+	bufConfigs := [][]int{{1}, {4}, {64}, {1 << 12}, {1, 1 << 12}, {2, 2}, {}, {8, 1}}
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			streams[i], _ = goldenSession(t, det, 8, bufConfigs[i])
+		}()
+	}
+	wg.Wait()
+	for i, s := range streams {
+		if !bytes.Equal(s, golden) {
+			t.Errorf("concurrent session %d (bufs %v) diverged from the golden stream", i, bufConfigs[i])
+		}
+	}
+}

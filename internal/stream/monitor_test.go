@@ -1,0 +1,332 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/miniprog"
+)
+
+// realDetector trains the paper pipeline's detector once per test
+// binary, from the same reduced grids the core tests use. The
+// acceptance and golden tests below need a detector that genuinely
+// recognizes the demo workload's phases, not a hand-built stub.
+var (
+	realDetOnce sync.Once
+	realDetVal  *core.Detector
+	realDetErr  error
+)
+
+func realDetector(tb testing.TB) *core.Detector {
+	tb.Helper()
+	realDetOnce.Do(func() {
+		c := core.NewCollector()
+		partA, err := c.Collect(miniprog.MultiThreadedSet(), core.Grid{
+			Sizes:    []int{30000, 60000},
+			MatSizes: []int{96},
+			Threads:  []int{3, 6},
+			Repeats: map[miniprog.Mode]int{
+				miniprog.Good:  2,
+				miniprog.BadFS: 1,
+				miniprog.BadMA: 1,
+			},
+			Seed: 11,
+		})
+		if err != nil {
+			realDetErr = err
+			return
+		}
+		partB, err := c.Collect(miniprog.SequentialSet(), core.Grid{
+			Sizes:    []int{2000, 60000, 120000},
+			MatSizes: []int{96},
+			Threads:  []int{1},
+			Repeats: map[miniprog.Mode]int{
+				miniprog.Good:  1,
+				miniprog.BadMA: 1,
+			},
+			Seed: 12,
+		})
+		if err != nil {
+			realDetErr = err
+			return
+		}
+		keptA, _ := core.FilterObservations(partA, core.DefaultFilter())
+		cfgB := core.DefaultFilter()
+		cfgB.DropWeakGood = true
+		keptB, _ := core.FilterObservations(partB, cfgB)
+		d, err := core.BuildDataset(append(keptA, keptB...))
+		if err != nil {
+			realDetErr = err
+			return
+		}
+		realDetVal, realDetErr = core.TrainDetector(d)
+	})
+	if realDetErr != nil {
+		tb.Fatalf("training the acceptance detector: %v", realDetErr)
+	}
+	return realDetVal
+}
+
+// tinyRealEventsDetector hand-builds a detector over two real PMU
+// feature names, so it projects onto Table 2 measurements without a
+// training sweep — for the structural monitor tests where the verdict
+// itself does not matter.
+func tinyRealEventsDetector(tb testing.TB) *core.Detector {
+	tb.Helper()
+	d := dataset.New([]string{"SNOOP_RESPONSE.HITM", "L2_RQSTS.LD_MISS"})
+	add := func(label string, hitm, miss float64) {
+		for i := 0; i < 8; i++ {
+			f := float64(i) * 0.01
+			if err := d.Add(dataset.Instance{Features: []float64{hitm + f, miss + f/2}, Label: label}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	add("bad-fs", 0.50, 0.05)
+	add("bad-ma", 0.01, 0.60)
+	add("good", 0.01, 0.02)
+	det, err := core.TrainDetector(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return det
+}
+
+// TestMonitorCatchesInjectedPhase is the acceptance test: a seeded
+// good -> bad-fs -> good miniprogram streamed through the monitor must
+// report the injected false-sharing phase — correct class, boundaries
+// within one stride of the sliced-detection reference — with zero false
+// positives in the good phases.
+func TestMonitorCatchesInjectedPhase(t *testing.T) {
+	det := realDetector(t)
+	const (
+		seed        = 5
+		threads     = 6
+		perPhase    = 20000
+		sliceRounds = 500
+	)
+	spec := WindowSpec{Size: 4, Stride: 4, Hysteresis: 3}
+
+	// Reference: the batch sliced detector over the same workload and
+	// seed sees the raw per-slice phase boundaries.
+	ref, err := core.NewCollector().DetectSliced(det, seed, PhasedKernels(threads, perPhase), sliceRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refFS *core.PhaseRun
+	for _, r := range ref.PhaseRuns() {
+		if r.Class == "bad-fs" {
+			r := r
+			if refFS != nil {
+				t.Fatalf("reference has multiple bad-fs runs:\n%s", ref)
+			}
+			refFS = &r
+		}
+	}
+	if refFS == nil {
+		t.Fatalf("reference sliced detection saw no bad-fs phase:\n%s", ref)
+	}
+
+	mon, err := NewMonitor(core.NewCollector(), det, MonitorConfig{
+		Spec:        spec,
+		SliceRounds: sliceRounds,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := mon.Run(context.Background(), PhasedKernels(threads, perPhase))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var classes []string
+	for _, seg := range sum.PhaseRuns {
+		classes = append(classes, seg.Class)
+	}
+	want := []string{"good", "bad-fs", "good"}
+	if len(classes) != len(want) {
+		t.Fatalf("smoothed phase timeline = %v, want exactly %v (no false positives)\nsummary: %+v", classes, want, sum)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("phase %d = %q, want %q (timeline %v)", i, classes[i], want[i], classes)
+		}
+	}
+	fs := sum.PhaseRuns[1]
+	// The reference boundaries are slice-sample indices; windows advance
+	// by Stride samples, so the streamed boundary must land within one
+	// stride (one window index) of the reference.
+	wantStart := refFS.Start / spec.Stride
+	wantEnd := refFS.End / spec.Stride
+	if diff := fs.Start - wantStart; diff < -1 || diff > 1 {
+		t.Errorf("bad-fs phase starts at window %d, reference slice %d ~ window %d (±1)", fs.Start, refFS.Start, wantStart)
+	}
+	if diff := fs.End - wantEnd; diff < -1 || diff > 1 {
+		t.Errorf("bad-fs phase ends at window %d, reference slice %d ~ window %d (±1)", fs.End, refFS.End, wantEnd)
+	}
+	if sum.Final != "good" {
+		t.Errorf("final smoothed class = %q, want good", sum.Final)
+	}
+	if sum.Truncated {
+		t.Error("complete run marked truncated")
+	}
+}
+
+// sinkCounters is a test CounterSink.
+type sinkCounters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (s *sinkCounters) Add(name string, delta uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]uint64{}
+	}
+	s.m[name] += delta
+}
+
+func (s *sinkCounters) get(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// TestMonitorBackpressureDropsOldest pins the backpressure policy: a
+// slow subscriber on a tiny ring loses events — counted, oldest first —
+// while the lossless OnEvent feed and the session itself are unaffected,
+// and the terminal done event is always delivered.
+func TestMonitorBackpressureDropsOldest(t *testing.T) {
+	det := tinyRealEventsDetector(t)
+	counters := &sinkCounters{}
+	var canonical []Event
+	mon, err := NewMonitor(core.NewCollector(), det, MonitorConfig{
+		Spec:        WindowSpec{Size: 2, Stride: 2, Hysteresis: 1},
+		SliceRounds: 200,
+		Seed:        3,
+		Counters:    counters,
+		OnEvent:     func(ev Event) { canonical = append(canonical, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := mon.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := mon.Run(context.Background(), PhasedKernels(4, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session has ended; everything still buffered is what the ring
+	// could hold. The subscriber was never reading, so all but the last
+	// buffered events were dropped.
+	var received []Event
+	for ev := range sub.Events() {
+		received = append(received, ev)
+	}
+	if len(canonical) < 4 {
+		t.Fatalf("canonical stream too short to exercise drops: %d events", len(canonical))
+	}
+	if len(received) > 2 {
+		t.Fatalf("subscriber with ring 2 received %d events", len(received))
+	}
+	if last := received[len(received)-1]; last.Kind != KindDone {
+		t.Errorf("last buffered event is %q, want the done event", last.Kind)
+	}
+	wantDropped := uint64(len(canonical) - len(received))
+	if got := sub.Dropped(); got != wantDropped {
+		t.Errorf("sub.Dropped() = %d, want %d", got, wantDropped)
+	}
+	if got := counters.get(MetricWindowsDropped); got != wantDropped {
+		t.Errorf("%s = %d, want %d", MetricWindowsDropped, got, wantDropped)
+	}
+	// Received events must be a suffix-consistent subsequence: strictly
+	// increasing seq, ending at the final event.
+	for i := 1; i < len(received); i++ {
+		if received[i].Seq <= received[i-1].Seq {
+			t.Fatalf("subscriber events out of order: seq %d then %d", received[i-1].Seq, received[i].Seq)
+		}
+	}
+	if sum.Windows == 0 {
+		t.Error("no windows formed")
+	}
+	if got := counters.get(MetricSessionsStarted); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSessionsStarted, got)
+	}
+	if got := counters.get(MetricSessionsClosed); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSessionsClosed, got)
+	}
+	if got := counters.get(MetricWindowsClassified); got != uint64(sum.Classified) {
+		t.Errorf("%s = %d, want %d", MetricWindowsClassified, got, sum.Classified)
+	}
+	if got := counters.get(MetricPhaseTransitions); got != uint64(sum.Phases) {
+		t.Errorf("%s = %d, want %d", MetricPhaseTransitions, got, sum.Phases)
+	}
+}
+
+// TestMonitorCancelTruncates: a cancelled session still closes every
+// subscription and emits a done event marked truncated.
+func TestMonitorCancelTruncates(t *testing.T) {
+	det := tinyRealEventsDetector(t)
+	mon, err := NewMonitor(core.NewCollector(), det, MonitorConfig{
+		Spec:        WindowSpec{Size: 2, Stride: 2, Hysteresis: 1},
+		SliceRounds: 200,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := mon.Subscribe(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first slice: immediate truncation
+	sum, err := mon.Run(ctx, PhasedKernels(4, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Truncated {
+		t.Error("cancelled session not marked truncated")
+	}
+	var last Event
+	n := 0
+	for ev := range sub.Events() {
+		last = ev
+		n++
+	}
+	if n == 0 || last.Kind != KindDone || last.Summary == nil || !last.Summary.Truncated {
+		t.Errorf("subscription ended with %+v after %d events, want a truncated done event", last, n)
+	}
+}
+
+// TestMonitorLifecycle pins the misuse surface: double Run, late
+// subscription, bad spec.
+func TestMonitorLifecycle(t *testing.T) {
+	det := tinyRealEventsDetector(t)
+	if _, err := NewMonitor(nil, nil, MonitorConfig{}); err == nil {
+		t.Error("nil detector accepted")
+	}
+	if _, err := NewMonitor(nil, det, MonitorConfig{Spec: WindowSpec{Size: 1, Stride: 2, Hysteresis: 1}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	mon, err := NewMonitor(nil, det, MonitorConfig{SliceRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Run(context.Background(), PhasedKernels(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Run(context.Background(), PhasedKernels(2, 500)); err == nil {
+		t.Error("second Run accepted")
+	}
+	if _, err := mon.Subscribe(1); err == nil {
+		t.Error("subscription after Run accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package stream
+
+// The window specification and its CLI/query-string surface syntax:
+// "size:stride:hysteresis", with the tail parts optional. The parser is
+// strict and its failures are typed (*SpecError) so the CLI and the
+// watch endpoint can say exactly which field of the spec is wrong, and
+// fuzzable (see FuzzParseWindowSpec) so hostile query strings can never
+// panic or provoke pathological allocation.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WindowSpec shapes a streaming detection session: how many slice
+// samples one window aggregates, how far consecutive windows advance,
+// and how many window verdicts the smoothing ring votes over.
+type WindowSpec struct {
+	// Size is the number of slice samples per window (>= 1).
+	Size int
+	// Stride is the sample distance between consecutive window starts:
+	// Stride == Size tumbles, Stride < Size overlaps. 1 <= Stride <= Size
+	// so every sample lands in at least one window.
+	Stride int
+	// Hysteresis is the length of the verdict-smoothing ring: the
+	// smoothed class switches only when a strict majority of the last
+	// Hysteresis classified windows agree on a different class. 1
+	// disables smoothing (every window verdict is final).
+	Hysteresis int
+}
+
+// Spec bounds. MaxWindowSize exists for the parser: a spec is attacker
+// input on the watch endpoint, and the window buffer is sized by Size.
+const (
+	MaxWindowSize = 1 << 16
+	MaxHysteresis = 1 << 10
+)
+
+// DefaultWindowSpec is the spec used when none is given: 8-sample
+// tumbling windows smoothed over 3 verdicts.
+func DefaultWindowSpec() WindowSpec { return WindowSpec{Size: 8, Stride: 8, Hysteresis: 3} }
+
+// String renders the spec in the syntax ParseWindowSpec reads.
+func (w WindowSpec) String() string {
+	return fmt.Sprintf("%d:%d:%d", w.Size, w.Stride, w.Hysteresis)
+}
+
+// Validate checks the spec invariants, returning a *SpecError naming
+// the offending field.
+func (w WindowSpec) Validate() error {
+	switch {
+	case w.Size < 1:
+		return &SpecError{Field: "size", Value: strconv.Itoa(w.Size), Reason: "must be >= 1"}
+	case w.Size > MaxWindowSize:
+		return &SpecError{Field: "size", Value: strconv.Itoa(w.Size), Reason: fmt.Sprintf("must be <= %d", MaxWindowSize)}
+	case w.Stride < 1:
+		return &SpecError{Field: "stride", Value: strconv.Itoa(w.Stride), Reason: "must be >= 1"}
+	case w.Stride > w.Size:
+		return &SpecError{Field: "stride", Value: strconv.Itoa(w.Stride), Reason: fmt.Sprintf("must be <= size (%d): every sample must land in a window", w.Size)}
+	case w.Hysteresis < 1:
+		return &SpecError{Field: "hysteresis", Value: strconv.Itoa(w.Hysteresis), Reason: "must be >= 1"}
+	case w.Hysteresis > MaxHysteresis:
+		return &SpecError{Field: "hysteresis", Value: strconv.Itoa(w.Hysteresis), Reason: fmt.Sprintf("must be <= %d", MaxHysteresis)}
+	}
+	return nil
+}
+
+// SpecError is a typed window-spec rejection: which field, what value,
+// and why. The watch endpoint maps it to HTTP 400; the CLI prints it
+// verbatim.
+type SpecError struct {
+	// Field is "spec", "size", "stride", or "hysteresis".
+	Field string
+	// Value is the offending input fragment.
+	Value string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("stream: window spec %s %q: %s", e.Field, e.Value, e.Reason)
+}
+
+// ParseWindowSpec parses "size[:stride[:hysteresis]]". Omitted parts
+// default to stride = size (tumbling windows) and hysteresis = 3; the
+// empty string yields DefaultWindowSpec. Every failure is a *SpecError.
+func ParseWindowSpec(s string) (WindowSpec, error) {
+	if s == "" {
+		return DefaultWindowSpec(), nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) > 3 {
+		return WindowSpec{}, &SpecError{Field: "spec", Value: s, Reason: "want size[:stride[:hysteresis]]"}
+	}
+	size, err := specField("size", parts[0])
+	if err != nil {
+		return WindowSpec{}, err
+	}
+	w := WindowSpec{Size: size, Stride: size, Hysteresis: 3}
+	if len(parts) > 1 {
+		if w.Stride, err = specField("stride", parts[1]); err != nil {
+			return WindowSpec{}, err
+		}
+	}
+	if len(parts) > 2 {
+		if w.Hysteresis, err = specField("hysteresis", parts[2]); err != nil {
+			return WindowSpec{}, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return WindowSpec{}, err
+	}
+	return w, nil
+}
+
+// specField parses one decimal field strictly: no signs, no spaces, no
+// empties. The numeric bound is checked by Validate afterwards; here we
+// only refuse values that do not even parse in range.
+func specField(field, s string) (int, error) {
+	if s == "" {
+		return 0, &SpecError{Field: field, Value: s, Reason: "empty"}
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, &SpecError{Field: field, Value: s, Reason: "not a decimal number"}
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		// Only overflow reaches here given the digit check above.
+		return 0, &SpecError{Field: field, Value: s, Reason: "out of range"}
+	}
+	return n, nil
+}

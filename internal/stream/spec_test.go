@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseWindowSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want WindowSpec
+	}{
+		{"", DefaultWindowSpec()},
+		{"8", WindowSpec{Size: 8, Stride: 8, Hysteresis: 3}},
+		{"16:4", WindowSpec{Size: 16, Stride: 4, Hysteresis: 3}},
+		{"16:4:5", WindowSpec{Size: 16, Stride: 4, Hysteresis: 5}},
+		{"1:1:1", WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}},
+		{"65536:65536:1024", WindowSpec{Size: MaxWindowSize, Stride: MaxWindowSize, Hysteresis: MaxHysteresis}},
+	}
+	for _, c := range cases {
+		got, err := ParseWindowSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseWindowSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseWindowSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWindowSpecErrors(t *testing.T) {
+	cases := []struct {
+		in    string
+		field string
+	}{
+		{"0", "size"},
+		{"65537", "size"},
+		{"x", "size"},
+		{"-4", "size"},
+		{" 8", "size"},
+		{"8:", "stride"},
+		{"8:9", "stride"},
+		{"8:0", "stride"},
+		{"8:4:0", "hysteresis"},
+		{"8:4:1025", "hysteresis"},
+		{"8:4:3:1", "spec"},
+		{"8:4:99999999999999999999", "hysteresis"},
+	}
+	for _, c := range cases {
+		_, err := ParseWindowSpec(c.in)
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("ParseWindowSpec(%q) err = %v, want *SpecError", c.in, err)
+			continue
+		}
+		if se.Field != c.field {
+			t.Errorf("ParseWindowSpec(%q) rejected field %q, want %q (%v)", c.in, se.Field, c.field, err)
+		}
+	}
+}
+
+func TestWindowSpecRoundTrip(t *testing.T) {
+	for _, w := range []WindowSpec{DefaultWindowSpec(), {Size: 16, Stride: 4, Hysteresis: 5}} {
+		got, err := ParseWindowSpec(w.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", w.String(), err)
+			continue
+		}
+		if got != w {
+			t.Errorf("round trip %q = %+v, want %+v", w.String(), got, w)
+		}
+	}
+}
+
+// FuzzParseWindowSpec throws arbitrary strings at the parser — a window
+// spec is attacker input on the watch endpoint's query string.
+// Invariants: no panic on any input; every accepted spec validates, and
+// survives a String/Parse round trip identically.
+func FuzzParseWindowSpec(f *testing.F) {
+	seeds := []string{
+		"", "8", "16:4", "16:4:5", "1:1:1",
+		"65536:65536:1024", // the exact bounds
+		"65537", "0", "8:9", "8:0", "8:4:0",
+		"8:4:3:1", ":", "::", "8::3",
+		"-4", "+4", " 8", "8 ", "0x10",
+		"99999999999999999999",      // int64 overflow
+		"184467440737095516150:1:1", // uint64 overflow
+		"8:4:1025",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := ParseWindowSpec(s)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseWindowSpec(%q) rejected with untyped error %v", s, err)
+			}
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("ParseWindowSpec(%q) accepted invalid spec %+v: %v", s, w, err)
+		}
+		rt, err := ParseWindowSpec(w.String())
+		if err != nil {
+			t.Fatalf("reparsing %q (from %q): %v", w.String(), s, err)
+		}
+		if rt != w {
+			t.Fatalf("round trip changed the spec: %+v -> %+v", w, rt)
+		}
+	})
+}
