@@ -6,9 +6,9 @@ GO ?= go
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
             ./internal/faults ./internal/serve ./internal/resilience \
-            ./internal/stream
+            ./internal/stream ./internal/ml
 
-.PHONY: all build test race fuzz fuzz-smoke bench serve-smoke watch-smoke chaos ci
+.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke chaos ci
 
 all: build test
 
@@ -37,6 +37,14 @@ fuzz-smoke:
 # EXPERIMENTS.md).
 bench:
 	$(GO) test . -run XXX -bench 'Sequential|Parallel' -benchtime 1x
+
+# bench-snapshot regenerates the committed inference/wire perf snapshot
+# (BENCH_6.json): flat-tree vs pointer-tree prediction, the columnar
+# batch path, and JSON vs binary serve round trips.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -o BENCH_6.json \
+	    -bench 'FlatPredict|ClassifyBatch|DetectorClassify|ServeClassify' \
+	    ./internal/ml ./internal/core ./internal/serve
 
 # serve-smoke exercises the detection server's full lifecycle: bind an
 # ephemeral port, health-check, register a model, classify through the

@@ -649,6 +649,14 @@ type (
 	// ClassifyResponse carries the verdict, including the degraded-mode
 	// fields of a flagged-counter classification.
 	ClassifyResponse = serve.ClassifyResponse
+	// BinClassifyRequest is the POST /v1/classify-bin frame: a batch of
+	// vectors sharing one event layout, or one trace, over the
+	// length-prefixed binary protocol (see ServeClient.ClassifyBinary).
+	BinClassifyRequest = serve.BinClassifyRequest
+	// BinClassifyResponse carries one verdict per request vector.
+	BinClassifyResponse = serve.BinClassifyResponse
+	// BinVerdict is one vector's verdict inside a BinClassifyResponse.
+	BinVerdict = serve.BinVerdict
 	// ServeReportRequest is the POST /v1/report body.
 	ServeReportRequest = serve.ReportRequest
 	// ServeReportResponse wraps the assembled report.

@@ -1,0 +1,142 @@
+// Command benchsnap runs a set of Go benchmarks and writes the parsed
+// results as a JSON snapshot, so the perf numbers a PR claims ride with
+// the commit that produced them (BENCH_*.json at the repo root) in a
+// machine-diffable form instead of only as prose in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go run ./cmd/benchsnap -o BENCH_6.json \
+//	    -bench 'FlatPredict|ClassifyBatch|ServeClassify' \
+//	    ./internal/ml ./internal/serve
+//
+// It shells out to `go test -run ^$ -bench ...` per package and parses
+// the standard benchmark output lines, keeping every reported metric:
+// ns/op, B/op, allocs/op, and custom ReportMetric units.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name, including sub-benchmark path and
+	// the -N GOMAXPROCS suffix Go appends.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics holds every reported unit: "ns/op", "B/op", "allocs/op",
+	// plus any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	// Tool records the generator, for provenance.
+	Tool string `json:"tool"`
+	// GoVersion is the toolchain the numbers came from.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the parallelism the numbers came from (this repo's
+	// canonical numbers are single-CPU; see EXPERIMENTS.md).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Bench is the -bench pattern that selected the set.
+	Bench string `json:"bench"`
+	// Benchtime is the -benchtime used (empty = go test default).
+	Benchtime string `json:"benchtime,omitempty"`
+	// Results are the parsed lines, in run order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	bench := flag.String("bench", ".", "benchmark regexp, passed to -bench")
+	benchtime := flag.String("benchtime", "", "passed to -benchtime when set")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: need at least one package argument")
+		os.Exit(2)
+	}
+	snap := Snapshot{
+		Tool:       "cmd/benchsnap",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+	}
+	for _, pkg := range pkgs {
+		results, err := runPackage(pkg, *bench, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		snap.Results = append(snap.Results, results...)
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runPackage benchmarks one package and parses its output.
+func runPackage(pkg, bench, benchtime string) ([]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBlob, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	var results []Result
+	for _, line := range strings.Split(string(outBlob), "\n") {
+		r, ok := parseLine(line, pkg)
+		if ok {
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// parseLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -100,7 +100,7 @@ func usage() {
                                                      run the verification tool
   fsml measure  [-threads N] [-input NAME] [-opt N] <program>
                                                      print the normalized event vector
-  fsml trace    [-quick] [-model F] [-verify] [-server URL [-retries N]] <file>...
+  fsml trace    [-quick] [-model F] [-verify] [-server URL [-retries N] [-bin]] <file>...
                                                      classify access-trace files
                                                      (locally, or via a server)
   fsml record   [-threads N] [-input NAME] [-opt N] [-o FILE] <program>
@@ -347,10 +347,14 @@ func cmdTrace(args []string) error {
 	verify := fs.Bool("verify", false, "also run the shadow-memory verification tool")
 	server := fs.String("server", "", "classify via a running `fsml serve` at this URL instead of a local model")
 	retries := fs.Int("retries", 4, "client retries when the server sheds or is briefly unavailable (with -server)")
+	bin := fs.Bool("bin", false, "use the binary classify protocol instead of JSON (with -server)")
 	jobs := jobsFlag(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("trace needs at least one trace file")
+	}
+	if *bin && *server == "" {
+		return fmt.Errorf("-bin selects the server wire protocol; it needs -server")
 	}
 	if *server != "" {
 		if *verify {
@@ -364,6 +368,15 @@ func cmdTrace(args []string) error {
 			data, err := os.ReadFile(path)
 			if err != nil {
 				return err
+			}
+			if *bin {
+				resp, err := c.ClassifyBinary(context.Background(), &fsml.BinClassifyRequest{Trace: data})
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				v := resp.Verdicts[0]
+				fmt.Printf("%-24s %-8s (detector %s, %.4f simulated s)\n", path, v.Class, resp.Detector, v.Seconds)
+				continue
 			}
 			resp, err := c.Classify(context.Background(), fsml.ClassifyRequest{Trace: data})
 			if err != nil {

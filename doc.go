@@ -63,7 +63,9 @@
 //     collection grid and case sweep
 //   - internal/miniprog — the training mini-programs (§2.2)
 //   - internal/ml — C4.5 (J48 analog), naive Bayes, k-NN,
-//     cross-validation
+//     cross-validation; trained trees compile to a flattened
+//     array form (FlatTree) for allocation-free batch inference,
+//     bit-identical to the pointer tree
 //   - internal/core — event selection, training-data collection, the
 //     detector
 //   - internal/suite — Phoenix and PARSEC workload analogs (§4)
@@ -72,7 +74,9 @@
 //   - internal/exps — regenerates every table and figure of the paper
 //   - internal/serve, internal/resilience — the long-running detection
 //     service: micro-batched inference, model registry, admission
-//     control and circuit breakers
+//     control and circuit breakers, plus a length-prefixed binary
+//     classify protocol (POST /v1/classify-bin) for batched hot-path
+//     inference
 //   - internal/stream — online streaming detection: sliding-window
 //     classification with phase and drift tracking, behind GET
 //     /v1/watch and `fsml watch`

@@ -30,6 +30,31 @@ type Detector struct {
 	// proj caches the sample-layout -> tree-attribute projection of the
 	// classify hot path (see project.go). Zero value = cold cache.
 	proj projCache
+	// flat caches the tree's flattened inference form (see FlatTree).
+	// Zero value = cold cache.
+	flat flatCache
+}
+
+// FlatTree returns the detector's flattened inference form — the
+// contiguous index-based layout every classification walks (see
+// ml.Compile). TrainDetector and DecodeDetector compile it eagerly;
+// detectors assembled as struct literals (tests, embedders) get it
+// compiled and cached here on first use. Nil for non-tree detectors
+// and for hand-built trees that do not compile — those fall back to
+// the pointer walk, so a Detector is never less capable than before.
+func (d *Detector) FlatTree() *ml.FlatTree {
+	if d.Tree == nil {
+		return nil
+	}
+	if f := d.flat.Load(); f != nil {
+		return f
+	}
+	f, err := ml.Compile(d.Tree)
+	if err != nil {
+		return nil
+	}
+	d.flat.Store(f)
+	return f
 }
 
 // TrainDetector fits the default C4.5 detector from a labeled dataset.
@@ -38,7 +63,9 @@ func TrainDetector(d *dataset.Dataset) (*Detector, error) {
 	if err != nil {
 		return nil, &PipelineError{Stage: StageTrain, Case: "detector", Err: err}
 	}
-	return &Detector{Tree: tree, Model: tree, TrainedOn: d.CountByClass()}, nil
+	det := &Detector{Tree: tree, Model: tree, TrainedOn: d.CountByClass()}
+	det.FlatTree() // compile the inference form once, at train time
+	return det, nil
 }
 
 // TrainDetectorWith fits a detector with an arbitrary trainer (used by
@@ -51,6 +78,7 @@ func TrainDetectorWith(tr ml.Trainer, d *dataset.Dataset) (*Detector, error) {
 	det := &Detector{Model: model, TrainedOn: d.CountByClass()}
 	if t, ok := model.(*ml.Tree); ok {
 		det.Tree = t
+		det.FlatTree() // compile the inference form once, at train time
 	}
 	return det, nil
 }
@@ -68,6 +96,9 @@ func (d *Detector) Classify(s pmu.Sample) (string, error) {
 		fv, err := d.projectTree(s)
 		if err != nil {
 			return "", err
+		}
+		if f := d.FlatTree(); f != nil {
+			return f.Predict(fv), nil
 		}
 		return d.Tree.Predict(fv), nil
 	}
@@ -336,5 +367,7 @@ func DecodeDetector(data []byte) (*Detector, error) {
 			return nil, fmt.Errorf("core: model attribute %d is empty", i)
 		}
 	}
-	return &Detector{Tree: tree, Model: tree, TrainedOn: mf.TrainedOn}, nil
+	det := &Detector{Tree: tree, Model: tree, TrainedOn: mf.TrainedOn}
+	det.FlatTree() // compile the inference form once, at decode time
+	return det, nil
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+)
+
+// TestClassifyVectorsMatchesScalar asserts the columnar frame path
+// returns exactly the scalar Classify verdict for every vector, under
+// both the identity layout (names nil) and a shuffled-and-padded one.
+func TestClassifyVectorsMatchesScalar(t *testing.T) {
+	det := projTestDetector(t)
+	ft := det.FlatTree()
+	if ft == nil {
+		t.Fatal("trained detector has no flat tree")
+	}
+
+	grid := []float64{0, 0.015, 0.04, 0.3, 0.55, 0.8}
+	t.Run("identity layout", func(t *testing.T) {
+		width := len(ft.Attrs)
+		var vecs []float64
+		for _, a := range grid {
+			for _, b := range grid {
+				vecs = append(vecs, a, b)
+			}
+		}
+		n := len(vecs) / width
+		classes := make([]string, n)
+		if err := det.ClassifyVectors(nil, vecs, width, classes); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s := pmu.Sample{Names: ft.Attrs, Counts: vecs[i*width : (i+1)*width], Instructions: 1}
+			want, err := det.Classify(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if classes[i] != want {
+				t.Errorf("vector %d: frame %q != scalar %q", i, classes[i], want)
+			}
+		}
+	})
+
+	t.Run("projected layout", func(t *testing.T) {
+		names := []string{"EV_PAD0", "EV_B", "EV_PAD1", "EV_A"}
+		width := len(names)
+		var vecs []float64
+		for _, a := range grid {
+			for _, b := range grid {
+				vecs = append(vecs, 3, b, 7, a)
+			}
+		}
+		n := len(vecs) / width
+		classes := make([]string, n)
+		if err := det.ClassifyVectors(names, vecs, width, classes); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s := pmu.Sample{Names: names, Counts: vecs[i*width : (i+1)*width], Instructions: 1}
+			want, err := det.Classify(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if classes[i] != want {
+				t.Errorf("vector %d: frame %q != scalar %q", i, classes[i], want)
+			}
+		}
+	})
+
+	t.Run("shape violations are typed errors", func(t *testing.T) {
+		out := make([]string, 2)
+		if err := det.ClassifyVectors(nil, []float64{1, 2, 3}, 2, out); err == nil {
+			t.Error("ragged frame accepted")
+		}
+		if err := det.ClassifyVectors(nil, []float64{1, 2, 3, 4}, 0, out); err == nil {
+			t.Error("zero width accepted")
+		}
+		if err := det.ClassifyVectors([]string{"EV_A"}, []float64{1, 2, 3, 4}, 2, out); err == nil {
+			t.Error("names/width mismatch accepted")
+		}
+		if err := det.ClassifyVectors([]string{"EV_A", "EV_X"}, []float64{1, 2, 3, 4}, 2, out); err == nil {
+			t.Error("unknown event accepted")
+		}
+	})
+}
+
+// TestFlatVsPointerTestdataDetectors is the trained-model leg of the
+// differential harness: every serialized detector under the repo's
+// testdata/ decodes, compiles to a flat form, and agrees with its
+// pointer tree — classes and confidence bits — over a dense grid of
+// vectors and every missing-attribute mask.
+func TestFlatVsPointerTestdataDetectors(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no serialized detectors under testdata/")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := DecodeDetector(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat := det.FlatTree()
+			if flat == nil {
+				t.Fatal("decoded detector did not compile to a flat tree")
+			}
+			tree := det.Tree
+			nAttrs := len(tree.Attrs)
+			// The tree consults few attributes; vary those densely and
+			// the rest coarsely so the grid stays tractable.
+			used := map[int]bool{}
+			for _, a := range tree.UsedAttrs() {
+				used[a] = true
+			}
+			fv := make([]float64, nAttrs)
+			var masks [][]bool
+			masks = append(masks, make([]bool, nAttrs)) // all present
+			for _, a := range tree.UsedAttrs() {
+				m := make([]bool, nAttrs)
+				m[a] = true
+				masks = append(masks, m)
+			}
+			all := make([]bool, nAttrs)
+			for i := range all {
+				all[i] = true
+			}
+			masks = append(masks, all)
+			dense := []float64{0, 0.001, 0.004, 0.01, 0.03, 0.1, 0.5}
+			var sweep func(attrIdx int)
+			checked := 0
+			sweep = func(attrIdx int) {
+				if attrIdx == nAttrs {
+					for _, m := range masks {
+						gc, gconf := flat.PredictPartial(fv, m)
+						wc, wconf := tree.PredictPartial(fv, m)
+						if gc != wc || math.Float64bits(gconf) != math.Float64bits(wconf) {
+							t.Fatalf("PredictPartial(%v, %v): flat (%q, %v) != pointer (%q, %v)", fv, m, gc, gconf, wc, wconf)
+						}
+					}
+					if got, want := flat.Predict(fv), tree.Predict(fv); got != want {
+						t.Fatalf("Predict(%v): flat %q != pointer %q", fv, got, want)
+					}
+					checked++
+					return
+				}
+				if !used[attrIdx] {
+					fv[attrIdx] = 0.02
+					sweep(attrIdx + 1)
+					return
+				}
+				for _, v := range dense {
+					fv[attrIdx] = v
+					sweep(attrIdx + 1)
+				}
+			}
+			sweep(0)
+			if checked == 0 {
+				t.Fatal("sweep checked nothing")
+			}
+			t.Logf("%s: %d attrs (%d consulted), %d vectors x %d masks agree",
+				filepath.Base(path), nAttrs, len(tree.UsedAttrs()), checked, len(masks))
+		})
+	}
+}
+
+// TestDetectorLiteralCompilesLazily pins the lazy path: a Detector
+// assembled as a struct literal (no TrainDetector/DecodeDetector) gets
+// its flat form on first classification and verdicts match the
+// pointer tree.
+func TestDetectorLiteralCompilesLazily(t *testing.T) {
+	tree := &ml.Tree{
+		Attrs: []string{"EV_A"},
+		Root: &ml.Node{
+			Attr: 0, Threshold: 0.5, N: 4,
+			Left:  &ml.Node{Leaf: true, Class: "good", N: 2},
+			Right: &ml.Node{Leaf: true, Class: "bad-fs", N: 2},
+		},
+	}
+	det := &Detector{Tree: tree, Model: tree}
+	if det.flat.Load() != nil {
+		t.Fatal("literal detector has a warm flat cache")
+	}
+	s := pmu.Sample{Names: []string{"EV_A"}, Counts: []float64{900}, Instructions: 1000}
+	class, err := det.Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "bad-fs" {
+		t.Fatalf("class = %q, want bad-fs", class)
+	}
+	if det.flat.Load() == nil {
+		t.Fatal("first classification did not compile the flat form")
+	}
+}

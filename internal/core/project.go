@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"fsml/internal/ml"
 	"fsml/internal/pmu"
 )
 
@@ -104,3 +105,18 @@ func (c *projCache) Load() *projection { return c.p.Load() }
 
 // Store publishes a rebuilt projection.
 func (c *projCache) Store(p *projection) { c.p.Store(p) }
+
+// flatCache is the compiled-flat-tree slot embedded in Detector, the
+// same single-atomic-slot shape as projCache: the zero value is a
+// valid cold cache, concurrent compilers may race to fill it, and
+// whichever Compile result publishes last wins (they are identical —
+// Compile is deterministic).
+type flatCache struct {
+	f atomic.Pointer[ml.FlatTree]
+}
+
+// Load returns the cached flat form (nil when cold).
+func (c *flatCache) Load() *ml.FlatTree { return c.f.Load() }
+
+// Store publishes a compiled flat form.
+func (c *flatCache) Store(f *ml.FlatTree) { c.f.Store(f) }

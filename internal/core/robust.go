@@ -175,9 +175,18 @@ func (d *Detector) ClassifyRobust(s pmu.Sample) (RobustResult, error) {
 		}
 		if !any {
 			// The flagged events are not ones this tree consults.
+			if f := d.FlatTree(); f != nil {
+				return RobustResult{Class: f.Predict(fv), Confidence: 1, Suspects: suspects}, nil
+			}
 			return RobustResult{Class: d.Tree.Predict(fv), Confidence: 1, Suspects: suspects}, nil
 		}
 	}
-	class, conf := d.Tree.PredictPartial(fv, missing)
+	var class string
+	var conf float64
+	if f := d.FlatTree(); f != nil {
+		class, conf = f.PredictPartial(fv, missing)
+	} else {
+		class, conf = d.Tree.PredictPartial(fv, missing)
+	}
 	return RobustResult{Class: class, Confidence: conf, Degraded: true, Suspects: suspects}, nil
 }

@@ -87,6 +87,12 @@ func (t *Tree) Predict(features []float64) string {
 // treatment — and the returned confidence is the winning class's share
 // of the total leaf weight reaching the leaves. When no split touches a
 // missing attribute the result agrees with Predict at confidence 1.
+//
+// Leaf ties are pinned: when two classes gather exactly equal weight,
+// the lexicographically smallest label wins, and the confidence
+// denominator is summed in ascending label order so the result is the
+// same bits on every call and in the flattened form (see
+// FlatTree.PredictPartial and TestPredictPartialLeafTieRule).
 func (t *Tree) PredictPartial(features []float64, missing []bool) (class string, confidence float64) {
 	weights := map[string]float64{}
 	var walk func(n *Node, w float64)
@@ -113,13 +119,24 @@ func (t *Tree) PredictPartial(features []float64, missing []bool) (class string,
 		}
 	}
 	walk(t.Root, 1)
+	// The pinned tie-break and confidence rule (shared bit-for-bit with
+	// FlatTree.PredictPartial, which the differential fuzz target
+	// enforces): class weights accumulate in DFS left-then-right order;
+	// the denominator sums them in ascending label order; and at an
+	// exact weight tie the lexicographically smallest label wins. The
+	// denominator previously summed in map-iteration order, which is
+	// random per run — with non-associative float addition that could
+	// wobble the confidence's last bit between two calls on the same
+	// input, and between the pointer and flat forms.
 	labels := make([]string, 0, len(weights))
-	total := 0.0
-	for l, w := range weights {
+	for l := range weights {
 		labels = append(labels, l)
-		total += w
 	}
-	sort.Strings(labels) // deterministic tie-break: smaller label wins
+	sort.Strings(labels)
+	total := 0.0
+	for _, l := range labels {
+		total += weights[l]
+	}
 	bestW := -1.0
 	for _, l := range labels {
 		if weights[l] > bestW {

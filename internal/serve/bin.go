@@ -1,0 +1,239 @@
+package serve
+
+// The binary classify endpoint: POST /v1/classify-bin speaks the
+// length-prefixed frame protocol from wire.go instead of JSON. It
+// exists for the hot path — a monitoring agent shipping thousands of
+// event vectors per second — where JSON encode/decode dominates the
+// actual tree walk. A vector frame is classified as one columnar batch
+// through Detector.ClassifyVectors (the frame IS the micro-batch, so it
+// skips the linger-based batcher), and verdicts are identical to the
+// JSON endpoint's: same projection cache, same flat tree, same degraded
+// semantics when suspects are flagged.
+//
+// Error handling is split by layer, on purpose: middleware rejections
+// (shed 429, shutdown 503) stay JSON so the client's retry classifier
+// is shared with the JSON path, while handler errors are rendered as
+// binary error frames with the same HTTP status the JSON path would
+// use. The client branches on Content-Type and folds both into APIError.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fsml/internal/core"
+)
+
+// contentTypeBin is the frame protocol's media type.
+const contentTypeBin = "application/octet-stream"
+
+// handleClassifyBin serves POST /v1/classify-bin.
+func (s *Server) handleClassifyBin(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	// Deferred so error responses land in the latency histogram too.
+	defer func() { s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds()) }()
+	s.metrics.Add(mReqClassifyBin, 1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes+8)
+	frame, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeBinError(w, badRequestf("classify-bin: reading frame: %v", err))
+		return
+	}
+	req, err := DecodeBinRequest(frame)
+	if err != nil {
+		s.writeBinError(w, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r, 0)
+	defer cancel()
+	det, key, err := s.detector(ctx, req.Detector)
+	if err != nil {
+		s.writeBinError(w, err)
+		return
+	}
+	resp, err := s.classifyBin(ctx, det, key, req)
+	if err != nil {
+		s.writeBinError(w, err)
+		return
+	}
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	out, err := AppendBinResponse(*buf, resp)
+	if err != nil {
+		s.writeBinError(w, err)
+		return
+	}
+	*buf = out // retain the grown capacity in the pool
+	w.Header().Set("Content-Type", contentTypeBin)
+	_, _ = w.Write(out)
+}
+
+// classifyBin dispatches a decoded frame: trace frames replay through
+// the batcher exactly like JSON trace requests; vector frames are
+// classified as one columnar batch.
+func (s *Server) classifyBin(ctx context.Context, det *core.Detector, key string, req *BinClassifyRequest) (*BinClassifyResponse, error) {
+	if len(req.Trace) > 0 {
+		jr := &ClassifyRequest{Trace: req.Trace, Seed: req.Seed}
+		resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
+			c0 := time.Now()
+			resp, err := s.classifyTrace(det, key, jr)
+			s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds())
+			return resp, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Degraded {
+			s.metrics.Add(mDegraded, 1)
+		}
+		return &BinClassifyResponse{
+			Detector: key,
+			Suspects: resp.Suspects,
+			Verdicts: []BinVerdict{{Class: resp.Class, Confidence: resp.Confidence, Degraded: resp.Degraded, Seconds: resp.Seconds}},
+		}, nil
+	}
+
+	n := req.NumVecs()
+	if n == 0 {
+		return nil, badRequestf("classify-bin: empty vector frame")
+	}
+	c0 := time.Now()
+	defer func() { s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds()) }()
+
+	// Fast path: a clean frame against a tree detector runs columnar —
+	// one projection, one flat-tree pass, interned verdict strings.
+	if len(req.Suspects) == 0 && det.FlatTree() != nil {
+		classes := make([]string, n)
+		if err := det.ClassifyVectors(req.Events, req.Vecs, req.Width, classes); err != nil {
+			return nil, badRequestf("classify-bin: %v", err)
+		}
+		verdicts := make([]BinVerdict, n)
+		for i, c := range classes {
+			verdicts[i] = BinVerdict{Class: c, Confidence: 1}
+		}
+		return &BinClassifyResponse{Detector: key, Verdicts: verdicts}, nil
+	}
+
+	// Degraded or non-tree frames reuse the JSON endpoint's per-vector
+	// path so suspect handling stays semantically identical.
+	jr := &ClassifyRequest{Events: req.Events, SuspectEvents: req.Suspects}
+	resp := &BinClassifyResponse{Detector: key, Verdicts: make([]BinVerdict, n)}
+	degraded := false
+	for i := 0; i < n; i++ {
+		jr.Vector = req.Vecs[i*req.Width : (i+1)*req.Width]
+		jresp, err := classifyVector(det, key, jr)
+		if err != nil {
+			return nil, err
+		}
+		resp.Verdicts[i] = BinVerdict{Class: jresp.Class, Confidence: jresp.Confidence, Degraded: jresp.Degraded}
+		if jresp.Degraded {
+			degraded = true
+		}
+		if resp.Suspects == nil {
+			resp.Suspects = jresp.Suspects
+		}
+	}
+	if degraded {
+		s.metrics.Add(mDegraded, 1)
+	}
+	return resp, nil
+}
+
+// writeBinError renders a handler error as a binary error frame with
+// the same HTTP status the JSON path would use.
+func (s *Server) writeBinError(w http.ResponseWriter, err error) {
+	s.metrics.Add(mReqErrors, 1)
+	status, retryAfter := errorStatus(err)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	}
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	out := AppendBinError(*buf, status, err.Error())
+	*buf = out
+	w.Header().Set("Content-Type", contentTypeBin)
+	w.WriteHeader(status)
+	_, _ = w.Write(out)
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+
+// ClassifyBinary posts one frame to /v1/classify-bin and decodes the
+// response frame. Server-rendered errors — binary frames from the
+// handler, JSON bodies from the admission middleware — both surface as
+// *APIError, so the retry policy treats the binary path exactly like
+// the JSON one (shed and shutdown responses retry for every verb).
+func (c *Client) ClassifyBinary(ctx context.Context, req *BinClassifyRequest) (*BinClassifyResponse, error) {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	frame, err := AppendBinRequest(*buf, req)
+	if err != nil {
+		return nil, err
+	}
+	*buf = frame
+	for attempt := 0; ; attempt++ {
+		resp, err := c.binRoundTrip(ctx, frame)
+		if err == nil {
+			return resp, nil
+		}
+		ok, hint := retryable(http.MethodPost, err)
+		if !ok || attempt >= c.Retry.Max {
+			return nil, err
+		}
+		delay := c.Retry.Backoff.Delay(attempt)
+		if hint > delay {
+			delay = hint
+		}
+		if serr := c.Retry.sleep(ctx, delay); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// binRoundTrip performs one binary attempt.
+func (c *Client) binRoundTrip(ctx context.Context, frame []byte) (*BinClassifyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/classify-bin", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentTypeBin)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	httpResp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes+8))
+	if err != nil {
+		return nil, err
+	}
+	retryAfter := parseRetryAfter(httpResp.Header.Get("Retry-After"))
+	if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), contentTypeBin) {
+		// The admission middleware (shed, shutdown) answers in JSON.
+		apiErr := &APIError{Status: httpResp.StatusCode, RetryAfter: retryAfter}
+		var e ErrorResponse
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(blob))
+		}
+		return nil, apiErr
+	}
+	resp, errFrame, err := DecodeBinResponse(blob)
+	if err != nil {
+		return nil, err
+	}
+	if errFrame != nil {
+		return nil, &APIError{Status: errFrame.Status, Message: errFrame.Message, RetryAfter: retryAfter}
+	}
+	return resp, nil
+}

@@ -148,6 +148,7 @@ func formatBound(v float64) string {
 // ~100s in roughly 10x steps, in seconds.
 const (
 	mReqClassify    = "fsml_requests_classify_total"
+	mReqClassifyBin = "fsml_requests_classify_bin_total"
 	mReqReport      = "fsml_requests_report_total"
 	mReqDetectors   = "fsml_requests_detectors_total"
 	mReqErrors      = "fsml_request_errors_total"

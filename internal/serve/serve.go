@@ -7,6 +7,8 @@
 //
 //	POST /v1/classify    classify a normalized event vector or an
 //	                     uploaded (optionally gzip) access trace
+//	POST /v1/classify-bin the same classifications over the binary frame
+//	                     protocol (batched vectors; see wire.go)
 //	POST /v1/report      full report.Options sweep of a named workload
 //	GET  /v1/watch       live monitoring: stream windowed verdicts,
 //	                     phase changes, and drift alarms as SSE
@@ -216,6 +218,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.admit(s.limClassify, mShedClassify, s.handleClassify))
+	mux.HandleFunc("POST /v1/classify-bin", s.admit(s.limClassify, mShedClassify, s.handleClassifyBin))
 	mux.HandleFunc("POST /v1/report", s.admit(s.limReport, mShedReport, s.handleReport))
 	mux.HandleFunc("GET /v1/watch", s.admit(s.limWatch, mShedWatch, s.handleWatch))
 	mux.HandleFunc("GET /v1/detectors", s.admit(nil, "", s.handleListDetectors))
@@ -413,17 +416,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps an error to its status and renders the JSON error
-// body.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	s.metrics.Add(mReqErrors, 1)
-	status := http.StatusInternalServerError
+// errorStatus maps an error to its HTTP status plus the Retry-After
+// hint (zero when none applies). Shared by the JSON and binary error
+// renderers so both protocols agree on semantics.
+func errorStatus(err error) (status int, retryAfter time.Duration) {
+	status = http.StatusInternalServerError
 	var br *badRequestError
 	var ud *UnknownDetectorError
 	var tu *TrainingUnavailableError
 	var se *stream.SpecError
+	var fe *FrameError
 	switch {
-	case errors.As(err, &br), errors.As(err, &se):
+	case errors.As(err, &br), errors.As(err, &se), errors.As(err, &fe):
 		status = http.StatusBadRequest
 	case errors.As(err, &ud):
 		status = http.StatusNotFound
@@ -431,13 +435,24 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		// The train spec's circuit is open: fail fast, and tell the
 		// client when the half-open probe will be admitted.
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(tu.RetryAfter)))
+		retryAfter = tu.RetryAfter
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable
+	}
+	return status, retryAfter
+}
+
+// writeError maps an error to its status and renders the JSON error
+// body.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.metrics.Add(mReqErrors, 1)
+	status, retryAfter := errorStatus(err)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
