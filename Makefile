@@ -6,7 +6,7 @@ GO ?= go
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
             ./internal/faults ./internal/serve ./internal/resilience \
-            ./internal/stream ./internal/ml
+            ./internal/stream ./internal/ml ./internal/perfingest
 
 .PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke chaos ci
 
@@ -27,24 +27,29 @@ race:
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzParseTrace -fuzztime 30s
 
-# fuzz-smoke is the CI leg: a 10s fuzz of the trace parser with the unit
-# tests filtered out, so regressions in the parser's robustness surface
-# on every push.
+# fuzz-smoke is the CI leg: a 10s fuzz of each ingestion parser (access
+# traces and perf output) with the unit tests filtered out, so
+# regressions in their robustness surface on every push.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 
 # bench records the parallel-vs-sequential engine numbers (see
 # EXPERIMENTS.md).
 bench:
 	$(GO) test . -run XXX -bench 'Sequential|Parallel' -benchtime 1x
 
-# bench-snapshot regenerates the committed inference/wire perf snapshot
-# (BENCH_6.json): flat-tree vs pointer-tree prediction, the columnar
-# batch path, and JSON vs binary serve round trips.
+# bench-snapshot regenerates the committed perf snapshots:
+# BENCH_6.json — inference/wire numbers (flat-tree vs pointer-tree
+# prediction, the columnar batch path, JSON vs binary serve round
+# trips); BENCH_7.json — perf-output ingestion throughput (parse +
+# Table-2 mapping per fixture format).
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_6.json \
 	    -bench 'FlatPredict|ClassifyBatch|DetectorClassify|ServeClassify' \
 	    ./internal/ml ./internal/core ./internal/serve
+	$(GO) run ./cmd/benchsnap -o BENCH_7.json \
+	    -bench 'ParsePerf' ./internal/perfingest
 
 # serve-smoke exercises the detection server's full lifecycle: bind an
 # ephemeral port, health-check, register a model, classify through the

@@ -15,6 +15,7 @@ import (
 	"fsml/internal/mem"
 	"fsml/internal/miniprog"
 	"fsml/internal/ml"
+	"fsml/internal/perfingest"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
 	"fsml/internal/resilience"
@@ -785,3 +786,69 @@ func StreamEnvelopeFromDataset(d *Dataset, margin float64) *StreamEnvelope {
 // threads workers running a good -> bad-fs -> good phase sequence of
 // perPhase iterations each, with barriers at the phase boundaries.
 func PhasedKernels(threads, perPhase int) []Kernel { return stream.PhasedKernels(threads, perPhase) }
+
+// ---------------------------------------------------------------------------
+// Perf ingestion: classifying real `perf` tool output.
+
+type (
+	// PerfReport is parsed `perf stat` / `perf c2c report` output: an
+	// ordered event list with counts aggregated across intervals.
+	PerfReport = perfingest.Report
+	// PerfEventCount is one event's aggregated count in a PerfReport.
+	PerfEventCount = perfingest.EventCount
+	// PerfFormat identifies which perf output shape was parsed.
+	PerfFormat = perfingest.Format
+	// PerfMapping reports how a capture landed on the Table-2 feature
+	// space: mapped events, unmapped events, and uncovered features.
+	PerfMapping = perfingest.Mapping
+	// PerfParseError is a typed, line-numbered perf parse failure.
+	PerfParseError = perfingest.ParseError
+	// RobustResult is a classification that records its own quality:
+	// the verdict, a confidence, and whether it was computed on a
+	// degraded (partial) feature subset.
+	RobustResult = core.RobustResult
+)
+
+// The recognized perf output formats.
+const (
+	PerfFormatStat    = perfingest.FormatStat
+	PerfFormatStatCSV = perfingest.FormatStatCSV
+	PerfFormatC2C     = perfingest.FormatC2C
+)
+
+// ServePerfContentType is the POST /v1/classify media type for raw
+// perf uploads (see ServeClient.ClassifyPerf).
+const ServePerfContentType = serve.PerfContentType
+
+// ErrNoPerfNormalizer reports perf output with no usable instruction
+// count: nothing can be normalized into the counts-per-instruction
+// feature space. Returned (wrapped) by ClassifyPerf.
+var ErrNoPerfNormalizer = perfingest.ErrNoNormalizer
+
+// ParsePerf reads real perf tool output, auto-detecting the format:
+// `perf c2c report` statistics, `perf stat -x,` CSV, or human-readable
+// `perf stat` (the latter two in plain or `-I <ms>` interval mode).
+func ParsePerf(r io.Reader) (*PerfReport, error) { return perfingest.Parse(r) }
+
+// ClassifyPerf classifies a parsed perf capture with det: the capture
+// is mapped onto the Table-2 feature space through the event-alias
+// table and classified robustly — features the capture did not measure
+// degrade the verdict's confidence (RobustResult.Degraded) instead of
+// failing it. The returned mapping says which perf events fed which
+// features, which were unmapped, and which features went uncovered.
+func ClassifyPerf(det *Detector, rep *PerfReport) (RobustResult, *PerfMapping, error) {
+	sample, mapping, err := rep.Sample()
+	if err != nil {
+		return RobustResult{}, nil, err
+	}
+	rr, err := det.ClassifyRobust(sample)
+	if err != nil {
+		return RobustResult{}, nil, err
+	}
+	return rr, mapping, nil
+}
+
+// PerfEventAliases returns the event-alias table as sorted
+// "perf name -> Table-2 feature" pairs, for documentation and
+// diagnostics.
+func PerfEventAliases() [][2]string { return perfingest.Aliases() }

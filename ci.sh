@@ -8,10 +8,12 @@ go vet ./...
 go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
     ./internal/trace ./internal/mem ./internal/xrand ./internal/faults \
-    ./internal/serve ./internal/resilience ./internal/stream ./internal/ml
+    ./internal/serve ./internal/resilience ./internal/stream ./internal/ml \
+    ./internal/perfingest
 # The chaos leg: every serving failure mode at once, race-instrumented.
 go test -race -count=1 -run TestChaos ./internal/serve
 go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 go test -run '^$' -fuzz FuzzParseWindowSpec -fuzztime 10s ./internal/stream
 # Inference equivalence and wire robustness: the flat tree must stay
 # bit-identical to the pointer tree, and garbage binary frames must

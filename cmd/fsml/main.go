@@ -7,6 +7,7 @@
 //
 //	fsml train   [-quick] [-seed N] [-j N] [-o model.json]
 //	fsml classify [-quick] [-model model.json] [-j N] [-faults SPEC] <program>...
+//	fsml classify -perf FILE [-model model.json] [-server URL [-retries N]]
 //	fsml tree    [-quick] [-model model.json] [-j N]
 //	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
@@ -26,6 +27,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -94,6 +96,9 @@ func usage() {
                                                      collect + train a detector
   fsml classify [-quick] [-model F] [-j N] [-faults SPEC] <program>...
                                                      classify benchmark programs
+  fsml classify -perf FILE [-model F] [-server URL [-retries N]]
+                                                     classify real perf output
+                                                     (perf stat / c2c; "-" = stdin)
   fsml tree     [-quick] [-model F] [-j N]           print the decision tree
   fsml events   [-quick] [-j N]                      run the event-selection step
   fsml shadow   [-threads N] [-input NAME] [-opt N] <program>
@@ -198,10 +203,22 @@ func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced sweep and training")
 	model := fs.String("model", "", "trained model path (default: train now)")
+	perf := fs.String("perf", "", "classify real `perf stat` / `perf c2c report` output from this file (\"-\" = stdin) instead of simulating programs")
+	server := fs.String("server", "", "with -perf: classify via a running `fsml serve` at this URL instead of a local model")
+	retries := fs.Int("retries", 4, "client retries when the server sheds or is briefly unavailable (with -server)")
 	jobs := jobsFlag(fs)
 	faultSpec := faultsFlag(fs)
 	timeout := timeoutFlag(fs)
 	fs.Parse(args)
+	if *perf != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("classify -perf takes no program names (the perf capture is the workload)")
+		}
+		return classifyPerf(*perf, *server, *retries, *model, *quick, *jobs)
+	}
+	if *server != "" {
+		return fmt.Errorf("-server applies to -perf captures; program sweeps run locally")
+	}
 	names := fs.Args()
 	if len(names) == 0 {
 		return fmt.Errorf("classify needs at least one program name (see `fsml list`)")
@@ -247,6 +264,65 @@ func cmdClassify(args []string) error {
 		}
 	}
 	return nil
+}
+
+// classifyPerf classifies a real perf capture: read it (file or
+// stdin), then either upload it raw to a server or parse + map + rank
+// it locally. Missing events degrade the verdict's confidence; the
+// mapping summary says how much of the capture was actually used.
+func classifyPerf(path, server string, retries int, model string, quick bool, jobs int) error {
+	label := path
+	var data []byte
+	var err error
+	if path == "-" {
+		label = "<stdin>"
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	if server != "" {
+		c := fsml.NewServeClient(server)
+		c.Retry = fsml.ServeRetryPolicy{Max: retries}
+		resp, err := c.ClassifyPerf(context.Background(), "", data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		fmt.Printf("%-24s %-8s (confidence %.3f, %s format, detector %s)\n",
+			label, resp.Class, resp.Confidence, resp.PerfFormat, resp.Detector)
+		printPerfCaveats(resp.Degraded, resp.Suspects, resp.UnmappedEvents)
+		return nil
+	}
+	rep, err := fsml.ParsePerf(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	det, err := loadOrTrain(model, quick, jobs)
+	if err != nil {
+		return err
+	}
+	rr, mapping, err := fsml.ClassifyPerf(det, rep)
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	fmt.Printf("%-24s %-8s (confidence %.3f, %s format, %d events)\n",
+		label, rr.Class, rr.Confidence, rep.Format, len(rep.Events))
+	printPerfCaveats(rr.Degraded, mapping.Missing, mapping.Unmapped)
+	return nil
+}
+
+// printPerfCaveats renders the partial-coverage warnings of a perf
+// verdict: features the capture did not measure (degrading the
+// classification) and perf events no alias maps.
+func printPerfCaveats(degraded bool, missing, unmapped []string) {
+	if degraded {
+		fmt.Printf("  degraded: missing events %s\n", strings.Join(missing, ", "))
+	}
+	if len(unmapped) > 0 {
+		fmt.Printf("  unmapped perf events (ignored): %s\n", strings.Join(unmapped, ", "))
+	}
 }
 
 func cmdTree(args []string) error {

@@ -80,6 +80,11 @@
 //   - internal/stream — online streaming detection: sliding-window
 //     classification with phase and drift tracking, behind GET
 //     /v1/watch and `fsml watch`
+//   - internal/perfingest — real `perf stat` / `perf c2c report`
+//     output parsed and mapped onto the Table-2 feature space through
+//     an explicit event-alias table, behind `fsml classify -perf` and
+//     text/x-perf-stat uploads to POST /v1/classify; missing events
+//     degrade confidence instead of erroring
 //
 // See DESIGN.md for the substitution map (paper hardware -> simulator)
 // and EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,260 @@
+package perfingest
+
+// The event-alias table: the bridge between what perf prints and what
+// the trees were trained on. Event names are microarchitecture- and
+// perf-version-specific (Röhl et al., "Validation of hardware events
+// ..."), so every supported spelling is an explicit entry mapping onto
+// one Westmere Table-2 feature — never a fuzzy match. Three name
+// families resolve:
+//
+//   - the Table-2 names themselves (case-insensitive), so output from
+//     a machine programmed with the paper's exact events round-trips;
+//   - modern perf spellings: generic hardware aliases (cache-misses),
+//     Nehalem/Westmere-era dotted names (l2_rqsts.ld_miss), and the
+//     Sandy Bridge+ successors of the snoop-response events
+//     (mem_load_uops_llc_hit_retired.xsnp_hitm);
+//   - raw rUUEE codes (perf's r<umask><event> hex syntax), decoded
+//     against the Table-2 encodings in internal/pmu.
+//
+// Several spellings may land on one feature (local + remote HITM both
+// feed SNOOP_RESPONSE.HITM); their counts sum. A perf event with no
+// entry is reported as unmapped; a feature no mapped event covered is
+// flagged in the sample so classification degrades instead of erroring.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fsml/internal/pmu"
+)
+
+// normalizer is the instruction-count event every normalized feature
+// divides by (Table-2 event 16).
+const normalizer = "INST_RETIRED.ANY"
+
+// aliases maps canonicalized perf event names (see canonEvent) onto
+// Table-2 feature names (or the normalizer). Identity entries for the
+// Table-2 names themselves are added in init.
+var aliases = map[string]string{
+	// The normalizer: generic alias, Nehalem/Westmere name, and the
+	// c2c statistics proxy (see the c2c note in DESIGN.md §11: c2c
+	// stats count sampled memory operations, so "Total records" is the
+	// per-sampled-op normalizer of that format).
+	"instructions":  normalizer,
+	"inst_retired.any": normalizer,
+	"total records": normalizer,
+
+	// 1 · L2_DATA_RQSTS.DEMAND.I_STATE — demand requests that found the
+	// line Invalid: L2 demand misses in modern spellings.
+	"l2_data_rqsts.demand.i_state": "L2_DATA_RQSTS.DEMAND.I_STATE",
+	"l2_rqsts.all_demand_miss":     "L2_DATA_RQSTS.DEMAND.I_STATE",
+
+	// 2 · L2_WRITE.RFO.S_STATE — RFOs hitting Shared lines (the
+	// ownership upgrades false sharing provokes).
+	"l2_write.rfo.s_state": "L2_WRITE.RFO.S_STATE",
+	"l2_rqsts.rfo_hit":     "L2_WRITE.RFO.S_STATE",
+
+	// 3 · L2_RQSTS.LD_MISS — demand load misses; the generic
+	// cache-miss aliases land here as the closest Table-2 meaning.
+	"l2_rqsts.ld_miss":             "L2_RQSTS.LD_MISS",
+	"l2_rqsts.demand_data_rd_miss": "L2_RQSTS.LD_MISS",
+	"cache-misses":                 "L2_RQSTS.LD_MISS",
+	"llc-load-misses":              "L2_RQSTS.LD_MISS",
+
+	// 4 · RESOURCE_STALLS.STORE — store-buffer stalls.
+	"resource_stalls.store": "RESOURCE_STALLS.STORE",
+	"resource_stalls.st":    "RESOURCE_STALLS.STORE",
+	"resource_stalls.sb":    "RESOURCE_STALLS.STORE",
+
+	// 5 · OFFCORE_REQUESTS.DEMAND.READ_DATA
+	"offcore_requests.demand.read_data": "OFFCORE_REQUESTS.DEMAND.READ_DATA",
+	"offcore_requests.demand_data_rd":   "OFFCORE_REQUESTS.DEMAND.READ_DATA",
+
+	// 6 · L2_TRANSACTIONS.FILL
+	"l2_transactions.fill": "L2_TRANSACTIONS.FILL",
+	"l2_trans.l2_fill":     "L2_TRANSACTIONS.FILL",
+
+	// 7 · L2_LINES_IN.S_STATE
+	"l2_lines_in.s_state": "L2_LINES_IN.S_STATE",
+	"l2_lines_in.s":       "L2_LINES_IN.S_STATE",
+
+	// 8 · L2_LINES_OUT.DEMAND_CLEAN
+	"l2_lines_out.demand_clean": "L2_LINES_OUT.DEMAND_CLEAN",
+	"l2_lines_out.silent":       "L2_LINES_OUT.DEMAND_CLEAN",
+
+	// 9-11 · SNOOP_RESPONSE.{HIT,HITE,HITM} — the cross-core snoop
+	// responses; on Sandy Bridge+ the load-latency facility reports
+	// them as xsnp_* load sources, and c2c tallies the HITM rows.
+	"snoop_response.hit":                     "SNOOP_RESPONSE.HIT",
+	"mem_load_uops_llc_hit_retired.xsnp_hit": "SNOOP_RESPONSE.HIT",
+	"snoop_response.hite":                    "SNOOP_RESPONSE.HITE",
+	"snoop_response.hit_e":                   "SNOOP_RESPONSE.HITE",
+	"snoop_response.hitm":                    "SNOOP_RESPONSE.HITM",
+	"mem_load_uops_llc_hit_retired.xsnp_hitm": "SNOOP_RESPONSE.HITM",
+	"mem_load_l3_hit_retired.xsnp_hitm":       "SNOOP_RESPONSE.HITM",
+	"load local hitm":                         "SNOOP_RESPONSE.HITM",
+	"load remote hitm":                        "SNOOP_RESPONSE.HITM",
+
+	// 12 · MEM_LOAD_RETIRED.HIT_LFB — loads satisfied by an in-flight
+	// line-fill buffer (c2c: "Load Fill Buffer Hit").
+	"mem_load_retired.hit_lfb":      "MEM_LOAD_RETIRED.HIT_LFB",
+	"mem_load_retired.fb_hit":       "MEM_LOAD_RETIRED.HIT_LFB",
+	"mem_load_uops_retired.hit_lfb": "MEM_LOAD_RETIRED.HIT_LFB",
+	"load fill buffer hit":          "MEM_LOAD_RETIRED.HIT_LFB",
+
+	// 13 · DTLB_MISSES.ANY
+	"dtlb_misses.any":                    "DTLB_MISSES.ANY",
+	"dtlb-load-misses":                   "DTLB_MISSES.ANY",
+	"dtlb_load_misses.miss_causes_a_walk": "DTLB_MISSES.ANY",
+
+	// 14 · L1D.REPL
+	"l1d.repl":              "L1D.REPL",
+	"l1d.replacement":       "L1D.REPL",
+	"l1-dcache-load-misses": "L1D.REPL",
+
+	// 15 · RESOURCE_STALLS.LOAD
+	"resource_stalls.load": "RESOURCE_STALLS.LOAD",
+	"resource_stalls.ld":   "RESOURCE_STALLS.LOAD",
+}
+
+// rawCodes maps (code, umask) to Table-2 names, for perf's raw rUUEE
+// event syntax.
+var rawCodes = map[uint16]string{}
+
+func init() {
+	// Table2 includes the normalizer under its own name, so its
+	// identity entry lands here alongside the 15 features'.
+	for _, d := range pmu.Table2() {
+		aliases[strings.ToLower(d.Name)] = d.Name
+		rawCodes[uint16(d.Umask)<<8|uint16(d.Code)] = d.Name
+	}
+}
+
+// canonEvent canonicalizes a perf-printed event name for alias lookup:
+// lowercase, privilege modifiers (":u", ":ukh", "/u") stripped, and
+// PMU prefixes ("cpu/.../", "cpu_core/.../") unwrapped.
+func canonEvent(name string) string {
+	s := strings.TrimSpace(strings.ToLower(name))
+	if i := strings.IndexByte(s, '/'); i >= 0 && strings.Contains(s[i+1:], "/") {
+		inner := s[i+1:]
+		if j := strings.LastIndexByte(inner, '/'); j >= 0 {
+			s = inner[:j]
+		}
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// resolve maps one perf event name to its Table-2 feature (or the
+// normalizer). Raw rUUEE codes decode against the Table-2 encodings.
+func resolve(name string) (string, bool) {
+	c := canonEvent(name)
+	if feat, ok := aliases[c]; ok {
+		return feat, true
+	}
+	if len(c) >= 2 && len(c) <= 7 && c[0] == 'r' {
+		if v, err := strconv.ParseUint(c[1:], 16, 16); err == nil {
+			if feat, ok := rawCodes[uint16(v)]; ok {
+				return feat, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Mapping reports how a perf report landed on the Table-2 feature
+// space: which perf events fed which features, which perf events no
+// alias covers, and which features ended up with no data.
+type Mapping struct {
+	// Mapped is perf event name -> Table-2 feature (or the
+	// "INST_RETIRED.ANY" normalizer) for every resolved event,
+	// including ones that read <not counted>.
+	Mapped map[string]string `json:"mapped,omitempty"`
+	// Unmapped lists perf events with no alias entry, in
+	// first-appearance order. They carry real data the feature space
+	// cannot hold; surfacing them is what keeps the alias table honest.
+	Unmapped []string `json:"unmapped,omitempty"`
+	// Missing lists Table-2 features no measured event covered, in
+	// paper order. The sample flags these so classification degrades.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// ErrNoNormalizer is returned when the perf output carries no usable
+// instruction count: nothing can be normalized, so there is no feature
+// vector to degrade to. Wrapped with context by Sample.
+var ErrNoNormalizer = errors.New("no usable instruction count to normalize by")
+
+// Sample maps the report onto the detector's Table-2 feature space: a
+// pmu.Sample carrying all 15 features by name, raw counts summed from
+// every mapped measured event, and the instruction normalizer. A
+// feature no measured event covered is present but flagged
+// (pmu.FlagStarved — it never received data, exactly what a starved
+// multiplexing slot means), so core.Detector.ClassifyRobust predicts
+// on the surviving subset with a confidence downgrade instead of
+// erroring. Output missing the instructions event entirely is an error
+// wrapping ErrNoNormalizer: with no normalizer there is no subset to
+// survive on.
+func (r *Report) Sample() (pmu.Sample, *Mapping, error) {
+	names := pmu.FeatureNames()
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	m := &Mapping{Mapped: map[string]string{}}
+	s := pmu.Sample{Names: names, Counts: make([]float64, len(names))}
+	have := make([]bool, len(names))
+	for _, ec := range r.Events {
+		feat, ok := resolve(ec.Name)
+		if !ok {
+			m.Unmapped = append(m.Unmapped, ec.Name)
+			continue
+		}
+		m.Mapped[ec.Name] = feat
+		if !ec.Measured {
+			continue
+		}
+		if feat == normalizer {
+			s.Instructions += ec.Count
+			continue
+		}
+		i := idx[feat]
+		s.Counts[i] += ec.Count
+		have[i] = true
+	}
+	if s.Instructions <= 0 {
+		return pmu.Sample{}, nil, fmt.Errorf(
+			`perfingest: perf output has %w (measure the "instructions" event too, e.g. perf stat -e instructions,...)`,
+			ErrNoNormalizer)
+	}
+	for i, ok := range have {
+		if !ok {
+			if s.Flags == nil {
+				s.Flags = make([]pmu.CountFlag, len(names))
+			}
+			s.Flags[i] = pmu.FlagStarved
+			m.Missing = append(m.Missing, names[i])
+		}
+	}
+	return s, m, nil
+}
+
+// Features returns the Table-2 feature names, in paper order — the
+// attribute space Sample projects onto (re-exported for callers that
+// render mappings).
+func Features() []string { return pmu.FeatureNames() }
+
+// Aliases returns the alias table as sorted "alias -> feature" pairs,
+// for docs and the CLI's explain output.
+func Aliases() [][2]string {
+	out := make([][2]string, 0, len(aliases))
+	for a, f := range aliases {
+		out = append(out, [2]string{a, f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

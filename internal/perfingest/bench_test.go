@@ -1,0 +1,33 @@
+package perfingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkParsePerf measures parse throughput over each fixture
+// format, end to end through the auto-detecting front door plus the
+// Table-2 feature mapping — the per-capture cost of `classify -perf`.
+func BenchmarkParsePerf(b *testing.B) {
+	for _, name := range []string{"stat_human", "stat_csv", "stat_interval_csv", "c2c_report"} {
+		blob, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(blob)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := Parse(bytes.NewReader(blob))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := rep.Sample(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

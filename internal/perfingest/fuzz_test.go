@@ -1,0 +1,55 @@
+package perfingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParsePerf drives the auto-detecting front door with arbitrary
+// bytes: it must never panic, and any input it accepts must parse
+// deterministically (same bytes, same Report) and survive the feature
+// mapping without panicking either.
+func FuzzParsePerf(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte("  1,234  cache-misses\n"))
+	f.Add([]byte("1234,,instructions,100,100.00,,\n"))
+	f.Add([]byte("  Total records : 99\n"))
+	f.Add([]byte("<not counted>  instructions\n"))
+	f.Add([]byte("1.5,2.5,3.5\n"))
+	f.Add([]byte("0X1F40 : -3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(rep.Events) == 0 {
+			t.Fatal("accepted report with zero events")
+		}
+		rep2, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err)
+		}
+		b1, _ := json.Marshal(rep)
+		b2, _ := json.Marshal(rep2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("non-deterministic parse:\n%s\nvs\n%s", b1, b2)
+		}
+		// The mapping layer must hold up on anything the parser admits.
+		if _, _, err := rep.Sample(); err == nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,433 @@
+// Package perfingest parses the textual output of real `perf` tooling —
+// `perf stat` (human-readable and `-x,` CSV, both with and without
+// `-I <ms>` interval mode) and `perf c2c report` statistics — and
+// normalizes it into the detector's Table-2 feature space.
+//
+// It is the bridge from "reproduction" to "tool you can point at a real
+// machine": every vector the detector has ever classified came from the
+// emulated PMU, but the classifier itself only sees normalized
+// counts-per-instruction, so counts measured by real hardware can flow
+// through the same trees. Raw event names vary across perf versions and
+// microarchitectures (Röhl et al.), so ingestion goes through an
+// explicit event-alias table (see alias.go): modern names like
+// `cache-misses` or `mem_load_uops_llc_hit_retired.xsnp_hitm` map onto
+// the Westmere Table-2 events the trees were trained on, raw rUUEE
+// codes resolve through the Table-2 encodings, and anything unmapped or
+// missing is *reported*, not guessed — the resulting sample flags
+// absent features so core.Detector.ClassifyRobust predicts on the
+// surviving subset with a recorded confidence downgrade instead of
+// erroring.
+//
+// Parsing is strict where the format is unambiguous (a malformed count
+// or a truncated CSV row is an error, not a zero) and lenient where
+// real perf output is decorative (c2c report tables carry rulers,
+// captions and percentages between the stats lines).
+package perfingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format identifies which perf output shape a Report was parsed from.
+type Format string
+
+// The recognized perf output formats.
+const (
+	// FormatStat is human-readable `perf stat` output (optionally
+	// interval-mode, `perf stat -I <ms>`).
+	FormatStat Format = "stat"
+	// FormatStatCSV is `perf stat -x,` CSV output (optionally
+	// interval-mode).
+	FormatStatCSV Format = "stat-csv"
+	// FormatC2C is `perf c2c report` textual statistics output.
+	FormatC2C Format = "c2c"
+)
+
+// EventCount is one event's aggregated count.
+type EventCount struct {
+	// Name is the event name exactly as perf printed it (for c2c, the
+	// statistics-table row label).
+	Name string `json:"name"`
+	// Count is the observed count, summed over intervals and repeated
+	// rows. Zero when the event was never measured.
+	Count float64 `json:"count"`
+	// Measured is false when every occurrence read `<not counted>` or
+	// `<not supported>` — the event name is known but carries no data.
+	Measured bool `json:"measured"`
+}
+
+// Report is parsed perf output, normalized across the supported
+// formats: an ordered event list with aggregated counts.
+type Report struct {
+	// Format records which parser produced the report.
+	Format Format `json:"format"`
+	// Interval is true for `perf stat -I` output; Counts are then sums
+	// over all intervals.
+	Interval bool `json:"interval,omitempty"`
+	// Intervals is the number of distinct interval timestamps seen
+	// (zero for non-interval output).
+	Intervals int `json:"intervals,omitempty"`
+	// Events lists the parsed events in first-appearance order.
+	Events []EventCount `json:"events"`
+	// ElapsedSec is the wall-clock "seconds time elapsed" footer of
+	// human-readable `perf stat` output (zero when absent).
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}
+
+// Lookup returns the aggregated count of the named event (exact match
+// on the perf-printed name).
+func (r *Report) Lookup(name string) (EventCount, bool) {
+	for _, ec := range r.Events {
+		if ec.Name == name {
+			return ec, true
+		}
+	}
+	return EventCount{}, false
+}
+
+// ParseError is a typed parse failure carrying the offending line.
+type ParseError struct {
+	// Line is the 1-based line number (0 when the failure is not tied
+	// to one line).
+	Line int
+	// Msg describes what was wrong.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("perfingest: line %d: %s", e.Line, e.Msg)
+	}
+	return "perfingest: " + e.Msg
+}
+
+func parseErrorf(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxLineBytes bounds one input line; real perf lines are far shorter.
+const maxLineBytes = 1 << 20
+
+// Parse reads perf output, auto-detecting the format: `perf c2c report`
+// statistics, `perf stat -x,` CSV, or human-readable `perf stat` (the
+// latter two in plain or `-I <ms>` interval mode). Use ParseStat,
+// ParseStatCSV or ParseC2C directly to pin a format.
+func Parse(r io.Reader) (*Report, error) {
+	lines, err := readLines(r)
+	if err != nil {
+		return nil, err
+	}
+	switch sniff(lines) {
+	case FormatC2C:
+		return parseC2C(lines)
+	case FormatStatCSV:
+		return parseStatCSV(lines)
+	default:
+		return parseStat(lines)
+	}
+}
+
+// ParseStat parses human-readable `perf stat` output (plain or
+// interval mode).
+func ParseStat(r io.Reader) (*Report, error) {
+	lines, err := readLines(r)
+	if err != nil {
+		return nil, err
+	}
+	return parseStat(lines)
+}
+
+// ParseStatCSV parses `perf stat -x,` CSV output (plain or interval
+// mode).
+func ParseStatCSV(r io.Reader) (*Report, error) {
+	lines, err := readLines(r)
+	if err != nil {
+		return nil, err
+	}
+	return parseStatCSV(lines)
+}
+
+// ParseC2C parses the statistics tables of `perf c2c report` output.
+func ParseC2C(r io.Reader) (*Report, error) {
+	lines, err := readLines(r)
+	if err != nil {
+		return nil, err
+	}
+	return parseC2C(lines)
+}
+
+func readLines(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfingest: reading: %w", err)
+	}
+	return lines, nil
+}
+
+// sniff guesses the format. c2c reports carry their section banners;
+// CSV rows are comma-separated with no column padding, while the
+// human-readable table always pads columns with runs of spaces.
+func sniff(lines []string) Format {
+	for _, line := range lines {
+		if strings.Contains(line, "Trace Event Information") ||
+			strings.Contains(line, "Shared Data Cache Line Table") {
+			return FormatC2C
+		}
+	}
+	for _, line := range lines {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") ||
+			strings.HasPrefix(t, "Performance counter stats") ||
+			isFooter(strings.Fields(t)) {
+			continue
+		}
+		if strings.Contains(t, ",") && !strings.Contains(t, "  ") {
+			return FormatStatCSV
+		}
+		return FormatStat
+	}
+	return FormatStat
+}
+
+// collector accumulates events in first-appearance order, summing
+// counts for repeated names (interval rows, per-cpu rows).
+type collector struct {
+	order []string
+	byKey map[string]*EventCount
+}
+
+func newCollector() *collector {
+	return &collector{byKey: map[string]*EventCount{}}
+}
+
+func (c *collector) add(name string, count float64, measured bool) {
+	ec, ok := c.byKey[name]
+	if !ok {
+		c.byKey[name] = &EventCount{Name: name, Count: count, Measured: measured}
+		c.order = append(c.order, name)
+		return
+	}
+	ec.Count += count
+	ec.Measured = ec.Measured || measured
+}
+
+func (c *collector) events() []EventCount {
+	out := make([]EventCount, len(c.order))
+	for i, name := range c.order {
+		out[i] = *c.byKey[name]
+	}
+	return out
+}
+
+// parseCount parses a perf count: digits with optional thousands
+// separators and an optional decimal part.
+func parseCount(s string) (float64, error) {
+	clean := strings.ReplaceAll(s, ",", "")
+	if clean == "" || clean == "." {
+		return 0, fmt.Errorf("empty count")
+	}
+	v, err := strconv.ParseFloat(clean, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad count %q", s)
+	}
+	return v, nil
+}
+
+// isCountToken reports whether a field looks like a count (digits,
+// separators, or an unsupported-marker) rather than a unit or name.
+func isCountToken(s string) bool {
+	if s == "<not" {
+		return true
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && r != ',' && r != '.' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// isTimestamp reports whether a field is an interval-mode timestamp:
+// a plain decimal seconds value, never comma-grouped.
+func isTimestamp(s string) bool {
+	if strings.Contains(s, ",") || !strings.Contains(s, ".") {
+		return false
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// statUnits are the unit column values human-readable perf stat output
+// inserts between count and event name for non-counter events.
+var statUnits = map[string]bool{"msec": true, "Joules": true, "MiB": true, "GiB": true, "KiB": true}
+
+// isFooter recognizes the human-readable trailer lines:
+// "1.234 seconds time elapsed" / "... seconds user" / "... seconds sys".
+func isFooter(fields []string) bool {
+	return len(fields) >= 3 && fields[1] == "seconds"
+}
+
+// parseStat reads the human-readable `perf stat` table. The '#' column
+// (derived metrics, multiplexing percentages) is stripped as a
+// comment; the interval-mode timestamp column and the header emitted
+// by `perf stat -I` are recognized and consumed.
+func parseStat(lines []string) (*Report, error) {
+	rep := &Report{Format: FormatStat}
+	col := newCollector()
+	intervals := map[string]bool{}
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "Performance counter stats") {
+			continue
+		}
+		fields := strings.Fields(t)
+		if isFooter(fields) {
+			if fields[2] == "time" && len(fields) >= 4 && fields[3] == "elapsed" {
+				if v, err := strconv.ParseFloat(fields[0], 64); err == nil {
+					rep.ElapsedSec = v
+				}
+			}
+			continue
+		}
+		// Interval mode: a leading plain-decimal timestamp, then the
+		// usual count column.
+		if len(fields) >= 3 && isTimestamp(fields[0]) && isCountToken(fields[1]) {
+			rep.Interval = true
+			intervals[fields[0]] = true
+			fields = fields[1:]
+		}
+		name, count, measured, err := parseStatRow(fields)
+		if err != nil {
+			return nil, parseErrorf(lineNo, "%v in %q", err, strings.TrimSpace(raw))
+		}
+		col.add(name, count, measured)
+	}
+	rep.Intervals = len(intervals)
+	rep.Events = col.events()
+	if len(rep.Events) == 0 {
+		return nil, &ParseError{Msg: "no events found in perf stat output"}
+	}
+	return rep, nil
+}
+
+// parseStatRow parses one "<count> [unit] <event>" row. Trailing
+// parenthesized annotations (old-style "(scaled from 80.00%)") are
+// ignored.
+func parseStatRow(fields []string) (name string, count float64, measured bool, err error) {
+	if fields[0] == "<not" {
+		if len(fields) < 3 || (fields[1] != "counted>" && fields[1] != "supported>") {
+			return "", 0, false, fmt.Errorf("bad <not counted> marker")
+		}
+		return fields[2], 0, false, nil
+	}
+	count, err = parseCount(fields[0])
+	if err != nil {
+		return "", 0, false, err
+	}
+	rest := fields[1:]
+	if len(rest) >= 2 && statUnits[rest[0]] {
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return "", 0, false, fmt.Errorf("count without an event name")
+	}
+	if len(rest) > 1 && !strings.HasPrefix(rest[1], "(") {
+		return "", 0, false, fmt.Errorf("unexpected trailing fields")
+	}
+	return rest[0], count, true, nil
+}
+
+// parseStatCSV reads `perf stat -x,` output:
+// "<count>,<unit>,<event>,<runtime>,<pct>[,...]", with an extra
+// leading timestamp column in interval mode. '#' lines are comments.
+func parseStatCSV(lines []string) (*Report, error) {
+	rep := &Report{Format: FormatStatCSV}
+	col := newCollector()
+	intervals := map[string]bool{}
+	for i, raw := range lines {
+		lineNo := i + 1
+		t := strings.TrimSpace(raw)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		fields := strings.Split(t, ",")
+		for j := range fields {
+			fields[j] = strings.TrimSpace(fields[j])
+		}
+		// Interval mode: a leading timestamp column.
+		if len(fields) >= 4 && isTimestamp(fields[0]) {
+			rep.Interval = true
+			intervals[fields[0]] = true
+			fields = fields[1:]
+		}
+		if len(fields) < 3 {
+			return nil, parseErrorf(lineNo, "want at least 3 CSV fields (count,unit,event), got %d in %q", len(fields), t)
+		}
+		name := fields[2]
+		if name == "" {
+			return nil, parseErrorf(lineNo, "empty event name in %q", t)
+		}
+		switch fields[0] {
+		case "<not counted>", "<not supported>":
+			col.add(name, 0, false)
+			continue
+		}
+		count, err := parseCount(fields[0])
+		if err != nil {
+			return nil, parseErrorf(lineNo, "%v in %q", err, t)
+		}
+		col.add(name, count, true)
+	}
+	rep.Intervals = len(intervals)
+	rep.Events = col.events()
+	if len(rep.Events) == 0 {
+		return nil, &ParseError{Msg: "no events found in perf stat CSV output"}
+	}
+	return rep, nil
+}
+
+// parseC2C reads the statistics tables of `perf c2c report`: any
+// "<label> : <integer>" row is recorded under its label. The
+// surrounding rulers, captions and cache-line detail tables are
+// decorative and skipped — c2c's layout is not a stable contract, its
+// row labels are.
+func parseC2C(lines []string) (*Report, error) {
+	rep := &Report{Format: FormatC2C}
+	col := newCollector()
+	for _, raw := range lines {
+		label, rest, ok := strings.Cut(raw, ":")
+		if !ok {
+			continue
+		}
+		label = strings.TrimSpace(label)
+		valFields := strings.Fields(rest)
+		if label == "" || len(valFields) == 0 {
+			continue
+		}
+		count, err := parseCount(valFields[0])
+		if err != nil {
+			continue
+		}
+		col.add(label, count, true)
+	}
+	rep.Events = col.events()
+	if len(rep.Events) == 0 {
+		return nil, &ParseError{Msg: "no statistics rows found in perf c2c output"}
+	}
+	return rep, nil
+}

@@ -1,0 +1,359 @@
+package perfingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fsml/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtures lists every checked-in perf output format alongside the
+// shape Parse must detect for it.
+var fixtures = []struct {
+	name     string
+	format   Format
+	interval bool
+}{
+	{"stat_human", FormatStat, false},
+	{"stat_csv", FormatStatCSV, false},
+	{"stat_interval", FormatStat, true},
+	{"stat_interval_csv", FormatStatCSV, true},
+	{"stat_missing", FormatStat, false},
+	{"c2c_report", FormatC2C, false},
+}
+
+func readFixture(t testing.TB, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func parseFixture(t testing.TB, name string) *Report {
+	t.Helper()
+	rep, err := Parse(bytes.NewReader(readFixture(t, name)))
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return rep
+}
+
+// TestGoldenFixtures pins every parsed format byte-for-byte: the JSON
+// rendering of each fixture's Report must match its committed golden.
+// Regenerate (after an intentional parser change) with -update.
+func TestGoldenFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			rep := parseFixture(t, fx.name)
+			if rep.Format != fx.format {
+				t.Errorf("format = %q, want %q", rep.Format, fx.format)
+			}
+			if rep.Interval != fx.interval {
+				t.Errorf("interval = %v, want %v", rep.Interval, fx.interval)
+			}
+			blob, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob = append(blob, '\n')
+			path := filepath.Join("testdata", fx.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (generate with -update): %v", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Errorf("parsed report drifted from %s:\ngot:\n%s\nwant:\n%s", path, blob, want)
+			}
+		})
+	}
+}
+
+// TestStatHumanValues spot-checks the human-readable parser: comma
+// grouping, the unit-free count column, raw codes, trailing
+// multiplexing annotations, and <not supported> markers.
+func TestStatHumanValues(t *testing.T) {
+	rep := parseFixture(t, "stat_human")
+	for _, want := range []struct {
+		name  string
+		count float64
+	}{
+		{"instructions", 1.2e9},
+		{"mem_load_uops_llc_hit_retired.xsnp_hitm", 24e6},
+		{"r2b8", 1.1e6},
+		{"RESOURCE_STALLS.STORE", 240e6},
+		{"LLC-loads", 44e6},
+	} {
+		ec, ok := rep.Lookup(want.name)
+		if !ok {
+			t.Fatalf("event %q not parsed", want.name)
+		}
+		if ec.Count != want.count || !ec.Measured {
+			t.Errorf("%s = (%.0f, measured=%v), want (%.0f, true)", want.name, ec.Count, ec.Measured, want.count)
+		}
+	}
+	if ec, ok := rep.Lookup("L1-icache-load-misses"); !ok || ec.Measured {
+		t.Errorf("<not supported> event: got (ok=%v, measured=%v), want present and unmeasured", ok, ec.Measured)
+	}
+	if rep.ElapsedSec != 1.847329051 {
+		t.Errorf("elapsed = %v, want 1.847329051", rep.ElapsedSec)
+	}
+}
+
+// TestIntervalAggregation checks that -I output sums per-event across
+// intervals, in both the human and CSV forms, and that the two forms
+// agree count-for-count.
+func TestIntervalAggregation(t *testing.T) {
+	human := parseFixture(t, "stat_interval")
+	csv := parseFixture(t, "stat_interval_csv")
+	for _, rep := range []*Report{human, csv} {
+		if rep.Intervals != 3 {
+			t.Errorf("%s: intervals = %d, want 3", rep.Format, rep.Intervals)
+		}
+		if ec, _ := rep.Lookup("instructions"); ec.Count != 1.2e9 {
+			t.Errorf("%s: instructions = %.0f, want 1200000000", rep.Format, ec.Count)
+		}
+		if ec, _ := rep.Lookup("resource_stalls.ld"); ec.Count != 410e6 {
+			t.Errorf("%s: resource_stalls.ld = %.0f, want 410000000", rep.Format, ec.Count)
+		}
+	}
+	if len(human.Events) != len(csv.Events) {
+		t.Fatalf("event count mismatch: human %d, csv %d", len(human.Events), len(csv.Events))
+	}
+	for i, he := range human.Events {
+		if ce := csv.Events[i]; he != ce {
+			t.Errorf("event %d: human %+v != csv %+v", i, he, ce)
+		}
+	}
+}
+
+// TestSampleFullCoverage maps the complete fixture: every Table-2
+// feature covered, nothing flagged, the unmapped extras reported.
+func TestSampleFullCoverage(t *testing.T) {
+	s, m, err := parseFixture(t, "stat_human").Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flags != nil {
+		t.Errorf("full-coverage sample has flags: %v", s.Flags)
+	}
+	if len(m.Missing) != 0 {
+		t.Errorf("missing features: %v", m.Missing)
+	}
+	wantUnmapped := []string{"LLC-loads", "L1-icache-load-misses"}
+	if strings.Join(m.Unmapped, ",") != strings.Join(wantUnmapped, ",") {
+		t.Errorf("unmapped = %v, want %v", m.Unmapped, wantUnmapped)
+	}
+	if s.Instructions != 1.2e9 {
+		t.Errorf("instructions = %v", s.Instructions)
+	}
+	// Feature 11 (index 10) is SNOOP_RESPONSE.HITM, fed by the modern
+	// xsnp_hitm spelling; feature 10 (index 9) is HITE via raw r2b8.
+	if s.Counts[10] != 24e6 {
+		t.Errorf("HITM count = %v, want 24000000", s.Counts[10])
+	}
+	if s.Counts[9] != 1.1e6 {
+		t.Errorf("HITE count = %v, want 1100000", s.Counts[9])
+	}
+}
+
+// TestSampleMissingFlags maps the incomplete fixture: uncovered
+// features must be flagged starved (never guessed at zero), and the
+// mapping must name them in paper order.
+func TestSampleMissingFlags(t *testing.T) {
+	s, m, err := parseFixture(t, "stat_missing").Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flags == nil {
+		t.Fatal("incomplete sample carries no flags")
+	}
+	missing := map[string]bool{}
+	for _, n := range m.Missing {
+		missing[n] = true
+	}
+	for _, want := range []string{"SNOOP_RESPONSE.HITM", "RESOURCE_STALLS.LOAD"} {
+		if !missing[want] {
+			t.Errorf("feature %s not reported missing (got %v)", want, m.Missing)
+		}
+	}
+	suspects := s.SuspectEvents()
+	if len(suspects) != len(m.Missing) {
+		t.Errorf("suspects %v != missing %v", suspects, m.Missing)
+	}
+}
+
+// quickDetector decodes the repo's golden quick detector — the same
+// Table-2 C4.5 tree every other golden pins — so classification tests
+// run without a training sweep.
+func quickDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "..", "testdata", "quick_detector.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.DecodeDetector(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// TestClassifyFullFixture is the end-to-end happy path: a complete
+// real-format perf stat capture classifies cleanly (no degradation)
+// and, with its elevated HITM rate, lands on bad-fs.
+func TestClassifyFullFixture(t *testing.T) {
+	det := quickDetector(t)
+	for _, name := range []string{"stat_human", "stat_csv"} {
+		s, _, err := parseFixture(t, name).Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := det.ClassifyRobust(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rr.Class != "bad-fs" || rr.Degraded || rr.Confidence != 1 {
+			t.Errorf("%s: got (%s, conf=%v, degraded=%v), want (bad-fs, 1, false)", name, rr.Class, rr.Confidence, rr.Degraded)
+		}
+	}
+}
+
+// TestClassifyDegradedFixture is the acceptance test of the degraded
+// path: a perf stat capture missing two events the tree consults
+// (SNOOP_RESPONSE.HITM and RESOURCE_STALLS.LOAD) must flow through
+// ClassifyRobust — Degraded=true with a real confidence downgrade —
+// rather than erroring.
+func TestClassifyDegradedFixture(t *testing.T) {
+	det := quickDetector(t)
+	s, _, err := parseFixture(t, "stat_missing").Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := det.ClassifyRobust(s)
+	if err != nil {
+		t.Fatalf("degraded classification errored: %v", err)
+	}
+	if !rr.Degraded {
+		t.Error("Degraded = false, want true")
+	}
+	if rr.Confidence >= 1 || rr.Confidence <= 0 {
+		t.Errorf("confidence = %v, want downgraded into (0, 1)", rr.Confidence)
+	}
+	if rr.Class != "good" {
+		t.Errorf("class = %q, want good (the blended majority)", rr.Class)
+	}
+	if len(rr.Suspects) == 0 {
+		t.Error("no suspects recorded on a degraded verdict")
+	}
+}
+
+// TestClassifyC2C: a c2c statistics capture maps only the HITM and
+// fill-buffer rows (normalized per sampled record), which is exactly
+// enough for the tree's root split — bad-fs, degraded because the
+// rest of the feature space is dark.
+func TestClassifyC2C(t *testing.T) {
+	det := quickDetector(t)
+	s, m, err := parseFixture(t, "c2c_report").Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counts[10] != 2165+150 {
+		t.Errorf("HITM = %v, want local+remote = 2315", s.Counts[10])
+	}
+	if len(m.Missing) != 13 {
+		t.Errorf("missing %d features, want 13 (all but HITM and HIT_LFB)", len(m.Missing))
+	}
+	rr, err := det.ClassifyRobust(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Class != "bad-fs" || !rr.Degraded {
+		t.Errorf("got (%s, degraded=%v), want (bad-fs, true)", rr.Class, rr.Degraded)
+	}
+}
+
+// TestSampleNoNormalizer: output without an instruction count cannot
+// be normalized — a typed error, not a garbage vector.
+func TestSampleNoNormalizer(t *testing.T) {
+	rep, err := ParseStat(strings.NewReader("  1,000  cache-misses\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rep.Sample(); !errors.Is(err, ErrNoNormalizer) {
+		t.Errorf("err = %v, want ErrNoNormalizer", err)
+	}
+}
+
+// TestResolveAliases covers the canonicalization corners: privilege
+// modifiers, PMU wrappers, raw codes, case folding, and unknowns.
+func TestResolveAliases(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"instructions", normalizer, true},
+		{"instructions:u", normalizer, true},
+		{"cpu/l2_rqsts.ld_miss/", "L2_RQSTS.LD_MISS", true},
+		{"cpu_core/cache-misses/", "L2_RQSTS.LD_MISS", true},
+		{"Snoop_Response.HITM", "SNOOP_RESPONSE.HITM", true},
+		{"r2b8", "SNOOP_RESPONSE.HITE", true},
+		{"r4b8", "SNOOP_RESPONSE.HITM", true},
+		{"r00c0", normalizer, true},
+		{"branch-misses", "", false},
+		{"rzz", "", false},
+	} {
+		got, ok := resolve(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("resolve(%q) = (%q, %v), want (%q, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestParseErrors: malformed input fails with a typed, line-numbered
+// error instead of a silent zero.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+		parse    func(*testing.T, string) error
+	}{
+		{"empty", "", parseAuto},
+		{"stat bad count", "  12x34  cache-misses\n", parseAuto},
+		{"stat trailing junk", "  1,234  cache-misses trailing junk\n", parseAuto},
+		{"csv short row", "1234,,\n", parseAuto},
+		{"csv bad count", "12x34,,cache-misses,1,100.00\n", parseAuto},
+		{"c2c no stats", "==== banner ====\nTrace Event Information\n", parseAuto},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.parse(t, tc.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tc.in)
+			} else {
+				var pe *ParseError
+				if !errors.As(err, &pe) {
+					t.Errorf("error %v is not a *ParseError", err)
+				}
+			}
+		})
+	}
+}
+
+func parseAuto(t *testing.T, in string) error {
+	t.Helper()
+	_, err := Parse(strings.NewReader(in))
+	return err
+}

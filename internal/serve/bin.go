@@ -216,7 +216,7 @@ func (c *Client) binRoundTrip(ctx context.Context, frame []byte) (*BinClassifyRe
 	if err != nil {
 		return nil, err
 	}
-	retryAfter := parseRetryAfter(httpResp.Header.Get("Retry-After"))
+	retryAfter := parseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
 	if !strings.HasPrefix(httpResp.Header.Get("Content-Type"), contentTypeBin) {
 		// The admission middleware (shed, shutdown) answers in JSON.
 		apiErr := &APIError{Status: httpResp.StatusCode, RetryAfter: retryAfter}

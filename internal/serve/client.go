@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -164,7 +165,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())}
 		var e ErrorResponse
 		if json.Unmarshal(respBlob, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
@@ -179,23 +180,106 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 	return json.Unmarshal(respBlob, out)
 }
 
-// parseRetryAfter reads the delay-seconds form of a Retry-After header
-// (the only form this server emits; HTTP-date hints are ignored).
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026 09:00:00
+// GMT", including the obsolete RFC 850 and asctime layouts that
+// http.ParseTime accepts). This server only emits delay-seconds, but
+// the client also talks through proxies and load balancers that
+// rewrite the header into the date form. A date in the past — or
+// anything unparseable — yields 0, never a negative wait.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	sec, err := strconv.Atoi(v)
-	if err != nil || sec < 0 {
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(sec) * time.Second
+	d := t.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Classify posts one classification request.
 func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (*ClassifyResponse, error) {
 	var out ClassifyResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/classify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClassifyPerf uploads raw `perf stat` / `perf c2c report` output
+// (see internal/perfingest) for classification: the body goes up
+// verbatim under the PerfContentType media type, the server maps it
+// onto the detector's feature space, and events the capture is missing
+// degrade the verdict instead of failing it. detector selects a
+// registry key ("" = server default). Retries follow the client's
+// policy, exactly as for Classify.
+func (c *Client) ClassifyPerf(ctx context.Context, detector string, perf []byte) (*ClassifyResponse, error) {
+	path := "/v1/classify"
+	if detector != "" {
+		path += "?detector=" + url.QueryEscape(detector)
+	}
+	for attempt := 0; ; attempt++ {
+		out, err := c.perfRoundTrip(ctx, path, perf)
+		if err == nil {
+			return out, nil
+		}
+		ok, hint := retryable(http.MethodPost, err)
+		if !ok || attempt >= c.Retry.Max {
+			return nil, err
+		}
+		delay := c.Retry.Backoff.Delay(attempt)
+		if hint > delay {
+			delay = hint
+		}
+		if serr := c.Retry.sleep(ctx, delay); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// perfRoundTrip performs one raw perf-upload attempt.
+func (c *Client) perfRoundTrip(ctx context.Context, path string, perf []byte) (*ClassifyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(perf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", PerfContentType)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())}
+		var e ErrorResponse
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(blob))
+		}
+		return nil, apiErr
+	}
+	var out ClassifyResponse
+	if err := json.Unmarshal(blob, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -328,6 +328,53 @@ func TestClientHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterForms pins both RFC 9110 §10.2.3 forms of the
+// header: delay-seconds and HTTP-date (all three date layouts
+// http.ParseTime accepts). This server only ever emits delay-seconds,
+// but proxies and load balancers in front of it rewrite the header
+// into the date form, which the client used to ignore — silently
+// dropping the server's wait hint.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 9, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"7", 7 * time.Second},
+		{"-3", 0}, // negative delay: clamp, don't wait
+		{"soon", 0},
+		{"Sat, 08 Aug 2026 09:00:45 GMT", 45 * time.Second},  // IMF-fixdate
+		{"Saturday, 08-Aug-26 09:01:30 GMT", 90 * time.Second}, // RFC 850
+		{"Sat Aug  8 09:00:10 2026", 10 * time.Second},        // asctime
+		{"Sat, 08 Aug 2026 08:59:00 GMT", 0},                  // past date: clamp
+	} {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestClientHonorsDateRetryAfter: a date-form hint must stretch the
+// wait exactly like the delay-seconds form does.
+func TestClientHonorsDateRetryAfter(t *testing.T) {
+	hint := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	handler, _ := shedNTimes(1, http.StatusTooManyRequests, hint)
+	hs := httptest.NewServer(handler)
+	defer hs.Close()
+	c, delays := retryClient(hs.URL, 2, 1)
+	if _, err := c.Classify(context.Background(), ClassifyRequest{Vector: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The exact wait is hint minus the parse-time clock read; with the
+	// header truncated to whole seconds it still lands well above the
+	// seeded backoff's sub-second delays.
+	if len(*delays) != 1 || (*delays)[0] < 3*time.Second {
+		t.Fatalf("delays = %v, want one wait >= 3s from the date-form hint", *delays)
+	}
+}
+
 // TestClientRetrySafety pins the retry-only-when-safe matrix: 5xx
 // non-shed POSTs and transport-errored POSTs are NOT retried (the
 // request may have executed), while GETs are.

@@ -5,8 +5,10 @@
 //
 // Endpoints:
 //
-//	POST /v1/classify    classify a normalized event vector or an
-//	                     uploaded (optionally gzip) access trace
+//	POST /v1/classify    classify a normalized event vector, an uploaded
+//	                     (optionally gzip) access trace, or — with a
+//	                     text/x-perf-stat body — raw `perf stat` /
+//	                     `perf c2c report` output
 //	POST /v1/classify-bin the same classifications over the binary frame
 //	                     protocol (batched vectors; see wire.go)
 //	POST /v1/report      full report.Options sweep of a named workload
@@ -40,14 +42,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"fsml/internal/core"
 	"fsml/internal/faults"
+	"fsml/internal/perfingest"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
 	"fsml/internal/resilience"
@@ -565,6 +570,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// latency histogram too, not just successes.
 	defer func() { s.metrics.Observe(mRequestSec, latencyBuckets, time.Since(t0).Seconds()) }()
 	s.metrics.Add(mReqClassify, 1)
+	if isPerfUpload(r) {
+		s.classifyPerfUpload(w, r)
+		return
+	}
 	var req ClassifyRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -705,6 +714,84 @@ func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequ
 		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
 		Suspects: rr.Suspects, Detector: key, Seconds: obs.Seconds,
 	}, nil
+}
+
+// PerfContentType is the POST /v1/classify media type for raw perf
+// tool output: the body is `perf stat` (human or -x, CSV, plain or
+// interval) or `perf c2c report` text, exactly as the tool printed it.
+// Because the body is not the JSON envelope, the detector key and
+// deadline ride in the query string: ?detector=KEY&timeout_ms=N.
+const PerfContentType = "text/x-perf-stat"
+
+// isPerfUpload reports whether a classify request carries raw perf
+// output instead of the JSON request envelope.
+func isPerfUpload(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == PerfContentType
+}
+
+// classifyPerfUpload classifies a raw perf capture: parse (format
+// auto-detected), map onto the Table-2 feature space through the alias
+// table, and classify robustly — features the capture did not measure
+// degrade the verdict's confidence rather than failing the request.
+// The response carries the detected format and any unmapped events so
+// callers can tell how much of their capture was actually used.
+func (s *Server) classifyPerfUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, badRequestf("classify: reading perf upload: %v", err))
+		return
+	}
+	rep, err := perfingest.Parse(bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, badRequestf("classify: %v", err))
+		return
+	}
+	sample, mapping, err := rep.Sample()
+	if err != nil {
+		s.writeError(w, badRequestf("classify: %v", err))
+		return
+	}
+	q := r.URL.Query()
+	var timeoutMS int64
+	if v := q.Get("timeout_ms"); v != "" {
+		timeoutMS, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || timeoutMS < 0 {
+			s.writeError(w, badRequestf("classify: bad timeout_ms %q", v))
+			return
+		}
+	}
+	ctx, cancel := s.reqContext(r, timeoutMS)
+	defer cancel()
+	det, key, err := s.detector(ctx, q.Get("detector"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
+		c0 := time.Now()
+		defer func() { s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds()) }()
+		rr, err := det.ClassifyRobust(sample)
+		if err != nil {
+			return nil, badRequestf("classify: %v", err)
+		}
+		return &ClassifyResponse{
+			Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
+			Suspects: rr.Suspects, Detector: key,
+			PerfFormat: string(rep.Format), UnmappedEvents: mapping.Unmapped,
+		}, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if resp.Degraded {
+		s.metrics.Add(mDegraded, 1)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {

@@ -978,3 +978,90 @@ func BenchmarkServeClassify(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Perf uploads
+
+// perfFixture reads a checked-in perf capture from the perfingest
+// golden corpus, so the serve tests exercise the same bytes the parser
+// tests pin.
+func perfFixture(t testing.TB, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "perfingest", "testdata", name+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestClassifyPerfUpload drives POST /v1/classify with a raw
+// text/x-perf-stat body end to end: a complete capture classifies
+// cleanly, a capture missing the tree's root attribute degrades (the
+// whole point of the robust path), and garbage is a 400, not a 500.
+func TestClassifyPerfUpload(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	full, err := c.ClassifyPerf(ctx, "", perfFixture(t, "stat_human"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || full.Confidence != 1 {
+		t.Errorf("full capture: %+v, want clean classification", full)
+	}
+	if full.PerfFormat != "stat" {
+		t.Errorf("perf_format = %q, want stat", full.PerfFormat)
+	}
+	wantUnmapped := false
+	for _, u := range full.UnmappedEvents {
+		wantUnmapped = wantUnmapped || u == "LLC-loads"
+	}
+	if !wantUnmapped {
+		t.Errorf("unmapped_events = %v, want LLC-loads reported", full.UnmappedEvents)
+	}
+
+	// stat_missing has no HITM event — the tiny detector's root split —
+	// so the verdict must be degraded, not an error.
+	deg, err := c.ClassifyPerf(ctx, "", perfFixture(t, "stat_missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded || deg.Confidence >= 1 || len(deg.Suspects) == 0 {
+		t.Errorf("missing-events capture: %+v, want degraded verdict with suspects", deg)
+	}
+
+	_, err = c.ClassifyPerf(ctx, "", []byte("complete garbage : here"))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("garbage upload err = %v, want 400", err)
+	}
+
+	_, err = c.ClassifyPerf(ctx, "no-such-detector", perfFixture(t, "stat_human"))
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown detector err = %v, want 404", err)
+	}
+}
+
+// TestClassifyPerfContentTypeParams: the media type may carry
+// parameters (charset) without being mistaken for the JSON envelope.
+func TestClassifyPerfContentTypeParams(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/classify",
+		bytes.NewReader(perfFixture(t, "stat_csv")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", PerfContentType+"; charset=utf-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out.PerfFormat != "stat-csv" {
+		t.Errorf("status %d, %+v; want 200 with perf_format stat-csv", resp.StatusCode, out)
+	}
+}

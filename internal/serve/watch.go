@@ -25,6 +25,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"fsml/internal/core"
 	"fsml/internal/faults"
@@ -368,7 +369,7 @@ func (c *Client) dialWatch(ctx context.Context, q WatchQuery) (*http.Response, e
 		if err == nil {
 			blob, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 			resp.Body.Close()
-			apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+			apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())}
 			var e ErrorResponse
 			if json.Unmarshal(blob, &e) == nil && e.Error != "" {
 				apiErr.Message = e.Error

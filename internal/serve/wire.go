@@ -74,6 +74,12 @@ type ClassifyResponse struct {
 	Detector string `json:"detector"`
 	// Seconds is the simulated runtime (trace replays only).
 	Seconds float64 `json:"seconds,omitempty"`
+	// PerfFormat is the detected perf output format (perf uploads only;
+	// see PerfContentType).
+	PerfFormat string `json:"perf_format,omitempty"`
+	// UnmappedEvents lists perf events the alias table could not map
+	// onto the feature space (perf uploads only).
+	UnmappedEvents []string `json:"unmapped_events,omitempty"`
 }
 
 // ReportRequest is the body of POST /v1/report: a full report.Options

@@ -25,6 +25,8 @@ var fuzzSeeds = []string{
 	"T0 LL 0x40\n",            // two-byte kind
 	"T-1 E 1\n",               // negative tid
 	"T0 L zz\n",               // bad address
+	"T0 L 0X1F40\nT0 S 0X40\n", // uppercase hex prefix (regression)
+	"T0 L 0X\n",               // prefix with no digits
 	"T0 L\n",                  // short line
 	"",                        // empty input
 	"T0 L 0xffffffffffffffff\nT0 E 2147483647\n",

@@ -139,7 +139,8 @@ func parseText(r io.Reader) (*Trace, error) {
 		var op Op
 		switch kind {
 		case OpLoad, OpStore:
-			addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), base(fields[2]), 64)
+			digits, addrBase := splitBase(fields[2])
+			addr, err := strconv.ParseUint(digits, addrBase, 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[2], err)
 			}
@@ -190,11 +191,14 @@ func parseText(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-func base(s string) int {
-	if strings.HasPrefix(s, "0x") {
-		return 16
+// splitBase strips an address token's hex prefix, accepting both the
+// "0x" the writer emits and the "0X" uppercasing tools produce, and
+// returns the remaining digits with their base.
+func splitBase(s string) (digits string, base int) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return s[2:], 16
 	}
-	return 10
+	return s, 10
 }
 
 // Write emits the trace in the text format Parse reads.

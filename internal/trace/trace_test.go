@@ -52,6 +52,28 @@ func TestParseDecimalAddresses(t *testing.T) {
 	}
 }
 
+// TestParseHexPrefixCase: both hex prefix spellings parse to the same
+// address — tools that uppercase hex (or whole lines) produce "0X",
+// which used to fail because only the lowercase prefix was stripped,
+// leaving "0X1F40" to be parsed as decimal.
+func TestParseHexPrefixCase(t *testing.T) {
+	for _, in := range []string{"T0 L 0x1f40\n", "T0 L 0X1F40\n", "T0 S 0X1f40\n"} {
+		tr, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if tr.Threads[0][0].Addr != 0x1F40 {
+			t.Errorf("Parse(%q) addr = %#x, want 0x1f40", in, tr.Threads[0][0].Addr)
+		}
+	}
+	// A bare "0X"/"0x" has no digits left: still an error.
+	for _, in := range []string{"T0 L 0X\n", "T0 L 0x\n"} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse accepted %q", in)
+		}
+	}
+}
+
 func TestParseRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"",                    // empty

@@ -1,0 +1,106 @@
+package fsml_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsml"
+)
+
+// perfFixtures is the checked-in perf capture corpus, in a fixed order
+// so the rendered verdicts are comparable byte-for-byte.
+var perfFixtures = []string{
+	"stat_human", "stat_csv", "stat_interval", "stat_interval_csv",
+	"stat_missing", "c2c_report",
+}
+
+// perfVerdict is one fixture's rendered classification, everything a
+// caller of ClassifyPerf can observe.
+type perfVerdict struct {
+	Fixture    string   `json:"fixture"`
+	Format     string   `json:"format"`
+	Class      string   `json:"class"`
+	Confidence float64  `json:"confidence"`
+	Degraded   bool     `json:"degraded"`
+	Missing    []string `json:"missing,omitempty"`
+	Unmapped   []string `json:"unmapped,omitempty"`
+}
+
+// renderPerfVerdicts classifies every fixture with det and renders the
+// verdicts as indented JSON.
+func renderPerfVerdicts(t *testing.T, det *fsml.Detector) []byte {
+	t.Helper()
+	var verdicts []perfVerdict
+	for _, name := range perfFixtures {
+		f, err := os.Open(filepath.Join("internal", "perfingest", "testdata", name+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fsml.ParsePerf(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		rr, mapping, err := fsml.ClassifyPerf(det, rep)
+		if err != nil {
+			t.Fatalf("classifying %s: %v", name, err)
+		}
+		verdicts = append(verdicts, perfVerdict{
+			Fixture: name, Format: string(rep.Format),
+			Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
+			Missing: mapping.Missing, Unmapped: mapping.Unmapped,
+		})
+	}
+	blob, err := json.MarshalIndent(verdicts, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(blob, '\n')
+}
+
+// TestPerfVerdictsGoldenAcrossParallelism pins the whole real-trace
+// ingestion path end to end: train at -j 1 and -j 8, classify every
+// perf fixture with both detectors, and require the rendered verdicts
+// to be byte-identical to each other and to the committed golden.
+// Parsing itself is single-threaded; what this guards is that the
+// detectors feeding it are parallelism-invariant, so a perf verdict
+// never depends on the machine that trained the model.
+//
+// Regenerate (only after an intentional change) with:
+//
+//	go test -run TestPerfVerdictsGoldenAcrossParallelism -update .
+func TestPerfVerdictsGoldenAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two detectors")
+	}
+	var rendered [][]byte
+	for _, par := range []int{1, 8} {
+		blob, _ := trainAt(t, par)
+		det, err := fsml.DecodeDetector(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered = append(rendered, renderPerfVerdicts(t, det))
+	}
+	if !bytes.Equal(rendered[0], rendered[1]) {
+		t.Errorf("perf verdicts differ between -j 1 and -j 8:\n%s\nvs\n%s", rendered[0], rendered[1])
+	}
+	path := filepath.Join("testdata", "perf_verdicts.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, rendered[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(rendered[0]))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if !bytes.Equal(rendered[0], want) {
+		t.Errorf("perf verdicts drifted from %s:\n%s\nwant:\n%s", path, rendered[0], want)
+	}
+}
