@@ -6,9 +6,10 @@ GO ?= go
 RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
             ./internal/faults ./internal/serve ./internal/resilience \
-            ./internal/stream ./internal/ml ./internal/perfingest
+            ./internal/stream ./internal/ml ./internal/perfingest \
+            ./internal/fleet
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke chaos ci
+.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke fleet-smoke chaos ci
 
 all: build test
 
@@ -43,13 +44,16 @@ bench:
 # BENCH_6.json — inference/wire numbers (flat-tree vs pointer-tree
 # prediction, the columnar batch path, JSON vs binary serve round
 # trips); BENCH_7.json — perf-output ingestion throughput (parse +
-# Table-2 mapping per fixture format).
+# Table-2 mapping per fixture format); BENCH_8.json — fleet-coordinator
+# overhead (direct vs routed classify latency).
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_6.json \
 	    -bench 'FlatPredict|ClassifyBatch|DetectorClassify|ServeClassify' \
 	    ./internal/ml ./internal/core ./internal/serve
 	$(GO) run ./cmd/benchsnap -o BENCH_7.json \
 	    -bench 'ParsePerf' ./internal/perfingest
+	$(GO) run ./cmd/benchsnap -o BENCH_8.json -benchtime 300x \
+	    -bench 'FleetClassify' ./internal/fleet
 
 # serve-smoke exercises the detection server's full lifecycle: bind an
 # ephemeral port, health-check, register a model, classify through the
@@ -65,11 +69,19 @@ watch-smoke:
 	$(GO) test ./internal/stream -run TestMonitorCatchesInjectedPhase -count=1 -v
 	$(GO) test ./internal/serve -run TestWatch -count=1 -v
 
+# fleet-smoke exercises the coordinator's lifecycle: route a classify
+# across live backends, kill one, and keep answering through failover.
+fleet-smoke:
+	$(GO) test ./internal/fleet -run TestFleetSmoke -count=1 -v
+
 # chaos drives the serving layer through every failure mode at once —
 # corrupt registry files, failing trainers, shed storms, shutdown under
-# load — under the race detector (see internal/serve/chaos_test.go).
+# load — under the race detector (see internal/serve/chaos_test.go),
+# then kills a fleet backend mid-classify-storm and requires zero lost
+# verdicts (internal/fleet/chaos_test.go).
 chaos:
 	$(GO) test ./internal/serve -run TestChaos -race -count=1 -v
+	$(GO) test ./internal/fleet -run TestChaos -race -count=1 -v
 
 ci:
 	./ci.sh

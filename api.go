@@ -10,6 +10,7 @@ import (
 	"fsml/internal/dataset"
 	"fsml/internal/exps"
 	"fsml/internal/faults"
+	"fsml/internal/fleet"
 	"fsml/internal/machine"
 	"fsml/internal/mapred"
 	"fsml/internal/mem"
@@ -852,3 +853,50 @@ func ClassifyPerf(det *Detector, rep *PerfReport) (RobustResult, *PerfMapping, e
 // "perf name -> Table-2 feature" pairs, for documentation and
 // diagnostics.
 func PerfEventAliases() [][2]string { return perfingest.Aliases() }
+
+// ---------------------------------------------------------------------------
+// Fleet serving: a consistent-hash coordinator over many detection
+// servers (internal/fleet).
+
+type (
+	// FleetConfig shapes a fleet Coordinator: the backend peer set,
+	// replication factor, probe cadence, and per-peer breaker knobs.
+	FleetConfig = fleet.Config
+	// FleetCoordinator consistent-hash-routes classify/watch traffic
+	// across a fleet of detection servers, replicates uploaded models
+	// to ring successors, fails over on node loss, and rebalances when
+	// the live-peer set changes.
+	FleetCoordinator = fleet.Coordinator
+	// FleetRing is the consistent-hash ring (vnode placement, successor
+	// walks) the coordinator routes with.
+	FleetRing = fleet.Ring
+	// FleetReadyResponse is the coordinator's aggregated GET /readyz
+	// body: live-peer counts plus per-peer detail.
+	FleetReadyResponse = fleet.ReadyResponse
+	// FleetPeerStatus is one peer's row in a FleetReadyResponse.
+	FleetPeerStatus = fleet.PeerStatus
+	// FleetDetectorsResponse is the coordinator's merged GET
+	// /v1/detectors body: every key resident in the fleet with its
+	// holding peers.
+	FleetDetectorsResponse = fleet.DetectorsResponse
+	// BaseURLError is the typed error for a ServeClient.BaseURL that
+	// cannot form request URLs; it is never retried.
+	BaseURLError = serve.BaseURLError
+)
+
+// NewFleet validates the peer set and builds a coordinator (call Start,
+// or mount Handler yourself).
+func NewFleet(cfg FleetConfig) (*FleetCoordinator, error) { return fleet.New(cfg) }
+
+// NewFleetRing builds a consistent-hash ring over the given peers with
+// vnodes virtual points each (0 = the fleet default).
+func NewFleetRing(peers []string, vnodes int) *FleetRing { return fleet.NewRing(peers, vnodes) }
+
+// ServeRequestIDHeader is the correlation header: the coordinator
+// stamps it on every forwarded hop and servers echo it on every
+// response, so one request's path through the fleet greps out of the
+// logs.
+const ServeRequestIDHeader = serve.RequestIDHeader
+
+// FleetPeerHeader names the backend that answered a routed request.
+const FleetPeerHeader = fleet.PeerHeader

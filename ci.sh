@@ -9,9 +9,10 @@ go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
     ./internal/trace ./internal/mem ./internal/xrand ./internal/faults \
     ./internal/serve ./internal/resilience ./internal/stream ./internal/ml \
-    ./internal/perfingest
-# The chaos leg: every serving failure mode at once, race-instrumented.
-go test -race -count=1 -run TestChaos ./internal/serve
+    ./internal/perfingest ./internal/fleet
+# The chaos legs: every serving failure mode at once, then a fleet
+# backend killed mid-classify-storm, both race-instrumented.
+go test -race -count=1 -run TestChaos ./internal/serve ./internal/fleet
 go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 go test -run '^$' -fuzz FuzzParseWindowSpec -fuzztime 10s ./internal/stream

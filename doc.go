@@ -85,6 +85,11 @@
 //     an explicit event-alias table, behind `fsml classify -perf` and
 //     text/x-perf-stat uploads to POST /v1/classify; missing events
 //     degrade confidence instead of erroring
+//   - internal/fleet — horizontal scaling: a consistent-hash
+//     coordinator (`fsml fleet`) that shards classify/watch traffic
+//     across many servers by detector key, replicates uploads to ring
+//     successors, fails over on node loss and rebalances replicas when
+//     the live-peer set changes
 //
 // See DESIGN.md for the substitution map (paper hardware -> simulator)
 // and EXPERIMENTS.md for paper-vs-measured results.

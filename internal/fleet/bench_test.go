@@ -1,0 +1,51 @@
+package fleet
+
+// Coordinator overhead: the same classify served directly by a backend
+// vs routed through the coordinator (one extra loopback hop + the
+// failover bookkeeping). cmd/benchsnap records the pair into
+// BENCH_8.json.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fsml/internal/serve"
+)
+
+func benchClassify(b *testing.B, client *serve.Client) {
+	b.Helper()
+	req := serve.ClassifyRequest{
+		Events: []string{attrHITM, attrMiss},
+		Vector: []float64{0.55, 0.05},
+	}
+	// One warm-up round trip trains the default detector outside the
+	// timed region.
+	if _, err := client.Classify(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := client.Classify(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Class != "bad-fs" {
+			b.Fatalf("class = %q", out.Class)
+		}
+	}
+}
+
+// BenchmarkFleetClassifyDirect is the baseline: client -> backend.
+func BenchmarkFleetClassifyDirect(b *testing.B) {
+	backend := startBackend(b, "")
+	benchClassify(b, serve.NewClient(backendURL(backend)))
+}
+
+// BenchmarkFleetClassifyRouted adds the coordinator hop:
+// client -> coordinator -> backend.
+func BenchmarkFleetClassifyRouted(b *testing.B) {
+	backend := startBackend(b, "")
+	c := startFleet(b, Config{Peers: []string{backendURL(backend)}, ProbeInterval: time.Hour})
+	benchClassify(b, serve.NewClient("http://"+c.Addr()))
+}

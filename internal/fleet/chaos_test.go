@@ -1,0 +1,155 @@
+package fleet
+
+// Chaos: kill a backend in the middle of a classify storm and require
+// zero lost verdicts. The storm hammers the default train-spec key —
+// lazily trainable on any backend, so a restarted blank node can serve
+// it the moment the router retargets — while the coordinator's prober,
+// breakers, and failover chain absorb the node loss. Run under -race
+// in CI (ci.sh chaos leg).
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsml/internal/resilience"
+	"fsml/internal/serve"
+)
+
+func TestChaosFleetNodeLossLosesNoVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm skipped in -short mode")
+	}
+
+	// Three backends on real listeners; remember addresses so the
+	// killed one can be reborn on the same URL.
+	backends := map[string]*serve.Server{}
+	var peers []string
+	for i := 0; i < 3; i++ {
+		b := startBackend(t, "")
+		backends[backendURL(b)] = b
+		peers = append(peers, backendURL(b))
+	}
+	c := startFleet(t, Config{
+		Peers:            peers,
+		Replicas:         2,
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     500 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		ReplicateTimeout: 30 * time.Second,
+	})
+	coordURL := "http://" + c.Addr()
+
+	// Seed a content-hash model through the coordinator so the heal of
+	// its replica set can be asserted after the dust settles.
+	model, err := tinyDetector(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := serve.NewClient(coordURL).RegisterDetector(context.Background(), model)
+	if err != nil {
+		t.Fatalf("seeding replicated model: %v", err)
+	}
+	contentKey := reg.Key
+
+	// The storm: six clients classifying the same HITM-heavy vector
+	// against the default (train-spec) shard, with client-side retries
+	// as the outer safety net — the inner one is the coordinator's own
+	// failover walk.
+	var (
+		verdicts atomic.Uint64
+		wrong    atomic.Uint64
+		mu       sync.Mutex
+		errs     []error
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			client := serve.NewClient(coordURL)
+			client.Retry = serve.RetryPolicy{
+				Max:     10,
+				Backoff: resilience.Backoff{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: seed},
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				out, err := client.Classify(ctx, serve.ClassifyRequest{
+					Events: []string{attrHITM, attrMiss},
+					Vector: []float64{0.55, 0.05},
+				})
+				cancel()
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					continue
+				}
+				if out.Class != "bad-fs" {
+					wrong.Add(1)
+				}
+				verdicts.Add(1)
+			}
+		}(uint64(i + 1))
+	}
+
+	// Let the storm establish a baseline, then kill the shard owner.
+	waitFor(t, 15*time.Second, "storm warm-up", func() bool { return verdicts.Load() >= 40 })
+	victim := c.PeerFor(c.cfg.DefaultDetector)
+	stopServer(backends[victim])
+	t.Logf("killed %s (owner of the storm key) after %d verdicts", victim, verdicts.Load())
+
+	// The fleet must degrade visibly...
+	waitFor(t, 15*time.Second, "readyz to report the node loss", func() bool {
+		rr := fleetReady(t, c)
+		return rr.Ready && rr.LivePeers == 2
+	})
+	// ...while the storm keeps landing verdicts through the failover.
+	mark := verdicts.Load()
+	waitFor(t, 15*time.Second, "verdicts to keep flowing while degraded", func() bool {
+		return verdicts.Load() >= mark+40
+	})
+
+	// Rebirth on the same URL, blank registry: the prober flips it back
+	// to live and the rebalancer refills its replicas.
+	host := strings.TrimPrefix(victim, "http://")
+	backends[victim] = startBackend(t, host)
+	waitFor(t, 15*time.Second, "readyz to report recovery", func() bool {
+		return fleetReady(t, c).LivePeers == 3
+	})
+	mark = verdicts.Load()
+	waitFor(t, 15*time.Second, "verdicts to keep flowing after recovery", func() bool {
+		return verdicts.Load() >= mark+40
+	})
+
+	close(stop)
+	wg.Wait()
+
+	if len(errs) > 0 {
+		t.Errorf("%d of %d classifications lost (first: %v)", len(errs), verdicts.Load()+uint64(len(errs)), errs[0])
+	}
+	if w := wrong.Load(); w > 0 {
+		t.Errorf("%d verdicts were not bad-fs", w)
+	}
+	if got := c.Metrics().Counter(mFailovers); got == 0 {
+		t.Error("failover counter = 0 across a node loss")
+	}
+
+	// The replicated content-hash model must heal back to full
+	// replication, counting only live holders.
+	waitFor(t, 30*time.Second, "content-key replica set to heal", func() bool {
+		return len(fleetDetectors(t, c).Detectors[contentKey]) >= 2
+	})
+	t.Logf("storm total: %d verdicts, %d failovers, %d rebalances",
+		verdicts.Load(), c.Metrics().Counter(mFailovers), c.Metrics().Counter(mRebalanced))
+}

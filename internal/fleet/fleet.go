@@ -1,0 +1,398 @@
+// Package fleet is the horizontal-scaling layer over internal/serve: a
+// coordinator that spreads classification traffic across a fleet of
+// detection servers and keeps it flowing when individual nodes die.
+//
+// The coordinator consistent-hash-routes POST /v1/classify,
+// /v1/classify-bin, POST /v1/report and GET /v1/watch by detector key
+// (content hash or train spec), so each backend's LRU registry stays
+// hot for its shard instead of every node churning every model.
+// Uploads to POST /v1/detectors are replicated to the key's first
+// Replicas ring successors; when a request's owner is down or sheds
+// (429/503 — the server's guarantee that the request was not
+// processed), the coordinator fails over to the next live successor
+// and stamps both hops with the same X-FSML-Request-ID. A background
+// prober walks the peers' /readyz on a jittered interval, feeding
+// per-peer circuit breakers (internal/resilience); when the live-peer
+// set changes, a rebalancer re-replicates every tracked model onto its
+// current successor set, so a key's replica count heals after node
+// loss and a restarted (possibly blank) node is refilled.
+//
+// Endpoints mirror a single server's — clients point serve.Client at a
+// coordinator and notice only the extra X-FSML-Peer header — plus an
+// aggregated GET /readyz listing per-peer liveness, readiness, breaker
+// state and build version (mixed-version fleets are flagged), and
+// fsml_fleet_* metrics on GET /metrics.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsml/internal/serve"
+)
+
+// Config shapes a Coordinator. The zero value is not servable: Peers is
+// required.
+type Config struct {
+	// Addr is the coordinator's listen address for Start
+	// (default "127.0.0.1:8800").
+	Addr string
+	// Peers are the backend base URLs, e.g. "http://127.0.0.1:8723".
+	// Required; validated through serve.NormalizeBaseURL.
+	Peers []string
+	// Replicas is how many distinct ring successors receive each
+	// uploaded model (default 2, clamped to len(Peers)).
+	Replicas int
+	// VNodes is the virtual points per peer on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe cadence; each round waits the
+	// interval with ±20% deterministic jitter so a fleet of
+	// coordinators never thunders in phase (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one peer probe (default 1s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive per-peer failures (probe or
+	// forwarded request) that open that peer's circuit (default 2).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open peer circuit waits before
+	// the next probe may close it (default 5s).
+	BreakerCooldown time.Duration
+	// ReplicateTimeout bounds one replication upload; lazily trained
+	// specs train synchronously on the target, so this is generous
+	// (default 2m).
+	ReplicateTimeout time.Duration
+	// DefaultDetector is the routing key used when a request names no
+	// detector. It must match the backends' DefaultDetector or the
+	// hashed shard and the serving shard diverge (default: the quick
+	// seed-1 train spec, the serve default).
+	DefaultDetector string
+	// HTTPClient overrides the forwarding transport (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives probe transitions, failovers, and
+	// replication outcomes. Nil keeps the coordinator silent.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8800"
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Peers) && len(c.Peers) > 0 {
+		c.Replicas = len(c.Peers)
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 2
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ReplicateTimeout <= 0 {
+		c.ReplicateTimeout = 2 * time.Minute
+	}
+	if c.DefaultDetector == "" {
+		c.DefaultDetector = serve.TrainSpec{Quick: true, Seed: 1}.Key()
+	}
+	return c
+}
+
+// Coordinator routes fleet traffic. Build with New, serve with Start
+// (or mount Handler yourself), stop with Shutdown.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	metrics *serve.Metrics
+
+	byURL map[string]*peer
+	peers []*peer // ring order (sorted URLs)
+
+	reqSeq   atomic.Uint64
+	idPrefix string
+
+	replicas replicaState
+
+	rebalanceCh chan struct{}
+	stop        chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+
+	httpServer *http.Server
+	ln         net.Listener
+}
+
+// New validates the peer set and builds a coordinator (not yet probing
+// or listening).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("fleet: no peers configured")
+	}
+	normalized := make([]string, 0, len(cfg.Peers))
+	seen := map[string]bool{}
+	for _, raw := range cfg.Peers {
+		u, err := serve.NormalizeBaseURL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: peer %q: %w", raw, err)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("fleet: duplicate peer %q", u)
+		}
+		seen[u] = true
+		normalized = append(normalized, u)
+	}
+	cfg.Peers = normalized
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:         cfg,
+		ring:        NewRing(cfg.Peers, cfg.VNodes),
+		metrics:     serve.NewMetrics(),
+		byURL:       map[string]*peer{},
+		idPrefix:    fmt.Sprintf("fleet-%x", time.Now().UnixNano()),
+		rebalanceCh: make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	c.replicas.records = map[string]*replicaRecord{}
+	for _, u := range c.ring.Peers() {
+		p := newPeer(c, u)
+		c.byURL[u] = p
+		c.peers = append(c.peers, p)
+	}
+	c.metrics.Set(gRingSize, uint64(c.ring.Size()))
+	c.metrics.Set(gPeersTotal, uint64(len(c.peers)))
+	return c, nil
+}
+
+// Metrics exposes the coordinator's metric registry.
+func (c *Coordinator) Metrics() *serve.Metrics { return c.metrics }
+
+// Ring exposes the hash ring (tests and tooling).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// PeerFor returns the ring owner of a detector key, regardless of
+// liveness — the node a chaos test should kill to exercise failover.
+func (c *Coordinator) PeerFor(key string) string { return c.ring.Lookup(key) }
+
+// Start probes every peer once (so routing decisions are informed from
+// the first request), binds cfg.Addr, and launches the probe and
+// rebalance loops. It returns once the listener is accepting.
+func (c *Coordinator) Start() error {
+	c.probeAll()
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	c.ln = ln
+	c.httpServer = &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = c.httpServer.Serve(ln) }()
+	c.wg.Add(2)
+	go c.probeLoop()
+	go c.rebalanceLoop()
+	return nil
+}
+
+// StartLoops launches only the probe and rebalance loops — for tests
+// that mount Handler on a listener of their own.
+func (c *Coordinator) StartLoops() {
+	c.probeAll()
+	c.wg.Add(2)
+	go c.probeLoop()
+	go c.rebalanceLoop()
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return c.cfg.Addr
+	}
+	return c.ln.Addr().String()
+}
+
+// Shutdown stops the loops and drains the HTTP server, bounded by ctx.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	var err error
+	if c.httpServer != nil {
+		err = c.httpServer.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() { c.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Handler returns the coordinator's routing table. Every relayed
+// response carries X-FSML-Request-ID (generated when the caller sent
+// none) and X-FSML-Peer naming the backend that answered.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", c.handleClassify)
+	mux.HandleFunc("POST /v1/classify-bin", c.handleClassifyBin)
+	mux.HandleFunc("POST /v1/report", c.handleReport)
+	mux.HandleFunc("GET /v1/watch", c.handleWatch)
+	mux.HandleFunc("POST /v1/detectors", c.handleRegister)
+	mux.HandleFunc("GET /v1/detectors", c.handleListDetectors)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /readyz", c.handleReady)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// HealthResponse is the body of the coordinator's GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Peers   int    `json:"peers"`
+	Version string `json:"version,omitempty"`
+}
+
+// PeerStatus is one peer's row in the coordinator's readiness report.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// Live reports whether the router will currently send this peer
+	// traffic: its last probe succeeded and its circuit is not open.
+	Live bool `json:"live"`
+	// Ready is the peer's own /readyz verdict (false while shedding,
+	// shutting down, or holding an open training breaker).
+	Ready bool `json:"ready"`
+	// Breaker is the peer circuit's position: closed | open | half-open.
+	Breaker string `json:"breaker"`
+	// Version is the peer's build version from /healthz.
+	Version string `json:"version,omitempty"`
+	// LastError is the most recent probe failure, "" when healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReadyResponse is the body of the coordinator's GET /readyz: ready
+// (200) while at least one peer is live, 503 otherwise, with the
+// per-peer detail either way.
+type ReadyResponse struct {
+	Ready      bool `json:"ready"`
+	LivePeers  int  `json:"live_peers"`
+	TotalPeers int  `json:"total_peers"`
+	Replicas   int  `json:"replicas"`
+	// MixedVersions flags a fleet whose live peers report more than
+	// one distinct build version — mid-rollout, or a deploy that
+	// missed a node.
+	MixedVersions bool         `json:"mixed_versions"`
+	Peers         []PeerStatus `json:"peers"`
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Peers: len(c.peers), Version: serve.Version()})
+}
+
+func (c *Coordinator) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := ReadyResponse{TotalPeers: len(c.peers), Replicas: c.cfg.Replicas}
+	versions := map[string]bool{}
+	for _, p := range c.peers {
+		st := p.status()
+		resp.Peers = append(resp.Peers, st)
+		if st.Live {
+			resp.LivePeers++
+			if st.Version != "" {
+				versions[st.Version] = true
+			}
+		}
+	}
+	resp.Ready = resp.LivePeers > 0
+	resp.MixedVersions = len(versions) > 1
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(c.metrics.Render()))
+}
+
+// writeJSON renders one JSON response at the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErrorJSON renders a serve.ErrorResponse-shaped error, so fleet
+// errors decode identically to backend errors in serve.Client.
+func writeErrorJSON(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, serve.ErrorResponse{Error: msg})
+}
+
+// logf forwards to cfg.Logf when set.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// requestID returns the caller's correlation ID, or mints one.
+func (c *Coordinator) requestID(r *http.Request) string {
+	if id := r.Header.Get(serve.RequestIDHeader); id != "" {
+		return id
+	}
+	return c.mintID()
+}
+
+// mintID generates a fresh correlation ID.
+func (c *Coordinator) mintID() string {
+	return fmt.Sprintf("%s-%06d", c.idPrefix, c.reqSeq.Add(1))
+}
+
+// orDefault substitutes the configured default routing key.
+func (c *Coordinator) orDefault(key string) string {
+	if key == "" {
+		return c.cfg.DefaultDetector
+	}
+	return key
+}
+
+// Metric names. Peer gauges embed the peer URL as a label so one
+// scrape shows the whole fleet.
+const (
+	mRoutes        = "fsml_fleet_routes_total"
+	mFailovers     = "fsml_fleet_failovers_total"
+	mNoLivePeer    = "fsml_fleet_no_live_peer_total"
+	mReplicated    = "fsml_fleet_replicated_total"
+	mRebalanced    = "fsml_fleet_rebalanced_total"
+	mProbes        = "fsml_fleet_probes_total"
+	mProbeFailures = "fsml_fleet_probe_failures_total"
+	gRingSize      = "fsml_fleet_ring_size"
+	gPeersTotal    = "fsml_fleet_peers_total"
+	gPeersLive     = "fsml_fleet_peers_live"
+)
+
+// gaugePeerUp names the per-peer liveness gauge.
+func gaugePeerUp(url string) string {
+	return fmt.Sprintf("fsml_fleet_peer_up{peer=%s}", strconv.Quote(url))
+}

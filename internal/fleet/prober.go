@@ -1,0 +1,178 @@
+package fleet
+
+// The peer prober. One goroutine probes every peer's /readyz (and
+// /healthz for the build version) concurrently each round, on a
+// ProbeInterval cadence with ±20% deterministic jitter
+// (resilience.Backoff with Base == Cap degenerates to exactly that).
+// Probe results feed the same per-peer circuit breaker the router's
+// forwarding failures do: a peer is "live" — eligible for traffic —
+// while its last probe succeeded and its breaker is not open. Any
+// live-set change kicks the rebalancer, and a peer coming back up has
+// its replica acks forgotten first, because a restarted node may have
+// an empty registry.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fsml/internal/resilience"
+	"fsml/internal/serve"
+)
+
+// peer is one backend and the coordinator's view of it.
+type peer struct {
+	url     string
+	client  *serve.Client
+	breaker *resilience.Breaker
+
+	mu      sync.Mutex
+	probed  bool // at least one probe completed
+	up      bool // last probe reached the peer
+	ready   bool // peer's own /readyz verdict
+	version string
+	lastErr string
+}
+
+func newPeer(c *Coordinator, url string) *peer {
+	return &peer{
+		url:     url,
+		client:  &serve.Client{BaseURL: url, HTTPClient: c.cfg.HTTPClient},
+		breaker: resilience.NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown),
+	}
+}
+
+// live reports whether the router may send this peer traffic.
+func (p *peer) live() bool {
+	p.mu.Lock()
+	up := p.up
+	p.mu.Unlock()
+	return up && p.breaker.State() != resilience.Open
+}
+
+// status snapshots the peer for the coordinator's /readyz.
+func (p *peer) status() PeerStatus {
+	p.mu.Lock()
+	st := PeerStatus{
+		URL:       p.url,
+		Ready:     p.ready,
+		Version:   p.version,
+		LastError: p.lastErr,
+	}
+	up := p.up
+	p.mu.Unlock()
+	st.Breaker = p.breaker.State().String()
+	st.Live = up && st.Breaker != "open"
+	return st
+}
+
+// probeLoop re-probes the fleet each jittered interval until Shutdown.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	jitter := resilience.Backoff{Base: c.cfg.ProbeInterval, Cap: c.cfg.ProbeInterval}
+	for attempt := 1; ; attempt++ {
+		t := time.NewTimer(jitter.Delay(attempt))
+		select {
+		case <-c.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if c.probeAll() {
+			c.kickRebalance()
+		}
+	}
+}
+
+// probeAll probes every peer concurrently and reports whether the
+// live-peer set changed.
+func (c *Coordinator) probeAll() (changed bool) {
+	type outcome struct{ changed, live bool }
+	results := make([]outcome, len(c.peers))
+	var wg sync.WaitGroup
+	for i, p := range c.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			ch, lv := c.probePeer(p)
+			results[i] = outcome{ch, lv}
+		}(i, p)
+	}
+	wg.Wait()
+	live := 0
+	for i, p := range c.peers {
+		if results[i].live {
+			live++
+		}
+		if results[i].changed {
+			changed = true
+			if results[i].live {
+				// The peer may have restarted with an empty registry;
+				// forget its acks so the rebalancer re-replicates.
+				c.replicas.forget(p.url)
+			}
+		}
+	}
+	c.metrics.Set(gPeersLive, uint64(live))
+	return changed
+}
+
+// probePeer runs one probe round against one peer: /readyz for
+// reachability and readiness, /healthz for the build version. It
+// reports whether the peer's liveness flipped, and the new liveness.
+func (c *Coordinator) probePeer(p *peer) (changed, nowLive bool) {
+	wasLive := p.live()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	c.metrics.Add(mProbes, 1)
+	rr, err := p.client.Ready(ctx)
+	version := ""
+	if err == nil {
+		if h, herr := p.client.Health(ctx); herr == nil {
+			version = h.Version
+		}
+	}
+	p.mu.Lock()
+	p.probed = true
+	if err != nil {
+		p.up, p.ready = false, false
+		p.lastErr = err.Error()
+	} else {
+		p.up, p.ready = true, rr.Ready
+		p.lastErr = ""
+		if version != "" {
+			p.version = version
+		}
+	}
+	p.mu.Unlock()
+	if err != nil {
+		c.metrics.Add(mProbeFailures, 1)
+		p.breaker.Failure()
+	} else {
+		p.breaker.Success()
+	}
+	nowLive = p.live()
+	c.metrics.Set(gaugePeerUp(p.url), boolGauge(nowLive))
+	if nowLive != wasLive {
+		if nowLive {
+			c.logf("fleet: peer %s is live", p.url)
+		} else {
+			c.logf("fleet: peer %s is down: %s", p.url, errString(err))
+		}
+	}
+	return nowLive != wasLive, nowLive
+}
+
+func boolGauge(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "circuit open"
+	}
+	return err.Error()
+}

@@ -1,0 +1,303 @@
+package fleet
+
+// The replicator. POST /v1/detectors computes the key the upload will
+// land on — the train-spec key, or serve.ModelKey's content hash —
+// uploads to the key's first Replicas live ring successors, and
+// remembers the request body plus which peers acked it. When the
+// prober reports a live-set change, the rebalancer replays every
+// tracked registration onto its current successor set: a key that
+// lost a replica to node death heals onto the next successor, and a
+// peer that came back (possibly with an empty registry — its acks
+// were forgotten on revival) is refilled. Backends make registration
+// idempotent (content-hash keys, cached train specs), so replaying is
+// always safe.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fsml/internal/serve"
+)
+
+// ReplicasHeader reports how many peers acked a replicated upload.
+const ReplicasHeader = "X-FSML-Replicas"
+
+// replicaState tracks every registration the coordinator has accepted.
+type replicaState struct {
+	mu      sync.Mutex
+	records map[string]*replicaRecord // by registry key
+}
+
+type replicaRecord struct {
+	body  []byte          // the RegisterRequest JSON, replayed verbatim
+	acked map[string]bool // peers that accepted the upload
+}
+
+// record merges one registration outcome.
+func (s *replicaState) record(key string, body []byte, acked map[string]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.records[key]
+	if rec == nil {
+		rec = &replicaRecord{body: body, acked: map[string]bool{}}
+		s.records[key] = rec
+	}
+	for u := range acked {
+		rec.acked[u] = true
+	}
+}
+
+// forget drops one peer's acks across all keys (it may have restarted
+// with an empty registry).
+func (s *replicaState) forget(peerURL string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.records {
+		delete(rec.acked, peerURL)
+	}
+}
+
+// keys snapshots the tracked registry keys, sorted for determinism.
+func (s *replicaState) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.records))
+	for k := range s.records {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns one record's body and acked set (copies).
+func (s *replicaState) snapshot(key string) (body []byte, acked map[string]bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.records[key]
+	if rec == nil {
+		return nil, nil, false
+	}
+	acked = make(map[string]bool, len(rec.acked))
+	for u := range rec.acked {
+		acked[u] = true
+	}
+	return rec.body, acked, true
+}
+
+// ack marks one peer as holding one key.
+func (s *replicaState) ack(key, peerURL string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec := s.records[key]; rec != nil {
+		rec.acked[peerURL] = true
+	}
+}
+
+// registerKey derives the registry key a RegisterRequest will land on,
+// mirroring the backend's own keying.
+func registerKey(req serve.RegisterRequest) (string, error) {
+	switch {
+	case len(req.Model) > 0 && req.Train != nil:
+		return "", errors.New("fleet: register: set model or train, not both")
+	case len(req.Model) > 0:
+		key, err := serve.ModelKey(req.Model)
+		if err != nil {
+			return "", err
+		}
+		return key, nil
+	case req.Train != nil:
+		return serve.TrainSpec{Quick: req.Train.Quick, Seed: req.Train.Seed}.Key(), nil
+	default:
+		return "", errors.New("fleet: register: set model or train")
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.RegisterRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrorJSON(w, http.StatusBadRequest, "fleet: decoding register request: "+err.Error())
+		return
+	}
+	key, err := registerKey(req)
+	if err != nil {
+		writeErrorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := c.requestID(r)
+	targets := c.candidates(key)
+	if len(targets) == 0 {
+		c.metrics.Add(mNoLivePeer, 1)
+		writeErrorJSON(w, http.StatusServiceUnavailable, "fleet: no live peers")
+		return
+	}
+	if len(targets) > c.cfg.Replicas {
+		targets = targets[:c.cfg.Replicas]
+	}
+	acked := map[string]bool{}
+	var first, lastFail *relayedResponse
+	for _, p := range targets {
+		resp, perr := c.proxy(r.Context(), p, http.MethodPost, "/v1/detectors", "application/json", id, body)
+		if perr != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			p.breaker.Failure()
+			c.logf("fleet: replicate %s to %s failed: %v (request-id %s)", key, p.url, perr, id)
+			continue
+		}
+		if resp.status/100 != 2 {
+			lastFail = resp
+			c.logf("fleet: replicate %s to %s rejected: %d (request-id %s)", key, p.url, resp.status, id)
+			continue
+		}
+		acked[p.url] = true
+		if first == nil {
+			first = resp
+		}
+	}
+	if len(acked) == 0 {
+		if lastFail != nil {
+			// Every target gave the same definitive answer (e.g. a 400
+			// for a corrupt model); relay it.
+			c.relay(w, id, lastFail)
+			return
+		}
+		writeErrorJSON(w, http.StatusBadGateway, "fleet: replication reached no peer")
+		return
+	}
+	c.replicas.record(key, body, acked)
+	c.metrics.Add(mReplicated, uint64(len(acked)))
+	c.metrics.Add(mRoutes, 1)
+	w.Header().Set(ReplicasHeader, strconv.Itoa(len(acked)))
+	c.relay(w, id, first)
+}
+
+// handleListDetectors fans GET /v1/detectors out to every live peer
+// and merges the results into key -> holding peers.
+func (c *Coordinator) handleListDetectors(w http.ResponseWriter, r *http.Request) {
+	live := c.livePeers()
+	type result struct {
+		url  string
+		resp *serve.DetectorsResponse
+	}
+	results := make([]result, len(live))
+	var wg sync.WaitGroup
+	for i, p := range live {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
+			defer cancel()
+			resp, err := p.client.Detectors(ctx)
+			if err != nil {
+				c.logf("fleet: listing detectors on %s: %v", p.url, err)
+				return
+			}
+			results[i] = result{url: p.url, resp: resp}
+		}(i, p)
+	}
+	wg.Wait()
+	merged := map[string][]string{}
+	consulted := 0
+	for _, res := range results {
+		if res.resp == nil {
+			continue
+		}
+		consulted++
+		for _, d := range res.resp.Detectors {
+			merged[d.Key] = append(merged[d.Key], res.url)
+		}
+	}
+	for _, peers := range merged {
+		sort.Strings(peers)
+	}
+	writeJSON(w, http.StatusOK, DetectorsResponse{Detectors: merged, Peers: consulted, Replicas: c.cfg.Replicas})
+}
+
+// DetectorsResponse is the body of the coordinator's GET /v1/detectors:
+// every key resident anywhere in the fleet, with the peers holding it.
+type DetectorsResponse struct {
+	Detectors map[string][]string `json:"detectors"`
+	// Peers is how many live peers answered the fan-out.
+	Peers int `json:"peers"`
+	// Replicas is the configured replication factor, for comparison
+	// against each key's holder count.
+	Replicas int `json:"replicas"`
+}
+
+// livePeers returns the currently live peers in ring order.
+func (c *Coordinator) livePeers() []*peer {
+	var out []*peer
+	for _, p := range c.peers {
+		if p.live() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// kickRebalance nudges the rebalancer without blocking (a kick during
+// a rebalance coalesces into one more pass).
+func (c *Coordinator) kickRebalance() {
+	select {
+	case c.rebalanceCh <- struct{}{}:
+	default:
+	}
+}
+
+// rebalanceLoop replays tracked registrations after live-set changes.
+func (c *Coordinator) rebalanceLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.rebalanceCh:
+		}
+		c.rebalance()
+	}
+}
+
+// rebalance brings every tracked key back to its replica target on the
+// current live successor set.
+func (c *Coordinator) rebalance() {
+	for _, key := range c.replicas.keys() {
+		body, acked, ok := c.replicas.snapshot(key)
+		if !ok {
+			continue
+		}
+		targets := c.candidates(key)
+		if len(targets) > c.cfg.Replicas {
+			targets = targets[:c.cfg.Replicas]
+		}
+		for _, p := range targets {
+			if acked[p.url] {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ReplicateTimeout)
+			resp, err := c.proxy(ctx, p, http.MethodPost, "/v1/detectors", "application/json", c.mintID(), body)
+			cancel()
+			if err != nil {
+				p.breaker.Failure()
+				c.logf("fleet: rebalance %s to %s failed: %v", key, p.url, err)
+				continue
+			}
+			if resp.status/100 != 2 {
+				c.logf("fleet: rebalance %s to %s rejected: %d", key, p.url, resp.status)
+				continue
+			}
+			c.replicas.ack(key, p.url)
+			c.metrics.Add(mRebalanced, 1)
+			c.logf("fleet: rebalanced %s onto %s", key, p.url)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package fleet
+
+// The consistent-hash ring. Each peer contributes VNodes virtual points
+// (FNV-1a 64 of "url#i") on a 64-bit circle; a key belongs to the first
+// point clockwise from its own hash. Hashes depend only on the peer URL
+// and index, so key->node assignment is identical across coordinator
+// restarts — that determinism is what keeps each backend's LRU registry
+// hot for its shard — and removing one of N peers remaps only the keys
+// the dead peer owned (~1/N of them), never keys between survivors.
+// The ring is immutable after construction; liveness filtering happens
+// in the router, not here.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual points each peer contributes when
+// Config.VNodes is zero. 128 keeps the load spread within a few percent
+// of even for small fleets while construction stays microseconds.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over peer base URLs.
+type Ring struct {
+	peers  []string // sorted, so flag order never changes the ring
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// NewRing builds a ring with vnodes virtual points per peer (<= 0
+// selects DefaultVNodes). Peer order does not matter.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{peers: append([]string(nil), peers...)}
+	sort.Strings(r.peers)
+	r.points = make([]ringPoint, 0, len(r.peers)*vnodes)
+	for pi, p := range r.peers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", p, v)), peer: pi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.peer < b.peer // peers are sorted, so ties break stably
+	})
+	return r
+}
+
+// hashString is FNV-1a 64 — stable across builds, unlike maphash.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// search returns the index of the first point clockwise from key.
+func (r *Ring) search(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return i
+}
+
+// Lookup returns the peer owning key ("" on an empty ring).
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.peers[r.points[r.search(key)].peer]
+}
+
+// Successors returns the first n distinct peers clockwise from key's
+// point: the owner first, then the replica/failover order. n is clamped
+// to the peer count; n >= len(Peers) yields the complete failover
+// order.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	out := make([]string, 0, n)
+	seen := make([]bool, len(r.peers))
+	at := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		pt := r.points[(at+i)%len(r.points)]
+		if !seen[pt.peer] {
+			seen[pt.peer] = true
+			out = append(out, r.peers[pt.peer])
+		}
+	}
+	return out
+}
+
+// Peers returns the member URLs, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size returns the number of virtual points on the ring.
+func (r *Ring) Size() int { return len(r.points) }

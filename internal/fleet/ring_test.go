@@ -1,0 +1,149 @@
+package fleet
+
+// Property tests of the consistent-hash ring: deterministic assignment
+// across rebuilds (a coordinator restart must not reshuffle shards),
+// bounded remapping on node loss (only the dead peer's keys move), and
+// distinct replication successors.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testPeers builds n synthetic peer URLs.
+func testPeers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8723", i+1)
+	}
+	return out
+}
+
+// testKeys builds a mixed population of train-spec-style and
+// content-hash-style keys, like real routing traffic.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = fmt.Sprintf("train:quick=true,seed=%d", i)
+		} else {
+			out[i] = fmt.Sprintf("sha256:%016x", uint64(i)*0x9e3779b97f4a7c15)
+		}
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossRestarts pins that two independently
+// built rings — even from differently ordered peer lists — agree on
+// every key's owner and successor chain. A coordinator restart (or a
+// second coordinator in front of the same fleet) must route
+// identically, or every node's registry goes cold.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	peers := testPeers(5)
+	a := NewRing(peers, 0)
+	reversed := make([]string, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	b := NewRing(reversed, 0)
+	for _, key := range testKeys(2000) {
+		if ao, bo := a.Lookup(key), b.Lookup(key); ao != bo {
+			t.Fatalf("Lookup(%q) differs across rebuilds: %q vs %q", key, ao, bo)
+		}
+		as, bs := a.Successors(key, 3), b.Successors(key, 3)
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("Successors(%q) differ across rebuilds: %v vs %v", key, as, bs)
+			}
+		}
+	}
+}
+
+// TestRingRemovalRemapsBounded removes one of N peers and checks the
+// two consistent-hashing guarantees: a key whose owner survives never
+// moves, and the moved fraction stays near 1/N (the dead peer's
+// share), far below the (N-1)/N a modulo scheme would reshuffle.
+func TestRingRemovalRemapsBounded(t *testing.T) {
+	peers := testPeers(5)
+	keys := testKeys(10000)
+	full := NewRing(peers, 0)
+	victim := peers[2]
+	var rest []string
+	for _, p := range peers {
+		if p != victim {
+			rest = append(rest, p)
+		}
+	}
+	reduced := NewRing(rest, 0)
+	remapped := 0
+	for _, key := range keys {
+		before, after := full.Lookup(key), reduced.Lookup(key)
+		if before != victim && before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+		if before != after {
+			remapped++
+		}
+	}
+	frac := float64(remapped) / float64(len(keys))
+	// The victim owns ~1/5 of the keyspace; allow vnode-placement
+	// variance on top.
+	const want, eps = 1.0 / 5, 0.06
+	if frac > want+eps {
+		t.Errorf("node loss remapped %.1f%% of keys, want <= %.1f%%", frac*100, (want+eps)*100)
+	}
+	if remapped == 0 {
+		t.Error("node loss remapped nothing; the victim owned no keys")
+	}
+}
+
+// TestRingSuccessorsDistinct checks the replica-placement property:
+// successors are distinct peers, start at the owner, and clamp to the
+// fleet size.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	peers := testPeers(4)
+	r := NewRing(peers, 0)
+	for _, key := range testKeys(500) {
+		for n := 1; n <= len(peers)+2; n++ {
+			succ := r.Successors(key, n)
+			wantLen := n
+			if wantLen > len(peers) {
+				wantLen = len(peers)
+			}
+			if len(succ) != wantLen {
+				t.Fatalf("Successors(%q, %d) = %d peers, want %d", key, n, len(succ), wantLen)
+			}
+			if succ[0] != r.Lookup(key) {
+				t.Fatalf("Successors(%q)[0] = %q, want the owner %q", key, succ[0], r.Lookup(key))
+			}
+			seen := map[string]bool{}
+			for _, p := range succ {
+				if seen[p] {
+					t.Fatalf("Successors(%q, %d) repeats %q: %v", key, n, p, succ)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// TestRingSpreadsLoad sanity-checks the vnode count: with the default
+// placement no peer owns more than ~2x its fair share.
+func TestRingSpreadsLoad(t *testing.T) {
+	peers := testPeers(5)
+	r := NewRing(peers, 0)
+	keys := testKeys(10000)
+	counts := map[string]int{}
+	for _, key := range keys {
+		counts[r.Lookup(key)]++
+	}
+	fair := len(keys) / len(peers)
+	for p, n := range counts {
+		if n > 2*fair {
+			t.Errorf("peer %s owns %d of %d keys (fair share %d)", p, n, len(keys), fair)
+		}
+		if n == 0 {
+			t.Errorf("peer %s owns no keys", p)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package fleet
+
+// The request router. Work requests buffer their body once, derive the
+// routing key (the detector the request names, or the configured
+// default), and walk the key's live ring successors in order: the
+// owner, then its replicas, then the rest of the live fleet. A
+// transport error counts against the peer's breaker and moves on; a
+// 429/503 is the backend's guarantee the request was not processed
+// (the same contract serve.Client's retry policy relies on), so the
+// next successor may take it. Every hop carries the same
+// X-FSML-Request-ID, and the relayed response names the peer that
+// answered in X-FSML-Peer. The watch endpoint streams instead of
+// buffering: once a backend starts its SSE stream the coordinator
+// copies and flushes chunks until either side closes; a stream cut
+// mid-flight is not re-dialed (window offsets are not resumable), that
+// retry belongs to the client's own dial loop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"fsml/internal/serve"
+)
+
+// maxBodyBytes mirrors the backend's request-body cap.
+const maxBodyBytes = 64 << 20
+
+// PeerHeader names the backend that answered a routed request.
+const PeerHeader = "X-FSML-Peer"
+
+// relayedResponse is one buffered backend response.
+type relayedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+	peer   string
+}
+
+func (c *Coordinator) httpClient() *http.Client {
+	if c.cfg.HTTPClient != nil {
+		return c.cfg.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// readBody buffers the request body, bounded like the backends bound
+// theirs.
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErrorJSON(w, http.StatusBadRequest, "fleet: reading request body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// jsonDetector pulls the detector field out of a JSON body without
+// validating the rest — garbage bodies route to the default shard and
+// earn their 400 from the backend, which owns request validation.
+func jsonDetector(body []byte) string {
+	var probe struct {
+		Detector string `json:"detector"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	return probe.Detector
+}
+
+func (c *Coordinator) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	var key string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), serve.PerfContentType) {
+		// Raw perf uploads carry the detector in the query string.
+		key = r.URL.Query().Get("detector")
+	} else {
+		key = jsonDetector(body)
+	}
+	c.forward(w, r, c.orDefault(key), body)
+}
+
+func (c *Coordinator) handleClassifyBin(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	// A malformed frame peeks to ""; the default shard's backend will
+	// reject it with the decoder's own *FrameError.
+	key, _ := serve.PeekBinDetector(body)
+	c.forward(w, r, c.orDefault(key), body)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	c.forward(w, r, c.orDefault(jsonDetector(body)), body)
+}
+
+// candidates returns the live peers in key-successor order: owner,
+// replicas, then the rest of the fleet.
+func (c *Coordinator) candidates(key string) []*peer {
+	var out []*peer
+	for _, u := range c.ring.Successors(key, len(c.peers)) {
+		if p := c.byURL[u]; p.live() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// forward relays one buffered request down the key's failover chain.
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	id := c.requestID(r)
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		c.metrics.Add(mNoLivePeer, 1)
+		writeErrorJSON(w, http.StatusServiceUnavailable, "fleet: no live peers")
+		return
+	}
+	var lastShed *relayedResponse
+	for i, p := range cands {
+		if i > 0 {
+			c.metrics.Add(mFailovers, 1)
+		}
+		resp, err := c.proxy(r.Context(), p, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), id, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client hung up; nobody is left to fail over for.
+				return
+			}
+			p.breaker.Failure()
+			c.logf("fleet: %s %s via %s failed: %v (request-id %s)", r.Method, r.URL.Path, p.url, err, id)
+			continue
+		}
+		if resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable {
+			// Not processed — the next successor may safely take it.
+			lastShed = resp
+			c.logf("fleet: %s %s shed by %s (%d, request-id %s)", r.Method, r.URL.Path, p.url, resp.status, id)
+			continue
+		}
+		c.metrics.Add(mRoutes, 1)
+		c.relay(w, id, resp)
+		return
+	}
+	if lastShed != nil {
+		// Every live candidate shed; relay the shed verbatim so the
+		// client's Retry-After handling applies.
+		c.relay(w, id, lastShed)
+		return
+	}
+	writeErrorJSON(w, http.StatusBadGateway, "fleet: all candidate peers unreachable")
+}
+
+// proxy performs one forwarded round trip, buffered.
+func (c *Coordinator) proxy(ctx context.Context, p *peer, method, uri, contentType, id string, body []byte) (*relayedResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, method, p.url+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set(serve.RequestIDHeader, id)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+8))
+	if err != nil {
+		return nil, err
+	}
+	return &relayedResponse{status: resp.StatusCode, header: resp.Header, body: blob, peer: p.url}, nil
+}
+
+// relay writes one buffered backend response through.
+func (c *Coordinator) relay(w http.ResponseWriter, id string, resp *relayedResponse) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(serve.RequestIDHeader, id)
+	w.Header().Set(PeerHeader, resp.peer)
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+func (c *Coordinator) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErrorJSON(w, http.StatusInternalServerError, "fleet: response writer cannot stream")
+		return
+	}
+	key := c.orDefault(r.URL.Query().Get("detector"))
+	id := c.requestID(r)
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		c.metrics.Add(mNoLivePeer, 1)
+		writeErrorJSON(w, http.StatusServiceUnavailable, "fleet: no live peers")
+		return
+	}
+	var lastShed *relayedResponse
+	for i, p := range cands {
+		if i > 0 {
+			c.metrics.Add(mFailovers, 1)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, p.url+r.URL.RequestURI(), nil)
+		if err != nil {
+			writeErrorJSON(w, http.StatusInternalServerError, "fleet: "+err.Error())
+			return
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		req.Header.Set(serve.RequestIDHeader, id)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			p.breaker.Failure()
+			c.logf("fleet: watch via %s failed: %v (request-id %s)", p.url, err, id)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			lastShed = &relayedResponse{status: resp.StatusCode, header: resp.Header, body: blob, peer: p.url}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			blob, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			c.relay(w, id, &relayedResponse{status: resp.StatusCode, header: resp.Header, body: blob, peer: p.url})
+			return
+		}
+		c.metrics.Add(mRoutes, 1)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set(serve.RequestIDHeader, id)
+		w.Header().Set(PeerHeader, p.url)
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					break
+				}
+				flusher.Flush()
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		return
+	}
+	if lastShed != nil {
+		c.relay(w, id, lastShed)
+		return
+	}
+	writeErrorJSON(w, http.StatusBadGateway, "fleet: all candidate peers unreachable")
+}

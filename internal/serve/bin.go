@@ -198,7 +198,11 @@ func (c *Client) ClassifyBinary(ctx context.Context, req *BinClassifyRequest) (*
 
 // binRoundTrip performs one binary attempt.
 func (c *Client) binRoundTrip(ctx context.Context, frame []byte) (*BinClassifyResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/classify-bin", bytes.NewReader(frame))
+	target, err := c.endpoint("/v1/classify-bin")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(frame))
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,6 +75,53 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
+// BaseURLError reports a Client.BaseURL that cannot form request URLs:
+// empty, missing an http/https scheme, or missing a host. It is typed
+// so misconfiguration fails loudly on the first call instead of
+// surfacing as a cryptic transport error (or, for a trailing slash, as
+// silently doubled "//v1/..." paths).
+type BaseURLError struct {
+	BaseURL string
+	Reason  string
+}
+
+func (e *BaseURLError) Error() string {
+	return fmt.Sprintf("serve: bad base URL %q: %s", e.BaseURL, e.Reason)
+}
+
+// NormalizeBaseURL canonicalizes a server root: trailing slashes are
+// stripped (so path concatenation never yields "//v1/...") and a URL
+// without an http/https scheme or a host is rejected with a typed
+// *BaseURLError.
+func NormalizeBaseURL(raw string) (string, error) {
+	trimmed := strings.TrimRight(raw, "/")
+	if trimmed == "" {
+		return "", &BaseURLError{BaseURL: raw, Reason: "empty URL"}
+	}
+	u, err := url.Parse(trimmed)
+	if err != nil {
+		return "", &BaseURLError{BaseURL: raw, Reason: err.Error()}
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", &BaseURLError{BaseURL: raw, Reason: fmt.Sprintf("scheme %q, want http or https", u.Scheme)}
+	}
+	if u.Host == "" {
+		return "", &BaseURLError{BaseURL: raw, Reason: "missing host"}
+	}
+	return trimmed, nil
+}
+
+// endpoint joins BaseURL and path, normalizing the base at call time so
+// a struct-literal Client{BaseURL: "http://host/"} behaves exactly like
+// one built by NewClient.
+func (c *Client) endpoint(path string) (string, error) {
+	base, err := NormalizeBaseURL(c.BaseURL)
+	if err != nil {
+		return "", err
+	}
+	return base + path, nil
+}
+
 // APIError is a non-2xx response from the server.
 type APIError struct {
 	Status  int
@@ -90,6 +138,12 @@ func (e *APIError) Error() string {
 // retryable classifies an attempt's failure: can this verb safely try
 // again, and did the server ask for a minimum wait?
 func retryable(method string, err error) (ok bool, hint time.Duration) {
+	var buErr *BaseURLError
+	if errors.As(err, &buErr) {
+		// A malformed base URL never heals on its own; retrying would
+		// just pad the failure with backoff sleeps.
+		return false, 0
+	}
 	if apiErr, isAPI := err.(*APIError); isAPI {
 		switch apiErr.Status {
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -144,7 +198,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 	if hasBody {
 		body = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	target, err := c.endpoint(path)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, body)
 	if err != nil {
 		return err
 	}
@@ -250,7 +308,11 @@ func (c *Client) ClassifyPerf(ctx context.Context, detector string, perf []byte)
 
 // perfRoundTrip performs one raw perf-upload attempt.
 func (c *Client) perfRoundTrip(ctx context.Context, path string, perf []byte) (*ClassifyResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(perf))
+	target, err := c.endpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(perf))
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +402,11 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 // for transport and decoding failures. Readiness probes are exempt from
 // the retry policy: a prober wants the current answer, not a padded one.
 func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	target, err := c.endpoint("/readyz")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +435,11 @@ func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
 
 // MetricsText fetches the raw metrics exposition.
 func (c *Client) MetricsText(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	target, err := c.endpoint("/metrics")
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
 		return "", err
 	}

@@ -69,6 +69,14 @@ func (m *Metrics) Add(name string, delta uint64) {
 	m.mu.Unlock()
 }
 
+// Set pins the named series to an absolute value — gauge semantics
+// (peer up/down flags, ring sizes) rendered exactly like a counter.
+func (m *Metrics) Set(name string, v uint64) {
+	m.mu.Lock()
+	m.counters[name] = v
+	m.mu.Unlock()
+}
+
 // Counter returns the named counter's current value.
 func (m *Metrics) Counter(name string) uint64 {
 	m.mu.Lock()

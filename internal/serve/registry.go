@@ -88,6 +88,23 @@ func ContentKey(encoded []byte) string {
 	return "sha256:" + hex.EncodeToString(sum[:])[:16]
 }
 
+// ModelKey returns the registry key a serialized model will register
+// under: the content hash of its canonical re-encoding (Register
+// re-encodes, so a semantically identical model with different JSON
+// whitespace still lands on the same key). The fleet replicator uses it
+// to place an upload on the hash ring before any peer has decoded it.
+func ModelKey(model []byte) (string, error) {
+	det, err := core.DecodeDetector(model)
+	if err != nil {
+		return "", err
+	}
+	encoded, err := det.Encode()
+	if err != nil {
+		return "", err
+	}
+	return ContentKey(encoded), nil
+}
+
 // RegistryConfig configures a Registry.
 type RegistryConfig struct {
 	// Capacity bounds the resident detectors (LRU eviction; default 8).

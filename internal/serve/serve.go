@@ -45,6 +45,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -112,6 +113,11 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Train overrides the registry's lazy trainer (tests).
 	Train func(spec TrainSpec) (*core.Detector, error)
+	// Logf, when non-nil, receives one line per shed/error response,
+	// tagged with the request's X-FSML-Request-ID when the caller sent
+	// one — that is how the two hops of a fleet failover correlate in
+	// logs. Nil keeps the server silent.
+	Logf func(format string, args ...any)
 }
 
 // withDefaults resolves the zero values.
@@ -216,10 +222,17 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Registry exposes the detector registry (embedders that pre-register).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// RequestIDHeader is the correlation header. A fleet coordinator (or
+// any proxy) stamps it on forwarded requests; the server echoes it on
+// every response and tags shed/error log lines with it, so the hops of
+// a failover are correlatable end to end.
+const RequestIDHeader = "X-FSML-Request-ID"
+
 // Handler returns the server's routing table. Work endpoints pass the
 // admission gate (shutdown rejection, per-endpoint inflight limiting);
 // the health, readiness, and metrics probes never do — they must answer
-// precisely when the server is refusing work.
+// precisely when the server is refusing work. The whole table sits
+// behind the request-ID echo wrapper.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.admit(s.limClassify, mShedClassify, s.handleClassify))
@@ -231,7 +244,55 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id != "" {
+			w.Header().Set(RequestIDHeader, id)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			if id == "" {
+				id = "-"
+			}
+			s.logf("serve: %s %s -> %d (request-id %s)", r.Method, r.URL.Path, sw.status, id)
+		}
+	})
+}
+
+// logf forwards to cfg.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// statusWriter records the response status for the shed/error log line.
+// It passes Flush through so SSE streaming (GET /v1/watch) keeps
+// working behind the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // admit is the admission-control middleware. It rejects requests that
@@ -480,7 +541,37 @@ func (s *Server) detector(ctx context.Context, key string) (*core.Detector, stri
 // Handlers
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, HealthResponse{Status: "ok", Detectors: len(s.reg.List())})
+	writeJSON(w, HealthResponse{Status: "ok", Detectors: len(s.reg.List()), Version: Version()})
+}
+
+// buildVersion memoizes Version's debug.ReadBuildInfo walk.
+var buildVersion struct {
+	once sync.Once
+	v    string
+}
+
+// Version resolves this binary's build version once: the main module
+// version when stamped, else the VCS revision, else "devel". /healthz
+// reports it so a fleet prober can surface mixed-version fleets.
+func Version() string {
+	buildVersion.once.Do(func() {
+		buildVersion.v = "devel"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := info.Main.Version; v != "" && v != "(devel)" {
+			buildVersion.v = v
+			return
+		}
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				buildVersion.v = kv.Value[:12]
+				return
+			}
+		}
+	})
+	return buildVersion.v
 }
 
 // handleReady is the readiness probe: distinct from /healthz liveness,

@@ -357,7 +357,11 @@ func (c *Client) dialWatch(ctx context.Context, q WatchQuery) (*http.Response, e
 		hc = http.DefaultClient
 	}
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		target, err := c.endpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 		if err != nil {
 			return nil, err
 		}

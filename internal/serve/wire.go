@@ -147,6 +147,10 @@ type DetectorsResponse struct {
 type HealthResponse struct {
 	Status    string `json:"status"`
 	Detectors int    `json:"detectors"`
+	// Version is the serving binary's build version (module version or
+	// VCS revision, "devel" when neither is stamped). Fleet probes
+	// compare it across peers to flag mixed-version fleets.
+	Version string `json:"version,omitempty"`
 }
 
 // ReadyResponse is the body of GET /readyz (status 200 when Ready,
@@ -580,6 +584,22 @@ func openFrame(frame []byte, wantKind byte) (*frameReader, byte, error) {
 		return nil, 0, r.fail("frame kind %d, want %d", kind, wantKind)
 	}
 	return r, kind, nil
+}
+
+// PeekBinDetector reads just the detector key out of a request frame,
+// without touching the vector or trace payload behind it. The fleet
+// coordinator uses it to pick a shard for a frame it then relays
+// verbatim; malformed frames yield the same *FrameError a full decode
+// would.
+func PeekBinDetector(frame []byte) (string, error) {
+	r, _, err := openFrame(frame, binKindRequest)
+	if err != nil {
+		return "", err
+	}
+	if _, err := r.u8(); err != nil { // mode byte
+		return "", err
+	}
+	return r.str()
 }
 
 // DecodeBinRequest parses one request frame (length prefix included).
