@@ -7,9 +7,9 @@ RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
             ./internal/faults ./internal/serve ./internal/resilience \
             ./internal/stream ./internal/ml ./internal/perfingest \
-            ./internal/fleet
+            ./internal/fleet ./internal/lifecycle
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke fleet-smoke chaos ci
+.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke fleet-smoke lifecycle-smoke chaos ci
 
 all: build test
 
@@ -34,6 +34,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
+	$(GO) test -run '^$$' -fuzz FuzzParseLifecycleSpec -fuzztime 10s ./internal/lifecycle
 
 # bench records the parallel-vs-sequential engine numbers (see
 # EXPERIMENTS.md).
@@ -45,7 +46,9 @@ bench:
 # prediction, the columnar batch path, JSON vs binary serve round
 # trips); BENCH_7.json — perf-output ingestion throughput (parse +
 # Table-2 mapping per fixture format); BENCH_8.json — fleet-coordinator
-# overhead (direct vs routed classify latency).
+# overhead (direct vs routed classify latency); BENCH_9.json — what
+# lifecycle shadow-mirroring costs the classify hot path (absent vs
+# armed-idle vs actively shadowing).
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_6.json \
 	    -bench 'FlatPredict|ClassifyBatch|DetectorClassify|ServeClassify' \
@@ -54,6 +57,8 @@ bench-snapshot:
 	    -bench 'ParsePerf' ./internal/perfingest
 	$(GO) run ./cmd/benchsnap -o BENCH_8.json -benchtime 300x \
 	    -bench 'FleetClassify' ./internal/fleet
+	$(GO) run ./cmd/benchsnap -o BENCH_9.json \
+	    -bench 'ShadowMirror' ./internal/serve
 
 # serve-smoke exercises the detection server's full lifecycle: bind an
 # ephemeral port, health-check, register a model, classify through the
@@ -73,6 +78,12 @@ watch-smoke:
 # across live backends, kill one, and keep answering through failover.
 fleet-smoke:
 	$(GO) test ./internal/fleet -run TestFleetSmoke -count=1 -v
+
+# lifecycle-smoke drives the self-healing model loop end to end: drift
+# debounce, retrain, shadow scoring, promotion, rejection, and an
+# automatic rollback, all against a live server under the race detector.
+lifecycle-smoke:
+	$(GO) test ./internal/serve -run TestChaosDriftRetrainPromoteRollback -race -count=1 -v
 
 # chaos drives the serving layer through every failure mode at once —
 # corrupt registry files, failing trainers, shed storms, shutdown under

@@ -11,6 +11,7 @@ import (
 	"fsml/internal/exps"
 	"fsml/internal/faults"
 	"fsml/internal/fleet"
+	"fsml/internal/lifecycle"
 	"fsml/internal/machine"
 	"fsml/internal/mapred"
 	"fsml/internal/mem"
@@ -695,6 +696,53 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }
 
 // ---------------------------------------------------------------------------
+// Model lifecycle
+
+// Lifecycle-layer types, re-exported from internal/lifecycle: the
+// self-healing model loop a server runs when ServeConfig.Lifecycle is
+// set — drift-triggered retraining, shadow scoring of the candidate on
+// live traffic, and versioned promote/rollback of the active detector.
+type (
+	// LifecycleConfig shapes a server's lifecycle manager; the zero Spec
+	// means defaults.
+	LifecycleConfig = lifecycle.Config
+	// LifecycleSpec is the tuning surface (debounce, sampling, budgets),
+	// parsed from "alarms=3,window=2m,..." strings.
+	LifecycleSpec = lifecycle.Spec
+	// LifecycleSpecError is the typed rejection ParseLifecycleSpec
+	// returns, naming the offending field.
+	LifecycleSpecError = lifecycle.SpecError
+	// LifecycleState is one node of the lifecycle state machine.
+	LifecycleState = lifecycle.State
+	// LifecycleStatus is a point-in-time snapshot of the manager.
+	LifecycleStatus = lifecycle.Status
+	// LifecycleRun is one retrain attempt in the history ledger.
+	LifecycleRun = lifecycle.Run
+	// LifecycleTransition is one recorded state-machine edge.
+	LifecycleTransition = lifecycle.Transition
+	// LifecycleResponse is the GET /v1/lifecycle body.
+	LifecycleResponse = serve.LifecycleResponse
+)
+
+// Lifecycle states, in the order a successful run visits them.
+const (
+	LifecycleStable     = lifecycle.StateStable
+	LifecycleDrifting   = lifecycle.StateDrifting
+	LifecycleRetraining = lifecycle.StateRetraining
+	LifecycleShadowing  = lifecycle.StateShadowing
+	LifecyclePromoting  = lifecycle.StatePromoting
+	LifecycleRolledBack = lifecycle.StateRolledBack
+)
+
+// ParseLifecycleSpec parses "alarms=3,window=2m,clear=2,every=1,
+// shadow=64,agree=0.9,conf=0,probation=64,regress=0.25" ("" or "on"
+// yields the defaults). Errors are *LifecycleSpecError values.
+func ParseLifecycleSpec(s string) (LifecycleSpec, error) { return lifecycle.ParseSpec(s) }
+
+// DefaultLifecycleSpec returns the default lifecycle tuning.
+func DefaultLifecycleSpec() LifecycleSpec { return lifecycle.DefaultSpec() }
+
+// ---------------------------------------------------------------------------
 // Streaming detection
 
 // Streaming-layer types, re-exported from internal/stream: an online
@@ -719,6 +767,8 @@ type (
 	// StreamDriftAlarm reports the window features leaving the training
 	// envelope.
 	StreamDriftAlarm = stream.DriftAlarm
+	// StreamDriftCleared reports recovery from a drift episode.
+	StreamDriftCleared = stream.DriftCleared
 	// StreamSummary closes a stream with its phase timeline.
 	StreamSummary = stream.Summary
 	// StreamEnvelope is the per-attribute training envelope drift is
@@ -743,10 +793,11 @@ type (
 
 // Stream event kinds.
 const (
-	StreamKindWindow = stream.KindWindow
-	StreamKindPhase  = stream.KindPhase
-	StreamKindDrift  = stream.KindDrift
-	StreamKindDone   = stream.KindDone
+	StreamKindWindow     = stream.KindWindow
+	StreamKindPhase      = stream.KindPhase
+	StreamKindDrift      = stream.KindDrift
+	StreamKindDriftClear = stream.KindDriftClear
+	StreamKindDone       = stream.KindDone
 )
 
 // StreamDemoProgram names the built-in phased demo workload (good ->

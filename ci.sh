@@ -9,13 +9,16 @@ go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
     ./internal/trace ./internal/mem ./internal/xrand ./internal/faults \
     ./internal/serve ./internal/resilience ./internal/stream ./internal/ml \
-    ./internal/perfingest ./internal/fleet
-# The chaos legs: every serving failure mode at once, then a fleet
-# backend killed mid-classify-storm, both race-instrumented.
+    ./internal/perfingest ./internal/fleet ./internal/lifecycle
+# The chaos legs: every serving failure mode at once, a fleet backend
+# killed mid-classify-storm, and the model lifecycle driven through
+# drift -> retrain -> shadow -> promote -> rollback, all
+# race-instrumented.
 go test -race -count=1 -run TestChaos ./internal/serve ./internal/fleet
 go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 go test -run '^$' -fuzz FuzzParseWindowSpec -fuzztime 10s ./internal/stream
+go test -run '^$' -fuzz FuzzParseLifecycleSpec -fuzztime 10s ./internal/lifecycle
 # Inference equivalence and wire robustness: the flat tree must stay
 # bit-identical to the pointer tree, and garbage binary frames must
 # always land in typed errors.

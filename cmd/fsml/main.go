@@ -78,6 +78,8 @@ func main() {
 		err = cmdFleet(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
+	case "lifecycle":
+		err = cmdLifecycle(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -120,7 +122,11 @@ func usage() {
                                                      regenerate a paper table
   fsml serve    [-addr A] [-j N] [-batch N] [-linger D] [-registry-dir DIR]
                 [-max-inflight N] [-shed-after D] [-breaker-threshold N]
-                [-breaker-cooldown D] [-faults SPEC]  run the detection server
+                [-breaker-cooldown D] [-faults SPEC] [-lifecycle SPEC]
+                                                     run the detection server
+                                                     (-lifecycle "on" or
+                                                     "alarms=3,window=2m,..."
+                                                     enables self-healing)
   fsml fleet    -peers URL,URL,... [-addr A] [-replicas N] [-vnodes N]
                 [-probe-interval D] [-probe-timeout D] [-breaker-threshold N]
                 [-breaker-cooldown D] [-quiet]        route a fleet of servers
@@ -129,6 +135,10 @@ func usage() {
                 [-server URL [-retries N] [-detector KEY]]
                                                      live-monitor the phased demo
                                                      (locally, or via a server)
+  fsml lifecycle [-server URL] [-limit N] [-json] [status|history]
+                                                     inspect a server's model
+                                                     lifecycle (drift, shadow,
+                                                     promote/rollback history)
   fsml list                                          list programs & experiments
 `)
 }
@@ -648,11 +658,20 @@ func cmdServe(args []string) error {
 	shedAfter := fs.Duration("shed-after", 100*time.Millisecond, "how long an over-limit request may wait for a slot before a 429 (negative = shed immediately)")
 	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive training failures that open a train spec's circuit (negative = no breakers)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 15*time.Second, "open-circuit wait before one half-open retrain probe")
+	lcSpec := fs.String("lifecycle", "", `self-healing model lifecycle: "on" for defaults, or "alarms=3,window=2m,clear=2,every=1,shadow=64,agree=0.9,conf=0,probation=64,regress=0.25" ("" = off)`)
 	faultSpec := faultsFlag(fs)
 	fs.Parse(args)
 	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
 	if err != nil {
 		return err
+	}
+	var lcfg *fsml.LifecycleConfig
+	if *lcSpec != "" {
+		spec, err := fsml.ParseLifecycleSpec(*lcSpec)
+		if err != nil {
+			return err
+		}
+		lcfg = &fsml.LifecycleConfig{Spec: spec}
 	}
 	srv := fsml.NewServer(fsml.ServeConfig{
 		Addr:             *addr,
@@ -666,6 +685,7 @@ func cmdServe(args []string) error {
 		ShedAfter:        *shedAfter,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		Lifecycle:        lcfg,
 	})
 	if err := srv.Start(); err != nil {
 		return err
@@ -829,6 +849,111 @@ func cmdWatch(args []string) error {
 	return printErr
 }
 
+// cmdLifecycle inspects a running server's model lifecycle: the state
+// machine and active pointer ("status", the default), or the per-run
+// retrain/shadow/promote ledger ("history").
+func cmdLifecycle(args []string) error {
+	fs := flag.NewFlagSet("lifecycle", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8723", "running `fsml serve` base URL")
+	limit := fs.Int("limit", 16, "history runs to fetch, newest first (-1 = all)")
+	retries := fs.Int("retries", 4, "client dial retries when the server sheds or is briefly unavailable")
+	asJSON := fs.Bool("json", false, "emit the raw /v1/lifecycle JSON")
+	fs.Parse(args)
+	mode := "status"
+	if fs.NArg() > 0 {
+		mode = fs.Arg(0)
+	}
+	if fs.NArg() > 1 || (mode != "status" && mode != "history") {
+		return fmt.Errorf("lifecycle: want `status` or `history`, got %q", strings.Join(fs.Args(), " "))
+	}
+
+	c := fsml.NewServeClient(*server)
+	c.Retry = fsml.ServeRetryPolicy{Max: *retries}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	resp, err := c.Lifecycle(ctx, *limit)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		blob, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", blob)
+		return nil
+	}
+	if !resp.Enabled {
+		if resp.Error != "" {
+			return fmt.Errorf("lifecycle: disabled on this server (startup error: %s)", resp.Error)
+		}
+		fmt.Println("lifecycle: disabled on this server (start it with `fsml serve -lifecycle on`)")
+		return nil
+	}
+	if mode == "history" {
+		if len(resp.History) == 0 {
+			fmt.Println("lifecycle: no runs yet (no drift episode has triggered a retrain)")
+			return nil
+		}
+		for _, r := range resp.History {
+			printLifecycleRun(os.Stdout, r)
+		}
+		return nil
+	}
+	st := resp.Status
+	if st == nil {
+		return fmt.Errorf("lifecycle: server sent no status")
+	}
+	fmt.Printf("detector %q: %s\n", st.Name, st.State)
+	fmt.Printf("  spec     %s\n", st.Spec.String())
+	if st.ActiveKey != "" {
+		fmt.Printf("  active   %s (version %d)\n", st.ActiveKey, st.Version)
+	}
+	if st.PreviousKey != "" {
+		fmt.Printf("  previous %s\n", st.PreviousKey)
+	}
+	fmt.Printf("  evidence %d drift signals in window; %d runs recorded\n", st.Evidence, st.Runs)
+	if st.Run != nil {
+		fmt.Printf("  open run #%d (%s): shadow %d/%d agree, %d candidate wins\n",
+			st.Run.Seq, st.Run.Outcome, st.Run.ShadowAgree, st.Run.ShadowTotal, st.Run.CandidateWins)
+	}
+	if st.LastError != "" {
+		fmt.Printf("  last error: %s\n", st.LastError)
+	}
+	for _, tr := range st.Transitions {
+		fmt.Printf("  %s  %-11s -> %-11s %s\n", tr.At.Format(time.RFC3339), tr.From, tr.To, tr.Reason)
+	}
+	return nil
+}
+
+// printLifecycleRun renders one ledger entry of `fsml lifecycle history`.
+func printLifecycleRun(w io.Writer, r fsml.LifecycleRun) {
+	fmt.Fprintf(w, "run #%d  %-11s %s  (evidence %d, seed %d)\n",
+		r.Seq, r.Outcome, r.Started.Format(time.RFC3339), r.Evidence, r.Seed)
+	if r.CandidateKey != "" {
+		fmt.Fprintf(w, "  candidate %s", r.CandidateKey)
+		if r.TrainAccuracy > 0 {
+			fmt.Fprintf(w, "  (cv accuracy %.3f)", r.TrainAccuracy)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.ShadowTotal > 0 {
+		fmt.Fprintf(w, "  shadow    %d scored: %d agree, %d disagree, %d candidate wins (agreement %.3f)\n",
+			r.ShadowTotal, r.ShadowAgree, r.ShadowDisagree, r.CandidateWins, r.Agreement)
+	}
+	if r.Version > 0 {
+		fmt.Fprintf(w, "  flip      -> version %d (previous %s); probation %d scored, %d disagree\n",
+			r.Version, r.PreviousKey, r.ProbationTotal, r.ProbationDisagree)
+	}
+	if r.LatencyP50 > 0 {
+		fmt.Fprintf(w, "  mirror    p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
+			r.LatencyP50*1e6, r.LatencyP95*1e6, r.LatencyP99*1e6)
+	}
+	if r.Error != "" {
+		fmt.Fprintf(w, "  error     %s\n", r.Error)
+	}
+}
+
 // printWatchEvent renders one stream event: raw JSON lines for tooling,
 // or a readable one-line-per-event feed.
 func printWatchEvent(w io.Writer, ev fsml.StreamEvent, asJSON bool) error {
@@ -868,6 +993,11 @@ func printWatchEvent(w io.Writer, ev fsml.StreamEvent, asJSON bool) error {
 		_, err := fmt.Fprintf(w, "!!! drift  window %d: %s outside the training envelope (score %.2f)\n",
 			d.Window, strings.Join(d.Features, ", "), d.Score)
 		return err
+	case fsml.StreamKindDriftClear:
+		c := ev.DriftClear
+		_, err := fmt.Fprintf(w, "--- drift cleared  window %d: back inside the envelope (episode began window %d, %d alarmed windows)\n",
+			c.Window, c.Since, c.Windows)
+		return err
 	case fsml.StreamKindDone:
 		s := ev.Summary
 		runs := make([]string, len(s.PhaseRuns))
@@ -878,9 +1008,9 @@ func printWatchEvent(w io.Writer, ev fsml.StreamEvent, asJSON bool) error {
 		if s.Truncated {
 			trunc = " (truncated)"
 		}
-		_, err := fmt.Fprintf(w, "done%s: %d samples, %d windows (%d classified), %d phase changes, %d drift alarms\n"+
+		_, err := fmt.Fprintf(w, "done%s: %d samples, %d windows (%d classified), %d phase changes, %d drift alarms (%d cleared)\n"+
 			"final class %s; timeline %s; %.4f simulated s\n",
-			trunc, s.Samples, s.Windows, s.Classified, s.Phases, s.DriftAlarms,
+			trunc, s.Samples, s.Windows, s.Classified, s.Phases, s.DriftAlarms, s.DriftCleared,
 			s.Final, strings.Join(runs, " -> "), s.Seconds)
 		return err
 	}

@@ -90,6 +90,12 @@
 //     across many servers by detector key, replicates uploads to ring
 //     successors, fails over on node loss and rebalances replicas when
 //     the live-peer set changes
+//   - internal/lifecycle — the self-healing model loop behind
+//     `fsml serve -lifecycle`: debounced drift alarms trigger a
+//     retrain, the candidate shadow-scores against the incumbent on
+//     live traffic, and versioned promote/rollback flips the serving
+//     registry's active pointer (audited in a per-run ledger,
+//     inspected via `fsml lifecycle` / GET /v1/lifecycle)
 //
 // See DESIGN.md for the substitution map (paper hardware -> simulator)
 // and EXPERIMENTS.md for paper-vs-measured results.

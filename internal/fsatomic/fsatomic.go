@@ -1,0 +1,56 @@
+// Package fsatomic is the crash-safe file-write primitive shared by
+// everything that persists state next to the serving path: the detector
+// registry's model files and active-version pointers, and the model
+// lifecycle's history ledger. One write is temp file + fsync + atomic
+// rename (+ best-effort directory sync), so a crash at any instant
+// leaves either the previous complete file or the new complete file —
+// never a truncated one a later warm start would have to quarantine.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes path via a same-directory temp file, fsyncs the
+// data, and renames it into place. The temp name carries a ".tmp-"
+// infix, so directory globs for the real suffix (the registry's
+// "*.json") can never list a half-written file.
+func WriteFile(path string, blob []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(blob); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the rename owns the file now; skip the deferred cleanup
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Best effort: persist the rename itself. A crash between rename
+	// and directory sync can lose the new entry but never corrupts it.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

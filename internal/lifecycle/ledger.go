@@ -1,0 +1,182 @@
+package lifecycle
+
+// The history ledger: one JSON file per lifecycle run (a retrain
+// attempt and everything that followed it), written crash-safe through
+// fsatomic beside the registry's model files. The ledger is what makes
+// a 3am automatic promotion auditable at 9am: which drift evidence
+// fired it, what the candidate scored in shadow, when the pointer
+// flipped, and why it rolled back if it did.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fsml/internal/fsatomic"
+)
+
+// Run is one ledger entry: a single pass through the retrain → shadow →
+// promote/reject (→ rollback) cycle.
+type Run struct {
+	// Seq numbers runs monotonically across restarts (the ledger file
+	// name carries it too).
+	Seq int `json:"seq"`
+	// Name is the logical detector the run serves.
+	Name string `json:"name"`
+	// Outcome is the run's terminal state: "promoted" (flip confirmed
+	// through probation), "rejected" (lost the shadow budget),
+	// "rolled-back" (regressed during probation), "failed" (training
+	// error), "interrupted" (manager closed mid-run), or "in-flight".
+	Outcome string `json:"outcome"`
+	// Started and Finished bound the run.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Seed drove the retrain.
+	Seed uint64 `json:"seed"`
+	// Evidence is the drift evidence count that debounced the retrain.
+	Evidence int `json:"evidence"`
+	// CandidateKey and PreviousKey are the registry keys in play;
+	// Version is the pointer version after a flip (0 if never flipped).
+	CandidateKey string `json:"candidate_key,omitempty"`
+	PreviousKey  string `json:"previous_key,omitempty"`
+	Version      int    `json:"version,omitempty"`
+	// TrainAccuracy is the candidate's cross-validation accuracy on its
+	// fresh training set (0 when the trainer does not report one).
+	TrainAccuracy float64 `json:"train_accuracy,omitempty"`
+	// Shadow-scoring tallies. Agreement is (ShadowAgree +
+	// CandidateWins) / ShadowTotal — the fraction the promote gate
+	// compares against Spec.Agree.
+	ShadowTotal    int     `json:"shadow_total"`
+	ShadowAgree    int     `json:"shadow_agree"`
+	ShadowDisagree int     `json:"shadow_disagree"`
+	CandidateWins  int     `json:"candidate_wins"`
+	Agreement      float64 `json:"agreement"`
+	// Mean confidences over the shadow budget.
+	MeanIncumbentConf float64 `json:"mean_incumbent_conf,omitempty"`
+	MeanCandidateConf float64 `json:"mean_candidate_conf,omitempty"`
+	// Probation tallies (post-flip scoring against the previous
+	// version).
+	ProbationTotal    int `json:"probation_total,omitempty"`
+	ProbationDisagree int `json:"probation_disagree,omitempty"`
+	// Shadow-path candidate-classify latency percentiles, in seconds —
+	// the run's record of what mirroring cost.
+	LatencyP50 float64 `json:"latency_p50,omitempty"`
+	LatencyP95 float64 `json:"latency_p95,omitempty"`
+	LatencyP99 float64 `json:"latency_p99,omitempty"`
+	// Transitions logs every state change while the run was open.
+	Transitions []Transition `json:"transitions,omitempty"`
+	// Error carries the training failure for Outcome "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// Transition is one state change, with the reason it happened.
+type Transition struct {
+	From   State     `json:"from"`
+	To     State     `json:"to"`
+	At     time.Time `json:"at"`
+	Reason string    `json:"reason"`
+}
+
+// ledger persists runs to a directory and keeps them in memory for
+// Status/History. Not safe for concurrent use — the Manager serializes
+// access under its own lock.
+type ledger struct {
+	dir   string
+	limit int
+	runs  []*Run // ascending Seq
+}
+
+// runFile names a run's ledger file.
+func runFile(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("run-%06d.json", seq))
+}
+
+// loadLedger reads the existing run files (unreadable or corrupt files
+// are skipped — the ledger is an audit trail, not a dependency) and
+// positions the next sequence number after the highest on disk.
+func loadLedger(dir string, limit int) *ledger {
+	l := &ledger{dir: dir, limit: limit}
+	if dir == "" {
+		return l
+	}
+	glob, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		return l
+	}
+	for _, path := range glob {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var r Run
+		if err := json.Unmarshal(blob, &r); err != nil || r.Seq < 1 {
+			continue
+		}
+		l.runs = append(l.runs, &r)
+	}
+	sort.Slice(l.runs, func(i, j int) bool { return l.runs[i].Seq < l.runs[j].Seq })
+	return l
+}
+
+// nextSeq returns the sequence number the next run should use.
+func (l *ledger) nextSeq() int {
+	if len(l.runs) == 0 {
+		return 1
+	}
+	return l.runs[len(l.runs)-1].Seq + 1
+}
+
+// append records a new run and persists it.
+func (l *ledger) append(r *Run) {
+	l.runs = append(l.runs, r)
+	l.persist(r)
+	l.prune()
+}
+
+// persist writes one run crash-safe. Best effort: a failing disk
+// degrades the audit trail, never the serving loop.
+func (l *ledger) persist(r *Run) {
+	if l.dir == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(l.dir, 0o755); err != nil {
+		return
+	}
+	_ = fsatomic.WriteFile(runFile(l.dir, r.Seq), blob, 0o644)
+}
+
+// prune drops the oldest runs beyond the retention limit, in memory and
+// on disk.
+func (l *ledger) prune() {
+	if l.limit < 1 {
+		return
+	}
+	for len(l.runs) > l.limit {
+		old := l.runs[0]
+		l.runs = l.runs[1:]
+		if l.dir != "" {
+			_ = os.Remove(runFile(l.dir, old.Seq))
+		}
+	}
+}
+
+// history returns up to limit most-recent runs, newest first
+// (limit < 1 means all).
+func (l *ledger) history(limit int) []Run {
+	n := len(l.runs)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Run, 0, n)
+	for i := len(l.runs) - 1; i >= len(l.runs)-n; i-- {
+		out = append(out, *l.runs[i])
+	}
+	return out
+}

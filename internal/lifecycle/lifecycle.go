@@ -1,0 +1,751 @@
+// Package lifecycle is the self-healing model loop: it watches the
+// streaming layer's drift alarms, retrains a candidate detector when
+// the evidence debounces, shadow-scores the candidate against the
+// incumbent on live traffic, and flips the registry's active-version
+// pointer when the candidate wins its budget — rolling back
+// automatically if the promoted version regresses during probation.
+//
+// The state machine:
+//
+//	Stable ──drift alarm──▶ Drifting ──evidence ≥ alarms──▶ Retraining
+//	Retraining ──train ok──▶ Shadowing      (train error → Drifting)
+//	Shadowing ──budget won──▶ Promoting     (budget lost → Stable, rejected)
+//	Promoting ──probation clean──▶ Stable   (promoted)
+//	Promoting ──regression──▶ RolledBack ──hysteresis──▶ Stable
+//
+// Authoritative verdicts always come from the active version: the
+// candidate only ever sees mirrored traffic until the pointer flips,
+// and the flip itself is one registry update — atomic under the
+// registry lock and persisted crash-safe. Every transition increments a
+// counter, lands in the run ledger, and is visible on GET /v1/lifecycle.
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsml/internal/core"
+	"fsml/internal/exps"
+	"fsml/internal/machine"
+	"fsml/internal/ml"
+	"fsml/internal/pmu"
+	"fsml/internal/shadow"
+	"fsml/internal/stream"
+	"fsml/internal/xrand"
+)
+
+// State is one node of the lifecycle state machine.
+type State string
+
+const (
+	// StateStable: no open drift episode; the active version serves.
+	StateStable State = "stable"
+	// StateDrifting: a drift episode is open, evidence accumulating.
+	StateDrifting State = "drifting"
+	// StateRetraining: the debounce fired; a candidate is training.
+	StateRetraining State = "retraining"
+	// StateShadowing: the candidate scores mirrored traffic; the
+	// incumbent stays authoritative.
+	StateShadowing State = "shadowing"
+	// StatePromoting: the pointer flipped; the new version is on
+	// probation against the retained previous one.
+	StatePromoting State = "promoting"
+	// StateRolledBack: probation failed and the previous version was
+	// restored; behaves like Drifting until the clear hysteresis.
+	StateRolledBack State = "rolled-back"
+)
+
+// Lifecycle metric names, registered on the serving layer's /metrics
+// sink. Every state transition is countable: retrains, promotions,
+// rollbacks, and shadow-budget rejections each have their own counter,
+// plus a catch-all transition counter and the shadow comparison
+// tallies.
+const (
+	MetricRetrain        = "fsml_lifecycle_retrain_total"
+	MetricPromote        = "fsml_lifecycle_promote_total"
+	MetricRollback       = "fsml_lifecycle_rollback_total"
+	MetricReject         = "fsml_lifecycle_reject_total"
+	MetricTrainError     = "fsml_lifecycle_train_error_total"
+	MetricShadowTotal    = "fsml_lifecycle_shadow_total"
+	MetricShadowDisagree = "fsml_lifecycle_shadow_disagree_total"
+	MetricTransition     = "fsml_lifecycle_transitions_total"
+)
+
+// Registry is the slice of the serve registry the lifecycle drives.
+// *serve.Registry satisfies it; the interface lives here so the serve
+// package can import lifecycle without a cycle.
+type Registry interface {
+	// Register inserts a trained detector under its content key.
+	Register(det *core.Detector) (key string, existed bool, err error)
+	// SetActive flips the name's active-version pointer (crash-safe).
+	SetActive(name, key, previous string, version int) error
+	// Active reads the name's pointer.
+	Active(name string) (key, previous string, version int, ok bool)
+	// Resolve fetches a key outside any request context.
+	Resolve(key string) (*core.Detector, error)
+}
+
+// TrainFunc builds a candidate detector from fresh cases, returning its
+// cross-validation accuracy (0 when not measured).
+type TrainFunc func(seed uint64) (*core.Detector, float64, error)
+
+// JudgeFunc breaks a shadow disagreement when the request carried a
+// replayable workload: it re-runs the kernels under the
+// instrumentation-based tool and reports the ground-truth false-sharing
+// verdict.
+type JudgeFunc func(kernels []machine.Kernel) (fs bool, err error)
+
+// Config configures a Manager.
+type Config struct {
+	// Spec is the loop shape (zero value: DefaultSpec).
+	Spec Spec
+	// Name is the logical detector the loop manages (default
+	// "default").
+	Name string
+	// Registry is required: where candidates register and pointers
+	// flip.
+	Registry Registry
+	// Counters, when non-nil, receives the lifecycle metrics.
+	Counters stream.CounterSink
+	// HistoryDir, when non-empty, persists the run ledger there.
+	HistoryDir string
+	// HistoryLimit bounds retained runs (default 64).
+	HistoryLimit int
+	// Train overrides the retrainer (default: quick exps.Lab pipeline
+	// with 10-fold cross-validation for the accuracy figure).
+	Train TrainFunc
+	// Judge overrides the disagreement tiebreaker (default:
+	// shadow.Run on the paper-default machine). Nil after defaulting
+	// disables judging; disagreements then simply count against the
+	// candidate.
+	Judge JudgeFunc
+	// Seed is the base retrain seed; run N trains with a seed derived
+	// from it (default 1).
+	Seed uint64
+	// Parallelism caps the default trainer's case simulations.
+	Parallelism int
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change
+	// synchronously (tests and logging).
+	OnTransition func(Transition)
+}
+
+// Manager runs the loop for one logical detector. Safe for concurrent
+// use; Mirror is designed for the request hot path (one atomic load
+// when the loop is idle).
+type Manager struct {
+	cfg Config
+
+	// armed is 1 while Mirror has work to do (state Shadowing or
+	// Promoting): the hot-path gate, read before any lock.
+	armed atomic.Int32
+	// sampled counts Mirror calls for the 1-in-Every sampling.
+	sampled atomic.Uint64
+
+	mu    sync.Mutex
+	state State
+	// Drift bookkeeping.
+	evidence    []time.Time // evidence timestamps within Spec.Window
+	episodeOpen bool        // a drift alarm has no matching clear yet
+	clears      int         // consecutive clears toward hysteresis
+	// The versions in play.
+	authKey   string         // current authoritative registry key
+	candidate *core.Detector // shadowed candidate (Shadowing)
+	candKey   string
+	prevDet   *core.Detector // retained previous (Promoting probation)
+	score     shadowScore    // per-phase comparison tallies
+	run       *Run           // open ledger entry, nil when idle
+	ledger    *ledger
+	recent    []Transition // bounded transition ring for Status
+	lastErr   string
+	closed    bool
+	wg        sync.WaitGroup // outstanding retrain goroutines
+}
+
+// Status is the loop's externally visible state (the /v1/lifecycle
+// body's status half).
+type Status struct {
+	Name        string       `json:"name"`
+	State       State        `json:"state"`
+	Spec        Spec         `json:"spec"`
+	ActiveKey   string       `json:"active_key,omitempty"`
+	PreviousKey string       `json:"previous_key,omitempty"`
+	Version     int          `json:"version,omitempty"`
+	Evidence    int          `json:"evidence"`
+	Runs        int          `json:"runs"`
+	Run         *Run         `json:"run,omitempty"`
+	Transitions []Transition `json:"transitions,omitempty"`
+	LastError   string       `json:"last_error,omitempty"`
+}
+
+// New builds a Manager. The registry must already hold the incumbent
+// under the managed name's active pointer (the serving layer registers
+// its default detector and points the name at it before starting the
+// loop).
+func New(cfg Config) (*Manager, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("lifecycle: nil registry")
+	}
+	if (cfg.Spec == Spec{}) {
+		cfg.Spec = DefaultSpec()
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.HistoryLimit == 0 {
+		cfg.HistoryLimit = 64
+	}
+	if cfg.Train == nil {
+		par := cfg.Parallelism
+		cfg.Train = func(seed uint64) (*core.Detector, float64, error) {
+			lab := &exps.Lab{Quick: true, Seed: seed, Parallelism: par}
+			det, err := lab.Detector()
+			if err != nil {
+				return nil, 0, err
+			}
+			acc := 0.0
+			if data, derr := lab.TrainingData(); derr == nil {
+				if conf, cerr := ml.CrossValidate(ml.NewC45(ml.DefaultC45()), data, 10, seed); cerr == nil {
+					acc = conf.Accuracy()
+				}
+			}
+			return det, acc, nil
+		}
+	}
+	if cfg.Judge == nil {
+		cfg.Judge = func(kernels []machine.Kernel) (bool, error) {
+			rep, err := shadow.Run(machine.Config{}, kernels)
+			if err != nil {
+				return false, err
+			}
+			return rep.Detected, nil
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{
+		cfg:    cfg,
+		state:  StateStable,
+		ledger: loadLedger(cfg.HistoryDir, cfg.HistoryLimit),
+	}
+	if key, _, _, ok := cfg.Registry.Active(cfg.Name); ok {
+		m.authKey = key
+	}
+	return m, nil
+}
+
+// Name returns the managed logical detector name.
+func (m *Manager) Name() string { return m.cfg.Name }
+
+// Spec returns the loop shape.
+func (m *Manager) Spec() Spec { return m.cfg.Spec }
+
+// State returns the current state.
+func (m *Manager) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Close stops the loop: the open run (if any) is finalized as
+// "interrupted" and outstanding retrains are waited out (their results
+// are discarded). Mirror and ObserveStream become no-ops.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.armed.Store(0)
+	if m.run != nil {
+		m.finishRunLocked("interrupted")
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// count bumps a lifecycle counter when a sink is attached.
+func (m *Manager) count(name string, delta uint64) {
+	if m.cfg.Counters != nil && delta > 0 {
+		m.cfg.Counters.Add(name, delta)
+	}
+}
+
+// transitionLocked moves the state machine, recording everywhere a
+// transition must be visible: the counter, the open run's log, the
+// recent ring, and the OnTransition hook. Callers hold m.mu.
+func (m *Manager) transitionLocked(to State, reason string) {
+	if m.state == to {
+		return
+	}
+	tr := Transition{From: m.state, To: to, At: m.cfg.Now(), Reason: reason}
+	m.state = to
+	if to == StateShadowing || to == StatePromoting {
+		m.armed.Store(1)
+	} else {
+		m.armed.Store(0)
+	}
+	m.count(MetricTransition, 1)
+	if m.run != nil {
+		m.run.Transitions = append(m.run.Transitions, tr)
+	}
+	m.recent = append(m.recent, tr)
+	if len(m.recent) > 64 {
+		m.recent = m.recent[len(m.recent)-64:]
+	}
+	if m.cfg.OnTransition != nil {
+		m.cfg.OnTransition(tr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Drift side: ObserveStream feeds the debouncer
+
+// ObserveStream is the stream-layer hook: attach it as (or call it
+// from) a monitor's OnEvent. Drift alarms open an episode and count
+// evidence; classified windows inside an open episode count more
+// evidence (so one sustained excursion accumulates); paired clears run
+// the hysteresis back to stable.
+func (m *Manager) ObserveStream(ev stream.Event) {
+	switch ev.Kind {
+	case stream.KindDrift, stream.KindWindow, stream.KindDriftClear:
+	default:
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	now := m.cfg.Now()
+	switch ev.Kind {
+	case stream.KindDrift:
+		m.episodeOpen = true
+		m.clears = 0
+		m.addEvidenceLocked(now)
+		if m.state == StateStable || m.state == StateRolledBack {
+			m.transitionLocked(StateDrifting, fmt.Sprintf("drift alarm at window %d", eventWindow(ev)))
+		}
+	case stream.KindWindow:
+		if !m.episodeOpen {
+			return
+		}
+		m.addEvidenceLocked(now)
+	case stream.KindDriftClear:
+		m.episodeOpen = false
+		m.clears++
+		if m.clears >= m.cfg.Spec.Clear && (m.state == StateDrifting || m.state == StateRolledBack) {
+			m.evidence = nil
+			m.transitionLocked(StateStable, fmt.Sprintf("%d consecutive drift clears", m.clears))
+			m.clears = 0
+		}
+		return
+	}
+	m.maybeActLocked(now)
+}
+
+// addEvidenceLocked appends one evidence timestamp and prunes the
+// sliding window.
+func (m *Manager) addEvidenceLocked(now time.Time) {
+	m.evidence = append(m.evidence, now)
+	cut := now.Add(-m.cfg.Spec.Window)
+	i := 0
+	for i < len(m.evidence) && m.evidence[i].Before(cut) {
+		i++
+	}
+	m.evidence = m.evidence[i:]
+}
+
+// maybeActLocked fires the evidence-gated actions: the retrain debounce
+// while drifting, the drift-re-alarm rollback while on probation.
+func (m *Manager) maybeActLocked(now time.Time) {
+	if len(m.evidence) < m.cfg.Spec.Alarms {
+		return
+	}
+	switch m.state {
+	case StateDrifting:
+		m.startRetrainLocked(now)
+	case StatePromoting:
+		m.rollbackLocked("drift re-alarm during probation")
+	}
+}
+
+// eventWindow extracts the window index of a stream event for reasons
+// strings.
+func eventWindow(ev stream.Event) int {
+	switch {
+	case ev.Drift != nil:
+		return ev.Drift.Window
+	case ev.DriftClear != nil:
+		return ev.DriftClear.Window
+	case ev.Window != nil:
+		return ev.Window.Index
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Retraining
+
+// startRetrainLocked opens a run and spawns the trainer.
+func (m *Manager) startRetrainLocked(now time.Time) {
+	seq := m.ledger.nextSeq()
+	seed := xrand.DeriveSeed(m.cfg.Seed, uint64(seq))
+	m.run = &Run{
+		Seq:      seq,
+		Name:     m.cfg.Name,
+		Outcome:  "in-flight",
+		Started:  now,
+		Seed:     seed,
+		Evidence: len(m.evidence),
+	}
+	m.evidence = nil
+	m.transitionLocked(StateRetraining, fmt.Sprintf("drift evidence debounced (run %d)", seq))
+	m.count(MetricRetrain, 1)
+	m.wg.Add(1)
+	go m.retrain(seq, seed)
+}
+
+// retrain trains the candidate off the request path and hands the
+// result back to the state machine.
+func (m *Manager) retrain(seq int, seed uint64) {
+	defer m.wg.Done()
+	det, acc, err := m.cfg.Train(seed)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The run may have been finalized while training (Close).
+	if m.closed || m.run == nil || m.run.Seq != seq || m.state != StateRetraining {
+		return
+	}
+	if err != nil {
+		m.count(MetricTrainError, 1)
+		m.lastErr = err.Error()
+		m.run.Error = err.Error()
+		// Back to Drifting: fresh evidence re-fires the debounce.
+		m.transitionLocked(StateDrifting, "training failed: "+err.Error())
+		m.finishRunLocked("failed")
+		return
+	}
+	key, _, rerr := m.cfg.Registry.Register(det)
+	if rerr != nil {
+		m.count(MetricTrainError, 1)
+		m.lastErr = rerr.Error()
+		m.run.Error = rerr.Error()
+		m.transitionLocked(StateDrifting, "candidate registration failed: "+rerr.Error())
+		m.finishRunLocked("failed")
+		return
+	}
+	m.candidate = det
+	m.candKey = key
+	m.run.CandidateKey = key
+	m.run.TrainAccuracy = acc
+	m.shadowReset()
+	m.transitionLocked(StateShadowing, fmt.Sprintf("candidate %s trained (cv accuracy %.2f)", key, acc))
+}
+
+// ---------------------------------------------------------------------------
+// Shadow scoring: Mirror on the classify hot path
+
+// shadowScore holds the per-phase comparison tallies. Guarded by m.mu.
+type shadowScore struct {
+	total, agree, disagree, wins int
+	incConfSum, candConfSum      float64
+	latencies                    []float64
+}
+
+func (m *Manager) shadowReset() {
+	m.score = shadowScore{}
+}
+
+// Mirror runs the shadow comparison for one authoritative
+// classification. authKey is the registry key that answered; class and
+// confidence are the authoritative verdict; sample is the measured
+// feature vector; kernels, when non-nil, is the replayable workload the
+// judge can re-run on disagreement. Mirror never changes the
+// authoritative verdict — it only scores.
+func (m *Manager) Mirror(authKey, class string, confidence float64, sample pmu.Sample, kernels []machine.Kernel) {
+	if m.armed.Load() == 0 {
+		return
+	}
+	if every := uint64(m.cfg.Spec.Every); every > 1 && m.sampled.Add(1)%every != 0 {
+		return
+	}
+
+	m.mu.Lock()
+	if m.closed || (m.state != StateShadowing && m.state != StatePromoting) {
+		m.mu.Unlock()
+		return
+	}
+	// Only traffic answered by the version under management is
+	// comparable; explicit requests for other detectors are skipped.
+	if authKey != m.authoritativeKeyLocked() {
+		m.mu.Unlock()
+		return
+	}
+	state := m.state
+	other := m.candidate
+	if state == StatePromoting {
+		other = m.prevDet
+	}
+	m.mu.Unlock()
+	if other == nil {
+		return
+	}
+
+	// Classify outside the lock: the comparison detector is immutable.
+	t0 := time.Now()
+	rr, err := other.ClassifyRobust(sample)
+	lat := time.Since(t0).Seconds()
+	if err != nil {
+		// A sample the comparison model cannot read scores as a
+		// disagreement it loses: a candidate that cannot classify live
+		// traffic must not be promoted.
+		rr.Class, rr.Confidence = "", 0
+	}
+
+	m.count(MetricShadowTotal, 1)
+	agreed := rr.Class == class
+	if !agreed {
+		m.count(MetricShadowDisagree, 1)
+	}
+
+	// Judge the disagreement when ground truth is replayable. Only the
+	// shadowing phase judges — probation is a regression watch, where
+	// any disagreement with the version that just won its budget is
+	// suspect.
+	win := false
+	if !agreed && state == StateShadowing && kernels != nil && m.cfg.Judge != nil {
+		if fs, jerr := m.cfg.Judge(kernels); jerr == nil {
+			win = (isFS(rr.Class) == fs) && (isFS(class) != fs)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.state != state {
+		return // the phase ended while we were scoring
+	}
+	m.score.total++
+	m.score.incConfSum += confidence
+	m.score.candConfSum += rr.Confidence
+	m.score.latencies = append(m.score.latencies, lat)
+	if agreed {
+		m.score.agree++
+	} else {
+		m.score.disagree++
+		if win {
+			m.score.wins++
+		}
+	}
+	switch state {
+	case StateShadowing:
+		if m.run != nil {
+			m.run.ShadowTotal = m.score.total
+			m.run.ShadowAgree = m.score.agree
+			m.run.ShadowDisagree = m.score.disagree
+			m.run.CandidateWins = m.score.wins
+		}
+		if m.score.total >= m.cfg.Spec.Shadow {
+			m.decideShadowLocked()
+		}
+	case StatePromoting:
+		if m.run != nil {
+			m.run.ProbationTotal = m.score.total
+			m.run.ProbationDisagree = m.score.disagree
+		}
+		if float64(m.score.disagree) > m.cfg.Spec.Regress*float64(m.cfg.Spec.Probation) {
+			m.rollbackLocked(fmt.Sprintf("probation disagreement %d/%d exceeded regress=%.2f budget",
+				m.score.disagree, m.score.total, m.cfg.Spec.Regress))
+		} else if m.score.total >= m.cfg.Spec.Probation {
+			m.confirmLocked()
+		}
+	}
+}
+
+// isFS maps a detector class to the binary false-sharing verdict the
+// instrumentation judge reports.
+func isFS(class string) bool { return class == "bad-fs" }
+
+// authoritativeKeyLocked is the registry key currently serving the
+// managed name.
+func (m *Manager) authoritativeKeyLocked() string {
+	if key, _, _, ok := m.cfg.Registry.Active(m.cfg.Name); ok {
+		return key
+	}
+	return m.authKey
+}
+
+// decideShadowLocked closes the shadow budget: promote or reject.
+func (m *Manager) decideShadowLocked() {
+	agreement := float64(m.score.agree+m.score.wins) / float64(m.score.total)
+	meanInc := m.score.incConfSum / float64(m.score.total)
+	meanCand := m.score.candConfSum / float64(m.score.total)
+	if m.run != nil {
+		m.run.Agreement = agreement
+		m.run.MeanIncumbentConf = meanInc
+		m.run.MeanCandidateConf = meanCand
+		m.run.LatencyP50, m.run.LatencyP95, m.run.LatencyP99 = percentiles(m.score.latencies)
+	}
+	if agreement < m.cfg.Spec.Agree || meanCand-meanInc < m.cfg.Spec.Conf {
+		m.count(MetricReject, 1)
+		reason := fmt.Sprintf("shadow budget lost: agreement %.2f (want >= %.2f), confidence edge %.3f (want >= %.3f)",
+			agreement, m.cfg.Spec.Agree, meanCand-meanInc, m.cfg.Spec.Conf)
+		m.candidate, m.candKey = nil, ""
+		m.transitionLocked(StateStable, reason)
+		m.finishRunLocked("rejected")
+		return
+	}
+	m.promoteLocked(agreement)
+}
+
+// promoteLocked flips the active pointer to the candidate and opens
+// probation against the retained previous version.
+func (m *Manager) promoteLocked(agreement float64) {
+	prevKey, _, version, _ := m.cfg.Registry.Active(m.cfg.Name)
+	if prevKey == "" {
+		prevKey = m.authKey
+	}
+	newVersion := version + 1
+	if err := m.cfg.Registry.SetActive(m.cfg.Name, m.candKey, prevKey, newVersion); err != nil {
+		m.lastErr = err.Error()
+		m.run.Error = err.Error()
+		m.transitionLocked(StateStable, "pointer flip failed: "+err.Error())
+		m.finishRunLocked("failed")
+		return
+	}
+	m.count(MetricPromote, 1)
+	prevDet, err := m.cfg.Registry.Resolve(prevKey)
+	if err != nil {
+		// Probation needs the previous version to compare against; if
+		// it cannot be resolved the promotion stands unwatched.
+		prevDet = nil
+	}
+	m.prevDet = prevDet
+	m.authKey = m.candKey
+	if m.run != nil {
+		m.run.PreviousKey = prevKey
+		m.run.Version = newVersion
+	}
+	m.shadowReset()
+	m.transitionLocked(StatePromoting, fmt.Sprintf("candidate won shadow budget (agreement %.2f); now v%d, probation open", agreement, newVersion))
+	if m.prevDet == nil {
+		m.confirmLocked()
+	}
+}
+
+// confirmLocked ends probation successfully.
+func (m *Manager) confirmLocked() {
+	m.candidate, m.candKey, m.prevDet = nil, "", nil
+	m.transitionLocked(StateStable, "probation passed; promotion confirmed")
+	m.finishRunLocked("promoted")
+}
+
+// rollbackLocked restores the retained previous version. Callers hold
+// m.mu; the registry flip is atomic under the registry's own lock, so
+// in-flight requests see either the old or the new pointer, never a
+// mix.
+func (m *Manager) rollbackLocked(reason string) {
+	key, prev, version, ok := m.cfg.Registry.Active(m.cfg.Name)
+	if !ok || prev == "" {
+		// Nothing to roll back to; record the failure and hold.
+		m.lastErr = "rollback wanted but no previous version retained"
+		m.transitionLocked(StateStable, reason+" (rollback impossible: no previous version)")
+		m.finishRunLocked("failed")
+		return
+	}
+	if err := m.cfg.Registry.SetActive(m.cfg.Name, prev, key, version+1); err != nil {
+		m.lastErr = err.Error()
+		m.transitionLocked(StateStable, "rollback flip failed: "+err.Error())
+		m.finishRunLocked("failed")
+		return
+	}
+	m.count(MetricRollback, 1)
+	m.authKey = prev
+	m.candidate, m.candKey, m.prevDet = nil, "", nil
+	if m.run != nil {
+		m.run.Version = version + 1
+	}
+	m.evidence = nil
+	m.transitionLocked(StateRolledBack, reason)
+	m.finishRunLocked("rolled-back")
+}
+
+// finishRunLocked stamps and persists the open run.
+func (m *Manager) finishRunLocked(outcome string) {
+	if m.run == nil {
+		return
+	}
+	m.run.Outcome = outcome
+	m.run.Finished = m.cfg.Now()
+	if m.run.ShadowTotal > 0 && m.run.Agreement == 0 {
+		m.run.Agreement = float64(m.run.ShadowAgree+m.run.CandidateWins) / float64(m.run.ShadowTotal)
+	}
+	if len(m.score.latencies) > 0 && m.run.LatencyP50 == 0 {
+		m.run.LatencyP50, m.run.LatencyP95, m.run.LatencyP99 = percentiles(m.score.latencies)
+	}
+	m.ledger.append(m.run)
+	m.run = nil
+	m.shadowReset()
+}
+
+// percentiles returns the p50/p95/p99 of a latency sample.
+func percentiles(lat []float64) (p50, p95, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Status snapshots the loop.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Name:      m.cfg.Name,
+		State:     m.state,
+		Spec:      m.cfg.Spec,
+		Evidence:  len(m.evidence),
+		Runs:      len(m.ledger.runs),
+		LastError: m.lastErr,
+	}
+	if key, prev, version, ok := m.cfg.Registry.Active(m.cfg.Name); ok {
+		st.ActiveKey, st.PreviousKey, st.Version = key, prev, version
+	}
+	if m.run != nil {
+		r := *m.run
+		st.Run = &r
+	}
+	if n := len(m.recent); n > 0 {
+		st.Transitions = append([]Transition(nil), m.recent[max(0, n-16):]...)
+	}
+	return st
+}
+
+// History returns up to limit most-recent completed runs, newest first
+// (limit < 1 means all retained).
+func (m *Manager) History(limit int) []Run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ledger.history(limit)
+}

@@ -1,0 +1,566 @@
+package lifecycle
+
+// Unit tests of the self-healing loop against a fake registry and
+// hand-built detectors: the debounce, the shadow verdicts, the pointer
+// flips, and the ledger. The end-to-end wiring through the HTTP server
+// lives in the chaos test (chaos_test.go, external package).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/machine"
+	"fsml/internal/pmu"
+	"fsml/internal/stream"
+)
+
+const (
+	attrHITM = "SNOOP_RESPONSE.HITM"
+	attrMiss = "L2_RQSTS.LD_MISS"
+)
+
+// tinyDetector builds the standard two-attribute detector (high HITM →
+// bad-fs, high miss → bad-ma, low both → good).
+func tinyDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	return trainTiny(t, map[string]string{})
+}
+
+// contraryDetector relabels the good region as bad-fs, so it agrees
+// with tinyDetector on the bad-fs and bad-ma families and disagrees on
+// good traffic.
+func contraryDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	return trainTiny(t, map[string]string{"good": "bad-fs"})
+}
+
+func trainTiny(t testing.TB, relabel map[string]string) *core.Detector {
+	t.Helper()
+	d := dataset.New([]string{attrHITM, attrMiss})
+	add := func(label string, hitm, miss float64) {
+		if r, ok := relabel[label]; ok {
+			label = r
+		}
+		if err := d.Add(dataset.Instance{Features: []float64{hitm, miss}, Label: label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		f := float64(i) * 0.01
+		add("bad-fs", 0.50+f, 0.05+f/2)
+		add("bad-ma", 0.01+f/10, 0.60+f)
+		add("good", 0.01+f/10, 0.02+f/10)
+	}
+	det, err := core.TrainDetector(d)
+	if err != nil {
+		t.Fatalf("training tiny detector: %v", err)
+	}
+	return det
+}
+
+// sampleFS and sampleGood are the two traffic families the tests mirror.
+func sampleFS() pmu.Sample {
+	return pmu.Sample{Names: []string{attrHITM, attrMiss}, Counts: []float64{0.60, 0.06}, Instructions: 1}
+}
+
+func sampleGood() pmu.Sample {
+	return pmu.Sample{Names: []string{attrHITM, attrMiss}, Counts: []float64{0.01, 0.02}, Instructions: 1}
+}
+
+// fakeRegistry is an in-memory lifecycle.Registry.
+type fakeRegistry struct {
+	mu      sync.Mutex
+	dets    map[string]*core.Detector
+	active  map[string]ActivePointerLike
+	setErrs int // >0: fail the next SetActive calls
+}
+
+type ActivePointerLike struct {
+	Key, Previous string
+	Version       int
+}
+
+func newFakeRegistry() *fakeRegistry {
+	return &fakeRegistry{dets: map[string]*core.Detector{}, active: map[string]ActivePointerLike{}}
+}
+
+func (r *fakeRegistry) Register(det *core.Detector) (string, bool, error) {
+	encoded, err := det.Encode()
+	if err != nil {
+		return "", false, err
+	}
+	key := fmt.Sprintf("sha256:%x", len(encoded)) // content-ish, distinct per model here
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, existed := r.dets[key]
+	r.dets[key] = det
+	return key, existed, nil
+}
+
+// put installs a detector under an explicit key (test setup).
+func (r *fakeRegistry) put(key string, det *core.Detector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dets[key] = det
+}
+
+func (r *fakeRegistry) SetActive(name, key, previous string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.setErrs > 0 {
+		r.setErrs--
+		return fmt.Errorf("fake: SetActive failing")
+	}
+	r.active[name] = ActivePointerLike{Key: key, Previous: previous, Version: version}
+	return nil
+}
+
+func (r *fakeRegistry) Active(name string) (string, string, int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.active[name]
+	return p.Key, p.Previous, p.Version, ok
+}
+
+func (r *fakeRegistry) Resolve(key string) (*core.Detector, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	det, ok := r.dets[key]
+	if !ok {
+		return nil, fmt.Errorf("fake: unknown key %s", key)
+	}
+	return det, nil
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// drift / window / clear build synthetic stream events.
+func drift(w int) stream.Event {
+	return stream.Event{Kind: stream.KindDrift, Drift: &stream.DriftAlarm{Window: w}}
+}
+
+func window(w int) stream.Event {
+	return stream.Event{Kind: stream.KindWindow, Window: &stream.WindowVerdict{Index: w, Class: "good"}}
+}
+
+func clear(w int) stream.Event {
+	return stream.Event{Kind: stream.KindDriftClear, DriftClear: &stream.DriftCleared{Window: w}}
+}
+
+// testManager builds a manager around the fake registry with an
+// incumbent installed and active, an instant trainer returning
+// candidate, and a tight spec.
+func testManager(t *testing.T, reg *fakeRegistry, candidate *core.Detector, spec Spec, opts ...func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Spec:     spec,
+		Name:     "default",
+		Registry: reg,
+		Now:      newFakeClock().Now,
+		Train: func(seed uint64) (*core.Detector, float64, error) {
+			return candidate, 0.97, nil
+		},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// driveToShadowing feeds drift evidence until the retrain fires and
+// waits for the (synchronous-trainer) retrain goroutine to finish.
+func driveToShadowing(t *testing.T, m *Manager) {
+	t.Helper()
+	m.ObserveStream(drift(10))
+	for w := 11; w < 20 && m.State() != StateShadowing; w++ {
+		m.ObserveStream(window(w))
+		if m.State() == StateRetraining {
+			waitState(t, m, StateShadowing)
+		}
+	}
+	if got := m.State(); got != StateShadowing {
+		t.Fatalf("state = %s, want shadowing", got)
+	}
+}
+
+func waitState(t *testing.T, m *Manager, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("state = %s, want %s (timeout)", m.State(), want)
+}
+
+// mirror shadows one sample through the manager as if the incumbent had
+// answered it.
+func mirror(m *Manager, reg *fakeRegistry, sample pmu.Sample) {
+	key, _, _, _ := reg.Active("default")
+	det, _ := reg.Resolve(key)
+	rr, err := det.ClassifyRobust(sample)
+	if err != nil {
+		panic(err)
+	}
+	m.Mirror(key, rr.Class, rr.Confidence, sample, nil)
+}
+
+func tightSpec() Spec {
+	return Spec{
+		Alarms: 3, Window: time.Minute, Clear: 2, Every: 1,
+		Shadow: 8, Agree: 0.9, Conf: -0.5, Probation: 8, Regress: 0.25,
+	}
+}
+
+// TestDebounceSingleBlipDoesNotRetrain: one alarm followed by a clear
+// never reaches Retraining.
+func TestDebounceSingleBlipDoesNotRetrain(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, tinyDetector(t), tightSpec())
+
+	m.ObserveStream(drift(3))
+	m.ObserveStream(clear(4))
+	if got := m.State(); got != StateDrifting {
+		t.Fatalf("after one blip: state = %s, want drifting (hysteresis not met)", got)
+	}
+	m.ObserveStream(drift(6))
+	m.ObserveStream(clear(7))
+	// Evidence: 2 alarms, below alarms=3 — and clears reached
+	// hysteresis... but clears reset on each new alarm, so only after a
+	// second consecutive clear does the state drop back.
+	m.ObserveStream(clear(8))
+	if got := m.State(); got != StateStable {
+		t.Fatalf("after clears: state = %s, want stable", got)
+	}
+	if st := m.Status(); st.Runs != 0 {
+		t.Fatalf("runs = %d, want 0 (no retrain from blips)", st.Runs)
+	}
+}
+
+// TestDebounceSustainedDriftRetrainsOnce: a sustained episode fires
+// exactly one retrain.
+func TestDebounceSustainedDriftRetrainsOnce(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	var trains int
+	cand := tinyDetector(t)
+	m := testManager(t, reg, cand, tightSpec(), func(cfg *Config) {
+		inner := cfg.Train
+		cfg.Train = func(seed uint64) (*core.Detector, float64, error) {
+			trains++
+			return inner(seed)
+		}
+	})
+
+	driveToShadowing(t, m)
+	// More drift evidence while shadowing must not fire another train.
+	for w := 20; w < 30; w++ {
+		m.ObserveStream(window(w))
+	}
+	if trains != 1 {
+		t.Fatalf("trains = %d, want exactly 1 (debounced)", trains)
+	}
+}
+
+// TestShadowPromoteAndConfirm: an agreeing candidate wins the budget,
+// the pointer flips, and a clean probation confirms it.
+func TestShadowPromoteAndConfirm(t *testing.T) {
+	reg := newFakeRegistry()
+	inc := tinyDetector(t)
+	reg.put("inc", inc)
+	_ = reg.SetActive("default", "inc", "", 1)
+	var transitions []Transition
+	m := testManager(t, reg, tinyDetector(t), tightSpec(), func(cfg *Config) {
+		cfg.OnTransition = func(tr Transition) { transitions = append(transitions, tr) }
+	})
+	driveToShadowing(t, m)
+
+	for i := 0; i < tightSpec().Shadow; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	if got := m.State(); got != StatePromoting {
+		t.Fatalf("after shadow budget: state = %s, want promoting", got)
+	}
+	key, prev, version, _ := reg.Active("default")
+	if prev != "inc" || version != 2 || key == "inc" {
+		t.Fatalf("pointer after flip = (%s, %s, %d), want (candidate, inc, 2)", key, prev, version)
+	}
+	for i := 0; i < tightSpec().Probation; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	if got := m.State(); got != StateStable {
+		t.Fatalf("after probation: state = %s, want stable", got)
+	}
+	runs := m.History(0)
+	if len(runs) != 1 || runs[0].Outcome != "promoted" {
+		t.Fatalf("history = %+v, want one promoted run", runs)
+	}
+	if runs[0].ShadowTotal != tightSpec().Shadow || runs[0].Agreement != 1 {
+		t.Errorf("run tallies = total %d agreement %.2f, want %d/1.00", runs[0].ShadowTotal, runs[0].Agreement, tightSpec().Shadow)
+	}
+	wantPath := []State{StateDrifting, StateRetraining, StateShadowing, StatePromoting, StateStable}
+	if len(transitions) != len(wantPath) {
+		t.Fatalf("transitions = %+v, want path %v", transitions, wantPath)
+	}
+	for i, tr := range transitions {
+		if tr.To != wantPath[i] {
+			t.Errorf("transition %d lands in %s, want %s", i, tr.To, wantPath[i])
+		}
+	}
+}
+
+// TestShadowRejectsDisagreeingCandidate: a candidate that contradicts
+// the incumbent on live traffic loses the budget and is never promoted.
+func TestShadowRejectsDisagreeingCandidate(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, contraryDetector(t), tightSpec())
+	driveToShadowing(t, m)
+
+	for i := 0; i < tightSpec().Shadow; i++ {
+		mirror(m, reg, sampleGood()) // incumbent: good; contrary candidate: bad-fs
+	}
+	if got := m.State(); got != StateStable {
+		t.Fatalf("state = %s, want stable (rejected)", got)
+	}
+	if key, _, _, _ := reg.Active("default"); key != "inc" {
+		t.Fatalf("active key = %s, want inc (no flip on rejection)", key)
+	}
+	runs := m.History(0)
+	if len(runs) != 1 || runs[0].Outcome != "rejected" {
+		t.Fatalf("history = %+v, want one rejected run", runs)
+	}
+}
+
+// TestProbationRegressionRollsBack: the candidate agrees during
+// shadowing (good traffic), wins, then the traffic shifts to the family
+// it mislabels — probation disagreement crosses the regress budget and
+// the previous version is restored automatically.
+func TestProbationRegressionRollsBack(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, contraryDetector(t), tightSpec())
+	driveToShadowing(t, m)
+
+	for i := 0; i < tightSpec().Shadow; i++ {
+		mirror(m, reg, sampleFS()) // both say bad-fs: candidate wins the budget
+	}
+	if got := m.State(); got != StatePromoting {
+		t.Fatalf("state = %s, want promoting", got)
+	}
+	// Now the traffic the contrary candidate mislabels arrives: the new
+	// authoritative (candidate) says bad-fs, retained previous says
+	// good — disagreements accumulate until rollback.
+	for i := 0; i < tightSpec().Probation && m.State() == StatePromoting; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	if got := m.State(); got != StateRolledBack {
+		t.Fatalf("state = %s, want rolled-back", got)
+	}
+	key, _, version, _ := reg.Active("default")
+	if key != "inc" {
+		t.Fatalf("active key after rollback = %s, want inc", key)
+	}
+	if version != 3 {
+		t.Errorf("version after rollback = %d, want 3 (flip + rollback)", version)
+	}
+	runs := m.History(0)
+	if len(runs) != 1 || runs[0].Outcome != "rolled-back" {
+		t.Fatalf("history = %+v, want one rolled-back run", runs)
+	}
+	// Hysteresis returns the bruised state to stable.
+	m.ObserveStream(clear(40))
+	m.ObserveStream(clear(41))
+	if got := m.State(); got != StateStable {
+		t.Fatalf("after clears: state = %s, want stable", got)
+	}
+}
+
+// TestDriftReAlarmDuringProbationRollsBack: fresh drift evidence during
+// probation is itself a regression signal.
+func TestDriftReAlarmDuringProbationRollsBack(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, tinyDetector(t), tightSpec())
+	driveToShadowing(t, m)
+	for i := 0; i < tightSpec().Shadow; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	if got := m.State(); got != StatePromoting {
+		t.Fatalf("state = %s, want promoting", got)
+	}
+	m.ObserveStream(drift(30))
+	m.ObserveStream(window(31))
+	m.ObserveStream(window(32))
+	if got := m.State(); got != StateRolledBack {
+		t.Fatalf("state after drift re-alarm = %s, want rolled-back", got)
+	}
+	if key, _, _, _ := reg.Active("default"); key != "inc" {
+		t.Fatalf("active key = %s, want inc restored", key)
+	}
+}
+
+// TestTrainFailureReturnsToDrifting: a failing trainer records the
+// error and re-arms the debounce instead of wedging the loop.
+func TestTrainFailureReturnsToDrifting(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, nil, tightSpec(), func(cfg *Config) {
+		cfg.Train = func(uint64) (*core.Detector, float64, error) {
+			return nil, 0, fmt.Errorf("collection exploded")
+		}
+	})
+	m.ObserveStream(drift(10))
+	m.ObserveStream(window(11))
+	m.ObserveStream(window(12))
+	waitState(t, m, StateDrifting)
+	runs := m.History(0)
+	if len(runs) != 1 || runs[0].Outcome != "failed" || runs[0].Error == "" {
+		t.Fatalf("history = %+v, want one failed run carrying the error", runs)
+	}
+	if st := m.Status(); st.LastError == "" {
+		t.Error("Status.LastError empty after training failure")
+	}
+}
+
+// TestMirrorSampling: every=4 mirrors a quarter of the traffic.
+func TestMirrorSampling(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	spec := tightSpec()
+	spec.Every = 4
+	spec.Shadow = 4
+	m := testManager(t, reg, tinyDetector(t), spec)
+	driveToShadowing(t, m)
+	for i := 0; i < 12; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	st := m.Status()
+	if st.Run == nil || st.Run.ShadowTotal != 3 {
+		t.Fatalf("shadow total = %+v, want 3 of 12 mirrored at every=4", st.Run)
+	}
+}
+
+// TestMirrorIgnoresOtherDetectors: traffic answered by an explicitly
+// requested different detector never scores the candidate.
+func TestMirrorIgnoresOtherDetectors(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, tinyDetector(t), tightSpec())
+	driveToShadowing(t, m)
+	for i := 0; i < 20; i++ {
+		m.Mirror("train:quick=true,seed=9", "good", 1, sampleGood(), nil)
+	}
+	if st := m.Status(); st.Run.ShadowTotal != 0 {
+		t.Fatalf("shadow total = %d, want 0 (other detector's traffic)", st.Run.ShadowTotal)
+	}
+}
+
+// TestLedgerPersistsAcrossRestart: runs land on disk and a new manager
+// continues the sequence.
+func TestLedgerPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	m := testManager(t, reg, tinyDetector(t), tightSpec(), func(cfg *Config) {
+		cfg.HistoryDir = dir
+	})
+	driveToShadowing(t, m)
+	for i := 0; i < tightSpec().Shadow+tightSpec().Probation; i++ {
+		mirror(m, reg, sampleGood())
+	}
+	waitState(t, m, StateStable)
+	m.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, "run-000001.json")); err != nil {
+		t.Fatalf("ledger file missing: %v", err)
+	}
+	m2 := testManager(t, reg, tinyDetector(t), tightSpec(), func(cfg *Config) {
+		cfg.HistoryDir = dir
+	})
+	runs := m2.History(0)
+	if len(runs) != 1 || runs[0].Seq != 1 || runs[0].Outcome != "promoted" {
+		t.Fatalf("reloaded history = %+v, want the promoted run 1", runs)
+	}
+	driveToShadowing(t, m2)
+	if st := m2.Status(); st.Run == nil || st.Run.Seq != 2 {
+		t.Fatalf("next run seq = %+v, want 2 (sequence continues)", st.Run)
+	}
+}
+
+// TestJudgeVindicatesCandidate: a disagreement where the
+// instrumentation judge sides with the candidate counts toward the
+// agreement budget.
+func TestJudgeVindicatesCandidate(t *testing.T) {
+	reg := newFakeRegistry()
+	reg.put("inc", tinyDetector(t))
+	_ = reg.SetActive("default", "inc", "", 1)
+	spec := tightSpec()
+	spec.Shadow = 4
+	spec.Agree = 1.0 // every comparison must be won
+	judged := 0
+	m := testManager(t, reg, contraryDetector(t), spec, func(cfg *Config) {
+		cfg.Judge = func(_ []machine.Kernel) (bool, error) {
+			judged++
+			return true, nil // ground truth: false sharing is real
+		}
+	})
+	driveToShadowing(t, m)
+	// Incumbent says good, contrary candidate says bad-fs, judge says
+	// the false sharing is real: candidate wins every disagreement.
+	kernels := []machine.Kernel{}
+	for i := 0; i < spec.Shadow; i++ {
+		key, _, _, _ := reg.Active("default")
+		m.Mirror(key, "good", 1, sampleGood(), kernels)
+	}
+	if judged != spec.Shadow {
+		t.Fatalf("judge ran %d times, want %d", judged, spec.Shadow)
+	}
+	if got := m.State(); got != StatePromoting {
+		t.Fatalf("state = %s, want promoting (judge vindicated the candidate)", got)
+	}
+}

@@ -1,0 +1,229 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is the operator-tunable shape of the self-healing loop: how much
+// drift evidence triggers a retrain, how the candidate is shadowed, and
+// what budget it must win to be promoted. The wire form is a compact
+// comma-separated k=v list (the same shape as the stream window spec),
+// so one CLI flag configures the whole loop:
+//
+//	alarms=3,window=2m,clear=2,every=1,shadow=64,agree=0.9,conf=0,probation=64,regress=0.25
+//
+// The empty string and "on" both mean DefaultSpec.
+type Spec struct {
+	// Alarms is the drift evidence count within Window that debounces a
+	// retrain: each drift alarm counts one, and each classified window
+	// observed while a drift episode is still open counts one more, so
+	// one sustained excursion fires promptly while a lone blip never
+	// does.
+	Alarms int `json:"alarms"`
+	// Window is the sliding evidence window.
+	Window time.Duration `json:"window"`
+	// Clear is the consecutive drift-cleared events (hysteresis) needed
+	// to drop back to the stable state.
+	Clear int `json:"clear"`
+	// Every samples 1-in-Every authoritative classifications into the
+	// shadow comparison (1 = every request).
+	Every int `json:"every"`
+	// Shadow is how many shadowed comparisons the candidate is scored
+	// over before the promote/reject verdict.
+	Shadow int `json:"shadow"`
+	// Agree is the fraction of the Shadow budget the candidate must win
+	// — agreements plus judged disagreements decided in its favor — to
+	// be promoted.
+	Agree float64 `json:"agree"`
+	// Conf is the mean-confidence margin the candidate must hold over
+	// the incumbent across the shadow budget (0 = at least match it;
+	// negative tolerates a dip).
+	Conf float64 `json:"conf"`
+	// Probation is the shadowed comparisons the promoted version is
+	// watched for after the flip, scored against the retained previous
+	// version.
+	Probation int `json:"probation"`
+	// Regress is the disagreement fraction of the probation budget that
+	// triggers automatic rollback (crossing Regress*Probation
+	// disagreements rolls back immediately, without waiting out the
+	// budget).
+	Regress float64 `json:"regress"`
+}
+
+// DefaultSpec returns the documented defaults.
+func DefaultSpec() Spec {
+	return Spec{
+		Alarms:    3,
+		Window:    2 * time.Minute,
+		Clear:     2,
+		Every:     1,
+		Shadow:    64,
+		Agree:     0.9,
+		Conf:      0,
+		Probation: 64,
+		Regress:   0.25,
+	}
+}
+
+// SpecError reports one rejected field of a lifecycle spec string.
+type SpecError struct {
+	Field  string
+	Value  string
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	if e.Value == "" {
+		return fmt.Sprintf("lifecycle spec: %s: %s", e.Field, e.Reason)
+	}
+	return fmt.Sprintf("lifecycle spec: %s=%q: %s", e.Field, e.Value, e.Reason)
+}
+
+// ParseSpec parses the k=v wire form. Unset keys keep their defaults;
+// unknown keys, bad values, and out-of-range numbers are typed
+// *SpecError values naming the offending field.
+func ParseSpec(s string) (Spec, error) {
+	spec := DefaultSpec()
+	s = strings.TrimSpace(s)
+	if s == "" || s == "on" {
+		return spec, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return Spec{}, &SpecError{Field: strings.TrimSpace(part), Reason: "want key=value"}
+		}
+		if seen[k] {
+			return Spec{}, &SpecError{Field: k, Value: v, Reason: "duplicate key"}
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case "alarms":
+			spec.Alarms, err = parseCount(k, v)
+		case "window":
+			spec.Window, err = parseDuration(k, v)
+		case "clear":
+			spec.Clear, err = parseCount(k, v)
+		case "every":
+			spec.Every, err = parseCount(k, v)
+		case "shadow":
+			spec.Shadow, err = parseCount(k, v)
+		case "agree":
+			spec.Agree, err = parseFraction(k, v)
+		case "conf":
+			spec.Conf, err = parseMargin(k, v)
+		case "probation":
+			spec.Probation, err = parseCount(k, v)
+		case "regress":
+			spec.Regress, err = parseFraction(k, v)
+		default:
+			err = &SpecError{Field: k, Value: v, Reason: "unknown key (want " + strings.Join(specKeys(), "/") + ")"}
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// specKeys lists the accepted keys, sorted, for error messages.
+func specKeys() []string {
+	keys := []string{"alarms", "window", "clear", "every", "shadow", "agree", "conf", "probation", "regress"}
+	sort.Strings(keys)
+	return keys
+}
+
+func parseCount(field, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &SpecError{Field: field, Value: v, Reason: "not an integer"}
+	}
+	if n < 1 {
+		return 0, &SpecError{Field: field, Value: v, Reason: "must be >= 1"}
+	}
+	return n, nil
+}
+
+func parseDuration(field, v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, &SpecError{Field: field, Value: v, Reason: "not a duration (like 90s or 2m)"}
+	}
+	if d <= 0 {
+		return 0, &SpecError{Field: field, Value: v, Reason: "must be positive"}
+	}
+	return d, nil
+}
+
+func parseFraction(field, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, &SpecError{Field: field, Value: v, Reason: "not a number"}
+	}
+	// The conjunctive form also rejects NaN (every NaN comparison is
+	// false, so a plain out-of-range check would wave it through).
+	if !(f >= 0 && f <= 1) {
+		return 0, &SpecError{Field: field, Value: v, Reason: "must be in [0, 1]"}
+	}
+	return f, nil
+}
+
+func parseMargin(field, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, &SpecError{Field: field, Value: v, Reason: "not a number"}
+	}
+	if !(f >= -1 && f <= 1) {
+		return 0, &SpecError{Field: field, Value: v, Reason: "must be in [-1, 1]"}
+	}
+	return f, nil
+}
+
+// Validate checks the cross-field invariants a parsed or hand-built
+// spec must satisfy.
+func (s Spec) Validate() error {
+	switch {
+	case s.Alarms < 1:
+		return &SpecError{Field: "alarms", Reason: "must be >= 1"}
+	case s.Window <= 0:
+		return &SpecError{Field: "window", Reason: "must be positive"}
+	case s.Clear < 1:
+		return &SpecError{Field: "clear", Reason: "must be >= 1"}
+	case s.Every < 1:
+		return &SpecError{Field: "every", Reason: "must be >= 1"}
+	case s.Shadow < 1:
+		return &SpecError{Field: "shadow", Reason: "must be >= 1"}
+	case !(s.Agree >= 0 && s.Agree <= 1):
+		return &SpecError{Field: "agree", Reason: "must be in [0, 1]"}
+	case !(s.Conf >= -1 && s.Conf <= 1):
+		return &SpecError{Field: "conf", Reason: "must be in [-1, 1]"}
+	case s.Probation < 1:
+		return &SpecError{Field: "probation", Reason: "must be >= 1"}
+	case !(s.Regress >= 0 && s.Regress <= 1):
+		return &SpecError{Field: "regress", Reason: "must be in [0, 1]"}
+	}
+	return nil
+}
+
+// String renders the canonical wire form; ParseSpec(s.String()) == s
+// for any valid spec (the round trip the fuzz target pins).
+func (s Spec) String() string {
+	return fmt.Sprintf("alarms=%d,window=%s,clear=%d,every=%d,shadow=%d,agree=%s,conf=%s,probation=%d,regress=%s",
+		s.Alarms, s.Window, s.Clear, s.Every, s.Shadow,
+		formatFloat(s.Agree), formatFloat(s.Conf), s.Probation, formatFloat(s.Regress))
+}
+
+// formatFloat renders a fraction without trailing-zero noise.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

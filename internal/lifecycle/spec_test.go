@@ -1,0 +1,122 @@
+package lifecycle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	for _, in := range []string{"", "on", "  on  "} {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if got != DefaultSpec() {
+			t.Errorf("ParseSpec(%q) = %+v, want defaults", in, got)
+		}
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	got, err := ParseSpec("alarms=5,window=90s,clear=3,every=8,shadow=128,agree=0.95,conf=-0.1,probation=32,regress=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Alarms: 5, Window: 90 * time.Second, Clear: 3, Every: 8,
+		Shadow: 128, Agree: 0.95, Conf: -0.1, Probation: 32, Regress: 0.5}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseSpecPartialKeepsDefaults(t *testing.T) {
+	got, err := ParseSpec("shadow=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultSpec()
+	want.Shadow = 16
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in    string
+		field string
+	}{
+		{"bogus=1", "bogus"},
+		{"alarms=0", "alarms"},
+		{"alarms=x", "alarms"},
+		{"window=0s", "window"},
+		{"window=nope", "window"},
+		{"agree=1.5", "agree"},
+		{"agree=-0.1", "agree"},
+		{"conf=2", "conf"},
+		{"regress=9", "regress"},
+		{"shadow=", "shadow="},
+		{"shadow=4,shadow=5", "shadow"},
+		{"justakey", "justakey"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("ParseSpec(%q): err = %v, want *SpecError", c.in, err)
+			continue
+		}
+		if se.Field != c.field {
+			t.Errorf("ParseSpec(%q): field = %q, want %q", c.in, se.Field, c.field)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{DefaultSpec(), {Alarms: 1, Window: time.Second, Clear: 1, Every: 7, Shadow: 3, Agree: 0.125, Conf: -0.25, Probation: 9, Regress: 1}} {
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Errorf("round trip %q = %+v, want %+v", spec.String(), back, spec)
+		}
+	}
+}
+
+// FuzzParseLifecycleSpec pins the parser's safety properties: it never
+// panics, an accepted spec always validates, and its canonical String
+// form re-parses to the identical spec.
+func FuzzParseLifecycleSpec(f *testing.F) {
+	f.Add("")
+	f.Add("on")
+	f.Add("alarms=3,window=2m,clear=2")
+	f.Add("shadow=64,agree=0.9,conf=0,probation=64,regress=0.25")
+	f.Add("every=1,window=1h30m")
+	f.Add("alarms=-1")
+	f.Add("agree=NaN")
+	f.Add("window=1ns,window=1ns")
+	f.Add(strings.Repeat("a=1,", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSpec(%q): non-SpecError %v", in, err)
+			}
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %+v: %v", in, spec, verr)
+		}
+		back, rerr := ParseSpec(spec.String())
+		if rerr != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", spec.String(), in, rerr)
+		}
+		if back != spec {
+			t.Fatalf("round trip of %q: %+v != %+v", in, back, spec)
+		}
+	})
+}

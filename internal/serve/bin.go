@@ -126,7 +126,7 @@ func (s *Server) classifyBin(ctx context.Context, det *core.Detector, key string
 	degraded := false
 	for i := 0; i < n; i++ {
 		jr.Vector = req.Vecs[i*req.Width : (i+1)*req.Width]
-		jresp, err := classifyVector(det, key, jr)
+		jresp, err := s.classifyVector(det, key, jr)
 		if err != nil {
 			return nil, err
 		}

@@ -433,6 +433,23 @@ func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
 	return &out, nil
 }
 
+// Lifecycle fetches the self-healing loop's status and run history.
+// limit bounds the history (0 = server default of 16; negative = all
+// retained).
+func (c *Client) Lifecycle(ctx context.Context, limit int) (*LifecycleResponse, error) {
+	path := "/v1/lifecycle"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	} else if limit < 0 {
+		path += "?limit=0"
+	}
+	var out LifecycleResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // MetricsText fetches the raw metrics exposition.
 func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	target, err := c.endpoint("/metrics")

@@ -13,6 +13,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -26,6 +27,7 @@ import (
 
 	"fsml/internal/core"
 	"fsml/internal/exps"
+	"fsml/internal/fsatomic"
 	"fsml/internal/resilience"
 )
 
@@ -163,7 +165,35 @@ type Registry struct {
 	entries  map[string]*entry
 	lru      *list.List // front = most recently used; values are *entry
 	breakers map[string]*resilience.Breaker
+	// active maps logical detector names to their version pointers. The
+	// keys a pointer references (current and retained previous) are
+	// pinned against LRU eviction: evicting the only resident copy of
+	// the version the default path serves would turn the next default
+	// classify into a 404 (content keys cannot be retrained).
+	active map[string]ActivePointer
 }
+
+// ActivePointer is the per-name active-version record the model
+// lifecycle flips on promotion and rollback: which registry key is
+// authoritative for the name right now, which previous version is
+// retained for rollback, and a monotonically increasing version number.
+// The map of pointers persists crash-safe (fsync+rename) beside the
+// model files, so a restart resumes serving the promoted version.
+type ActivePointer struct {
+	// Key is the authoritative registry key for the name.
+	Key string `json:"key"`
+	// Previous is the retained rollback target ("" on the first
+	// promotion, when the incumbent was the configured default).
+	Previous string `json:"previous,omitempty"`
+	// Version counts promotions and rollbacks of this name, starting
+	// at 1.
+	Version int `json:"version"`
+}
+
+// activeFileName is the registry-dir file holding the active-version
+// pointer map. It intentionally has no "sha256-"/"train-" prefix, so
+// DiskKeys never mistakes it for a model.
+const activeFileName = "active.json"
 
 // NewRegistry returns an empty registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
@@ -187,12 +217,133 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 			return lab.Detector()
 		}
 	}
-	return &Registry{
+	r := &Registry{
 		cfg:      cfg,
 		entries:  map[string]*entry{},
 		lru:      list.New(),
 		breakers: map[string]*resilience.Breaker{},
+		active:   map[string]ActivePointer{},
 	}
+	r.loadActive()
+	return r
+}
+
+// loadActive warm-starts the active-version pointers from the registry
+// dir. A pointer file that does not decode is quarantined like a
+// corrupt model: the names fall back to their configured defaults (a
+// lost promotion, never a wrong or missing answer).
+func (r *Registry) loadActive() {
+	if r.cfg.Dir == "" {
+		return
+	}
+	path := filepath.Join(r.cfg.Dir, activeFileName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var ptrs map[string]ActivePointer
+	if err := json.Unmarshal(blob, &ptrs); err != nil {
+		_ = os.Rename(path, path+".corrupt")
+		r.count(mQuarantined)
+		return
+	}
+	for name, p := range ptrs {
+		if name != "" && p.Key != "" {
+			r.active[name] = p
+		}
+	}
+}
+
+// persistActive rewrites the pointer file crash-safe. Callers hold
+// r.mu. Best effort, like model persistence: with no dir (or a failing
+// disk) promotions still flip in memory.
+func (r *Registry) persistActive() {
+	if r.cfg.Dir == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(r.active, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
+		return
+	}
+	_ = atomicWriteFile(filepath.Join(r.cfg.Dir, activeFileName), blob, 0o644)
+}
+
+// SetActive points name at the given registry key, retaining previous
+// as the rollback target and persisting the pointer map crash-safe.
+// The referenced keys become pinned against LRU eviction.
+func (r *Registry) SetActive(name, key, previous string, version int) error {
+	if name == "" {
+		return fmt.Errorf("serve: SetActive: empty name")
+	}
+	if key == "" {
+		return fmt.Errorf("serve: SetActive %q: empty key", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.active[name] = ActivePointer{Key: key, Previous: previous, Version: version}
+	r.persistActive()
+	return nil
+}
+
+// ClearActive removes name's pointer (and the pins it held), restoring
+// default resolution for the name.
+func (r *Registry) ClearActive(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.active[name]; !ok {
+		return nil
+	}
+	delete(r.active, name)
+	r.persistActive()
+	return nil
+}
+
+// Active returns name's pointer fields (ok=false when the name has no
+// active version and resolves to its configured default).
+func (r *Registry) Active(name string) (key, previous string, version int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.active[name]
+	return p.Key, p.Previous, p.Version, ok
+}
+
+// ActivePointers snapshots the pointer map (sorted iteration is up to
+// the caller; the map is a copy).
+func (r *Registry) ActivePointers() map[string]ActivePointer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]ActivePointer, len(r.active))
+	for name, p := range r.active {
+		out[name] = p
+	}
+	return out
+}
+
+// Resolve fetches a key outside any request context — the lifecycle
+// manager resolving a rollback target. It shares Get's full load path
+// (warm start, lazy training, breakers).
+func (r *Registry) Resolve(key string) (*core.Detector, error) {
+	det, _, err := r.Get(context.Background(), key)
+	return det, err
+}
+
+// pinnedLocked returns the keys the active pointers reference (current
+// and retained previous). Callers hold r.mu.
+func (r *Registry) pinnedLocked() map[string]bool {
+	if len(r.active) == 0 {
+		return nil
+	}
+	pinned := make(map[string]bool, 2*len(r.active))
+	for _, p := range r.active {
+		pinned[p.Key] = true
+		if p.Previous != "" {
+			pinned[p.Previous] = true
+		}
+	}
+	return pinned
 }
 
 // breakerFor returns the training circuit breaker of a train-spec key,
@@ -438,47 +589,11 @@ func (r *Registry) persist(key string, det *core.Detector) {
 	_ = atomicWriteFile(r.fileFor(key), blob, 0o644)
 }
 
-// atomicWriteFile writes path via a same-directory temp file, fsyncs
-// the data, and renames it into place. The temp name never matches the
-// registry's *.json glob, so a concurrent DiskKeys cannot list a
-// half-written model.
+// atomicWriteFile is the shared crash-safe writer (temp file, fsync,
+// atomic rename). The temp name never matches the registry's *.json
+// glob, so a concurrent DiskKeys cannot list a half-written model.
 func atomicWriteFile(path string, blob []byte, perm os.FileMode) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if _, err := tmp.Write(blob); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := tmp.Chmod(perm); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	name := tmp.Name()
-	tmp = nil // the rename owns the file now; skip the deferred cleanup
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	// Best effort: persist the rename itself. A crash between rename
-	// and directory sync can lose the new entry but never corrupts it.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return fsatomic.WriteFile(path, blob, perm)
 }
 
 // fileFor maps a registry key to its model file path. ':' is not
@@ -490,12 +605,19 @@ func (r *Registry) fileFor(key string) string {
 // evictLocked drops least-recently-used ready entries until the resident
 // count fits the capacity. In-flight entries are never evicted — their
 // waiters hold references — so a burst of distinct in-flight keys may
-// transiently exceed the bound.
+// transiently exceed the bound. Keys referenced by an active-version
+// pointer (current or retained previous) are pinned: a promoted
+// content-keyed model has no trainer to fall back to, so evicting it
+// under cache pressure would break the authoritative serving path.
 func (r *Registry) evictLocked() {
+	pinned := r.pinnedLocked()
 	for len(r.entries) > r.cfg.Capacity {
 		evicted := false
 		for el := r.lru.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*entry)
+			if pinned[e.key] {
+				continue
+			}
 			select {
 			case <-e.ready:
 			default:

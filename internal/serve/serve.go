@@ -53,6 +53,7 @@ import (
 
 	"fsml/internal/core"
 	"fsml/internal/faults"
+	"fsml/internal/lifecycle"
 	"fsml/internal/perfingest"
 	"fsml/internal/pmu"
 	"fsml/internal/report"
@@ -113,6 +114,14 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Train overrides the registry's lazy trainer (tests).
 	Train func(spec TrainSpec) (*core.Detector, error)
+	// Lifecycle, when non-nil, enables the self-healing model loop:
+	// drift alarms from watch sessions debounce into a retrain, the
+	// candidate shadow-scores live traffic beside the incumbent, and
+	// winning the budget flips the registry's active-version pointer
+	// (with automatic rollback on regression). Registry, Counters,
+	// Name, HistoryDir, and Parallelism are filled by the server when
+	// left zero. See GET /v1/lifecycle and `fsml lifecycle`.
+	Lifecycle *lifecycle.Config
 	// Logf, when non-nil, receives one line per shed/error response,
 	// tagged with the request's X-FSML-Request-ID when the caller sent
 	// one — that is how the two hops of a fleet failover correlate in
@@ -166,6 +175,12 @@ type Server struct {
 	limReport   *resilience.Limiter
 	limWatch    *resilience.Limiter
 
+	// lc is the self-healing model loop (nil when disabled); lcErr
+	// keeps a construction failure for /v1/lifecycle to surface — a
+	// broken loop config degrades to a plain server, never a dead one.
+	lc    *lifecycle.Manager
+	lcErr error
+
 	// watchStop is closed when shutdown begins, so long-lived watch
 	// sessions truncate at their next slice boundary and the drain can
 	// complete.
@@ -213,6 +228,9 @@ func New(cfg Config) *Server {
 		watchStop:    make(chan struct{}),
 		handlersDone: make(chan struct{}),
 	}
+	if cfg.Lifecycle != nil {
+		s.initLifecycle()
+	}
 	return s
 }
 
@@ -241,6 +259,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/watch", s.admit(s.limWatch, mShedWatch, s.handleWatch))
 	mux.HandleFunc("GET /v1/detectors", s.admit(nil, "", s.handleListDetectors))
 	mux.HandleFunc("POST /v1/detectors", s.admit(nil, "", s.handleRegisterDetector))
+	mux.HandleFunc("GET /v1/lifecycle", s.admit(nil, "", s.handleLifecycle))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -415,6 +434,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		<-s.handlersDone  // admitted handlers first ...
 		s.batcher.Close() // ... then the batches they queued
+		if s.lc != nil {
+			s.lc.Close() // ... then the loop (finalizes the open run)
+		}
 		close(drained)
 	}()
 	select {
@@ -525,10 +547,22 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
-// detector resolves a request's detector key through the registry.
+// detector resolves a request's detector key through the registry. An
+// empty key means "the default": with the lifecycle loop enabled that
+// is the active-version pointer (a promotion changes what this returns,
+// atomically); a pointer whose model cannot be loaded falls back to the
+// configured default — counted, because serving the fallback model
+// beats refusing the request.
 func (s *Server) detector(ctx context.Context, key string) (*core.Detector, string, error) {
 	if key == "" {
-		key = s.cfg.DefaultDetector
+		key = s.activeDetectorKey()
+		det, _, err := s.reg.Get(ctx, key)
+		if err != nil && key != s.cfg.DefaultDetector {
+			s.metrics.Add(mLifecycleFallback, 1)
+			key = s.cfg.DefaultDetector
+			det, _, err = s.reg.Get(ctx, key)
+		}
+		return det, key, err
 	}
 	det, _, err := s.reg.Get(ctx, key)
 	if err != nil {
@@ -591,6 +625,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		InflightWatch:    s.limWatch.Inflight(),
 		OpenBreakers:     s.reg.OpenBreakers(),
 		Detectors:        len(s.reg.List()),
+	}
+	if s.lc != nil {
+		resp.Lifecycle = string(s.lc.State())
 	}
 	resp.Ready = !resp.ShuttingDown && !resp.Overloaded && len(resp.OpenBreakers) == 0
 	if !resp.Ready {
@@ -722,13 +759,13 @@ func (s *Server) classifyOne(det *core.Detector, key string, req *ClassifyReques
 	if len(req.Trace) > 0 {
 		return s.classifyTrace(det, key, req)
 	}
-	return classifyVector(det, key, req)
+	return s.classifyVector(det, key, req)
 }
 
 // classifyVector classifies a pre-normalized event vector. The vector is
 // wrapped in a synthetic sample with an instruction normalizer of 1, so
 // the values pass through the detector's projection unchanged.
-func classifyVector(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+func (s *Server) classifyVector(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
 	events := req.Events
 	if len(events) == 0 {
 		if det.Tree != nil {
@@ -759,6 +796,7 @@ func classifyVector(det *core.Detector, key string, req *ClassifyRequest) (*Clas
 	if err != nil {
 		return nil, badRequestf("classify: %v", err)
 	}
+	s.mirror(key, rr.Class, rr.Confidence, sample, nil)
 	return &ClassifyResponse{
 		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
 		Suspects: rr.Suspects, Detector: key,
@@ -801,6 +839,9 @@ func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequ
 	if err != nil {
 		return nil, fmt.Errorf("classify: %w", err)
 	}
+	// Trace requests carry a replayable workload, so the shadow scorer
+	// can judge a disagreement against instrumentation ground truth.
+	s.mirror(key, rr.Class, rr.Confidence, obs.Sample, tr.Kernels())
 	return &ClassifyResponse{
 		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
 		Suspects: rr.Suspects, Detector: key, Seconds: obs.Seconds,
@@ -869,6 +910,7 @@ func (s *Server) classifyPerfUpload(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, badRequestf("classify: %v", err)
 		}
+		s.mirror(key, rr.Class, rr.Confidence, sample, nil)
 		return &ClassifyResponse{
 			Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
 			Suspects: rr.Suspects, Detector: key,

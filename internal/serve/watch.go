@@ -191,13 +191,20 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if !q.NoDrift && det.Tree != nil {
 		env = stream.EnvelopeFromTree(det.Tree, 0)
 	}
-	mon, err := stream.NewMonitor(col, det, stream.MonitorConfig{
+	mc := stream.MonitorConfig{
 		Spec:        spec,
 		SliceRounds: q.SliceRounds,
 		Seed:        q.Seed,
 		Envelope:    env,
 		Counters:    s.metrics,
-	})
+	}
+	if s.lc != nil {
+		// Feed the lifecycle's drift debouncer losslessly: OnEvent runs
+		// on the session goroutine in canonical order, so the loop sees
+		// every alarm and clear even when SSE subscribers drop events.
+		mc.OnEvent = s.lc.ObserveStream
+	}
+	mon, err := stream.NewMonitor(col, det, mc)
 	if err != nil {
 		s.writeError(w, err)
 		return

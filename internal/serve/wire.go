@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"fsml/internal/lifecycle"
 	"fsml/internal/report"
 )
 
@@ -176,6 +177,23 @@ type ReadyResponse struct {
 	OpenBreakers []string `json:"open_breakers,omitempty"`
 	// Detectors is the resident registry size, as on /healthz.
 	Detectors int `json:"detectors"`
+	// Lifecycle is the self-healing loop's current state ("stable",
+	// "drifting", "retraining", "shadowing", "promoting",
+	// "rolled-back"; empty when the loop is disabled). Informational:
+	// a mid-promotion instance still serves.
+	Lifecycle string `json:"lifecycle,omitempty"`
+}
+
+// LifecycleResponse is the GET /v1/lifecycle body: whether the
+// self-healing loop is running, its live status, and the retained run
+// history (ledger entries, newest first).
+type LifecycleResponse struct {
+	Enabled bool `json:"enabled"`
+	// Error reports a loop that failed to construct (the server runs
+	// without it).
+	Error   string            `json:"error,omitempty"`
+	Status  *lifecycle.Status `json:"status,omitempty"`
+	History []lifecycle.Run   `json:"history,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -222,9 +222,13 @@ func TestEngineDriftEdgeTriggered(t *testing.T) {
 	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}, env)
 	events := pushClasses(t, e, "ggbbbggbg")
 	var drifts []*DriftAlarm
+	var cleared []*DriftCleared
 	for _, ev := range events {
-		if ev.Kind == KindDrift {
+		switch ev.Kind {
+		case KindDrift:
 			drifts = append(drifts, ev.Drift)
+		case KindDriftClear:
+			cleared = append(cleared, ev.DriftClear)
 		}
 	}
 	// Two excursions outside the envelope -> exactly two alarms, at the
@@ -240,12 +244,47 @@ func TestEngineDriftEdgeTriggered(t *testing.T) {
 			t.Errorf("alarm = %+v; want EV_A out with score 1", d)
 		}
 	}
+	// Each excursion ends -> a paired falling-edge event at the first
+	// recovered window, back-referencing its alarm.
+	if len(cleared) != 2 {
+		t.Fatalf("got %d drift-cleared events %+v, want 2", len(cleared), cleared)
+	}
+	if cleared[0].Window != 5 || cleared[0].Since != 2 || cleared[0].Windows != 3 {
+		t.Errorf("cleared[0] = %+v; want window 5 since 2 over 3 windows", cleared[0])
+	}
+	if cleared[1].Window != 8 || cleared[1].Since != 7 || cleared[1].Windows != 1 {
+		t.Errorf("cleared[1] = %+v; want window 8 since 7 over 1 window", cleared[1])
+	}
 	done, err := e.Finish(false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if done[0].Summary.DriftAlarms != 2 {
 		t.Errorf("summary drift alarms = %d, want 2", done[0].Summary.DriftAlarms)
+	}
+	if done[0].Summary.DriftCleared != 2 {
+		t.Errorf("summary drift cleared = %d, want 2", done[0].Summary.DriftCleared)
+	}
+}
+
+// TestEngineDriftOpenEpisodeStaysOpen pins the falling-edge contract at
+// stream end: an alarm with no recovery before Finish emits no
+// DriftCleared and is not counted as cleared.
+func TestEngineDriftOpenEpisodeStaysOpen(t *testing.T) {
+	env := &Envelope{Attrs: []string{"EV_A"}, Lo: []float64{0}, Hi: []float64{0.01}}
+	e := newTestEngine(t, WindowSpec{Size: 1, Stride: 1, Hysteresis: 1}, env)
+	events := pushClasses(t, e, "ggbbb")
+	for _, ev := range events {
+		if ev.Kind == KindDriftClear {
+			t.Fatalf("uncleared drift emitted a drift-clear event: %+v", ev.DriftClear)
+		}
+	}
+	done, err := e.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := done[0].Summary; s.DriftAlarms != 1 || s.DriftCleared != 0 {
+		t.Errorf("summary alarms/cleared = %d/%d, want 1/0", s.DriftAlarms, s.DriftCleared)
 	}
 }
 

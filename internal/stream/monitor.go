@@ -33,6 +33,7 @@ const (
 	MetricWindowsDropped    = "fsml_stream_windows_dropped_total"
 	MetricPhaseTransitions  = "fsml_stream_phase_transitions_total"
 	MetricDriftAlarms       = "fsml_stream_drift_alarms_total"
+	MetricDriftCleared      = "fsml_stream_drift_cleared_total"
 )
 
 // CounterSink receives stream-layer counter increments. *serve.Metrics
@@ -180,6 +181,8 @@ func (m *Monitor) publish(events []Event) {
 			m.count(MetricPhaseTransitions, 1)
 		case KindDrift:
 			m.count(MetricDriftAlarms, 1)
+		case KindDriftClear:
+			m.count(MetricDriftCleared, 1)
 		}
 	}
 }

@@ -38,6 +38,12 @@ const (
 	KindPhase = "phase"
 	// KindDrift is a feature-distribution drift alarm (edge-triggered).
 	KindDrift = "drift"
+	// KindDriftClear is the paired recovery event: the feature
+	// distribution returned inside the training envelope after a drift
+	// alarm. Every KindDrift is eventually followed by at most one
+	// KindDriftClear (an episode still open when the stream ends emits
+	// none).
+	KindDriftClear = "drift-clear"
 	// KindDone closes a stream with its summary.
 	KindDone = "done"
 )
@@ -56,6 +62,8 @@ type Event struct {
 	Phase *PhaseChange `json:"phase,omitempty"`
 	// Drift is set for KindDrift events.
 	Drift *DriftAlarm `json:"drift,omitempty"`
+	// DriftClear is set for KindDriftClear events.
+	DriftClear *DriftCleared `json:"drift_clear,omitempty"`
 	// Summary is set for KindDone events.
 	Summary *Summary `json:"summary,omitempty"`
 }
@@ -114,6 +122,20 @@ type DriftAlarm struct {
 	Score float64 `json:"score"`
 }
 
+// DriftCleared reports recovery from a drift episode: the first window
+// whose features are all back inside the training envelope after a
+// DriftAlarm. Consumers that debounce alarms (the model-lifecycle
+// manager, `fsml watch -json` dashboards) need the falling edge too —
+// without it an edge-triggered alarm looks permanent.
+type DriftCleared struct {
+	// Window is the window index at which the features recovered.
+	Window int `json:"window"`
+	// Since is the window index of the paired DriftAlarm.
+	Since int `json:"since"`
+	// Windows is how many windows the episode spanned (Window - Since).
+	Windows int `json:"windows"`
+}
+
 // PhaseSegment is one maximal run of the smoothed class, in window
 // indices — the streaming analogue of core.PhaseRun.
 type PhaseSegment struct {
@@ -131,9 +153,11 @@ type Summary struct {
 	Windows    int `json:"windows"`
 	Classified int `json:"classified"`
 	// Phases counts smoothed-class transitions, DriftAlarms the drift
-	// alarms raised.
-	Phases      int `json:"phases"`
-	DriftAlarms int `json:"drift_alarms"`
+	// alarms raised, DriftCleared the episodes that recovered (an alarm
+	// still open at stream end stays uncounted here).
+	Phases       int `json:"phases"`
+	DriftAlarms  int `json:"drift_alarms"`
+	DriftCleared int `json:"drift_cleared"`
 	// Final is the smoothed class when the stream ended.
 	Final string `json:"final"`
 	// PhaseRuns is the smoothed phase timeline, in window indices.
@@ -301,16 +325,19 @@ type Engine struct {
 	rawRunSmpl  int // sample index of that window's start
 	segments    []PhaseSegment
 
-	// drift state.
-	inDrift bool
+	// drift state. driftSince is the window index of the open episode's
+	// alarm, meaningful only while inDrift.
+	inDrift    bool
+	driftSince int
 
 	// totals.
-	classified  int
-	phases      int
-	driftAlarms int
-	seconds     float64
-	seq         int
-	finished    bool
+	classified   int
+	phases       int
+	driftAlarms  int
+	driftCleared int
+	seconds      float64
+	seq          int
+	finished     bool
 }
 
 // ringEntry is one buffered slice sample.
@@ -457,10 +484,15 @@ func (e *Engine) classifyWindow(out []Event) ([]Event, error) {
 		out = e.emit(out, Event{Kind: KindPhase, Phase: phase})
 	}
 	if e.cfg.Envelope != nil && v.Class != "" {
-		if alarm, err := e.checkDrift(v.Index); err != nil {
+		alarm, cleared, err := e.checkDrift(v.Index)
+		if err != nil {
 			return out, err
-		} else if alarm != nil {
+		}
+		if alarm != nil {
 			out = e.emit(out, Event{Kind: KindDrift, Drift: alarm})
+		}
+		if cleared != nil {
+			out = e.emit(out, Event{Kind: KindDriftClear, DriftClear: cleared})
 		}
 	}
 	return out, nil
@@ -518,8 +550,10 @@ func (e *Engine) majority() string {
 	return ""
 }
 
-// checkDrift tests the current aggregate window against the envelope.
-func (e *Engine) checkDrift(window int) (*DriftAlarm, error) {
+// checkDrift tests the current aggregate window against the envelope,
+// returning the rising-edge alarm or the falling-edge recovery event
+// the window triggers (at most one of the two is non-nil).
+func (e *Engine) checkDrift(window int) (*DriftAlarm, *DriftCleared, error) {
 	env := e.cfg.Envelope
 	if e.envIdx == nil {
 		e.envIdx = make([]int, len(env.Attrs))
@@ -530,7 +564,7 @@ func (e *Engine) checkDrift(window int) (*DriftAlarm, error) {
 		for i, a := range env.Attrs {
 			j, ok := byName[a]
 			if !ok {
-				return nil, fmt.Errorf("stream: envelope attribute %q not in the sample layout", a)
+				return nil, nil, fmt.Errorf("stream: envelope attribute %q not in the sample layout", a)
 			}
 			e.envIdx[i] = j
 		}
@@ -543,19 +577,28 @@ func (e *Engine) checkDrift(window int) (*DriftAlarm, error) {
 		}
 	}
 	if len(outside) == 0 {
+		if !e.inDrift {
+			return nil, nil, nil
+		}
 		e.inDrift = false
-		return nil, nil
+		e.driftCleared++
+		return nil, &DriftCleared{
+			Window:  window,
+			Since:   e.driftSince,
+			Windows: window - e.driftSince,
+		}, nil
 	}
 	if e.inDrift {
-		return nil, nil // still drifting: alarm already raised
+		return nil, nil, nil // still drifting: alarm already raised
 	}
 	e.inDrift = true
+	e.driftSince = window
 	e.driftAlarms++
 	return &DriftAlarm{
 		Window:   window,
 		Features: outside,
 		Score:    float64(len(outside)) / float64(len(env.Attrs)),
-	}, nil
+	}, nil, nil
 }
 
 // slide retires the n oldest ring entries from the window and the
@@ -621,15 +664,16 @@ func (e *Engine) summary(truncated bool) *Summary {
 	segs := make([]PhaseSegment, len(e.segments))
 	copy(segs, e.segments)
 	return &Summary{
-		Samples:     e.sampleIdx,
-		Windows:     e.winIdx,
-		Classified:  e.classified,
-		Phases:      e.phases,
-		DriftAlarms: e.driftAlarms,
-		Final:       e.smoothed,
-		PhaseRuns:   segs,
-		Seconds:     e.seconds,
-		Truncated:   truncated,
+		Samples:      e.sampleIdx,
+		Windows:      e.winIdx,
+		Classified:   e.classified,
+		Phases:       e.phases,
+		DriftAlarms:  e.driftAlarms,
+		DriftCleared: e.driftCleared,
+		Final:        e.smoothed,
+		PhaseRuns:    segs,
+		Seconds:      e.seconds,
+		Truncated:    truncated,
 	}
 }
 
