@@ -7,9 +7,9 @@ RACE_PKGS = ./internal/sched ./internal/core ./internal/suite \
             ./internal/trace ./internal/mem ./internal/xrand \
             ./internal/faults ./internal/serve ./internal/resilience \
             ./internal/stream ./internal/ml ./internal/perfingest \
-            ./internal/fleet ./internal/lifecycle
+            ./internal/fleet ./internal/lifecycle ./internal/ensemble
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke fleet-smoke lifecycle-smoke chaos ci
+.PHONY: all build test race fuzz fuzz-smoke bench bench-snapshot serve-smoke watch-smoke fleet-smoke lifecycle-smoke ensemble-smoke chaos ci
 
 all: build test
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 	$(GO) test -run '^$$' -fuzz FuzzParseLifecycleSpec -fuzztime 10s ./internal/lifecycle
+	$(GO) test -run '^$$' -fuzz FuzzParseEnsembleSpec -fuzztime 10s ./internal/ensemble
 
 # bench records the parallel-vs-sequential engine numbers (see
 # EXPERIMENTS.md).
@@ -48,7 +49,9 @@ bench:
 # Table-2 mapping per fixture format); BENCH_8.json — fleet-coordinator
 # overhead (direct vs routed classify latency); BENCH_9.json — what
 # lifecycle shadow-mirroring costs the classify hot path (absent vs
-# armed-idle vs actively shadowing).
+# armed-idle vs actively shadowing); BENCH_10.json — what the
+# multi-pathology ensemble costs per classify next to the single
+# 3-class tree.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_6.json \
 	    -bench 'FlatPredict|ClassifyBatch|DetectorClassify|ServeClassify' \
@@ -59,6 +62,8 @@ bench-snapshot:
 	    -bench 'FleetClassify' ./internal/fleet
 	$(GO) run ./cmd/benchsnap -o BENCH_9.json \
 	    -bench 'ShadowMirror' ./internal/serve
+	$(GO) run ./cmd/benchsnap -o BENCH_10.json \
+	    -bench 'EnsembleClassify|DetectorClassify' ./internal/ensemble
 
 # serve-smoke exercises the detection server's full lifecycle: bind an
 # ephemeral port, health-check, register a model, classify through the
@@ -84,6 +89,13 @@ fleet-smoke:
 # automatic rollback, all against a live server under the race detector.
 lifecycle-smoke:
 	$(GO) test ./internal/serve -run TestChaosDriftRetrainPromoteRollback -race -count=1 -v
+
+# ensemble-smoke is the multi-pathology acceptance run: train the
+# ensemble on the widened quick grids and classify one held-out workload
+# per pathology with the correct top-ranked label, deterministically
+# across -j 1 vs -j 8, under the race detector.
+ensemble-smoke:
+	$(GO) test ./internal/ensemble -run 'TestAcceptanceHeldOutPathologies|TestEnsembleDeterministicAcrossParallelism' -race -count=1 -v
 
 # chaos drives the serving layer through every failure mode at once —
 # corrupt registry files, failing trainers, shed storms, shutdown under

@@ -8,6 +8,7 @@ import (
 
 	"fsml/internal/core"
 	"fsml/internal/dataset"
+	"fsml/internal/ensemble"
 	"fsml/internal/exps"
 	"fsml/internal/faults"
 	"fsml/internal/fleet"
@@ -256,6 +257,11 @@ func Workloads() []Workload { return suite.All() }
 // LookupWorkload finds a workload by name.
 func LookupWorkload(name string) (Workload, bool) { return suite.Lookup(name) }
 
+// PathologyWorkloads returns the suite analogs of the widened pathology
+// classes (pagewalk, remote_ping, stream_copy) — held-out workloads for
+// `fsml classify -ensemble`, kept out of the paper's Table-5 set.
+func PathologyWorkloads() []Workload { return suite.Pathology() }
+
 // UnsupportedWorkloads lists the PARSEC programs the paper could not
 // evaluate (dedup, facesim) with the published reasons, so reports can
 // carry the same footnote.
@@ -425,15 +431,28 @@ func TrainForPlatform(name string, opts TrainOptions) (*PlatformDetector, error)
 // MiniProgramSpec selects one training mini-program run.
 type MiniProgramSpec = miniprog.Spec
 
-// Mode is a mini-program mode (good / bad-fs / bad-ma).
+// Mode is a mini-program mode: the paper's three labels plus the
+// widened pathology label space the ensemble trains on.
 type Mode = miniprog.Mode
 
-// Mini-program modes.
+// Mini-program modes. Good/BadFS/BadMA are the paper's label space;
+// TLBThrash/NUMARemote/BWSat are the widened pathology labels.
 const (
-	Good  = miniprog.Good
-	BadFS = miniprog.BadFS
-	BadMA = miniprog.BadMA
+	Good       = miniprog.Good
+	BadFS      = miniprog.BadFS
+	BadMA      = miniprog.BadMA
+	TLBThrash  = miniprog.TLBThrash
+	NUMARemote = miniprog.NUMARemote
+	BWSat      = miniprog.BWSat
 )
+
+// Modes lists the paper's three mini-program modes; AllModes appends
+// the widened pathology labels.
+func Modes() []Mode { return miniprog.Modes() }
+
+// AllModes lists every mini-program mode, the full label space of the
+// multi-pathology ensemble.
+func AllModes() []Mode { return miniprog.AllModes() }
 
 // BuildMiniProgram constructs the kernels of a training mini-program.
 func BuildMiniProgram(spec MiniProgramSpec) ([]Kernel, error) { return miniprog.Build(spec) }
@@ -607,7 +626,16 @@ func reproduceWith(lab *exps.Lab, name string) (string, error) {
 		return exps.RenderPlacementAblation(rows), nil
 	case "fault-matrix":
 		r, err := lab.FaultMatrix()
-		return render(r, err)
+		if err != nil {
+			return "", err
+		}
+		// The widened variant rides along: same rate axis, but the
+		// multi-pathology ensemble classifying the full label space.
+		w, err := lab.FaultMatrixWide()
+		if err != nil {
+			return "", err
+		}
+		return r.String() + "\n" + w.String(), nil
 	default:
 		return "", fmt.Errorf("fsml: unknown experiment %q", name)
 	}
@@ -904,6 +932,120 @@ func ClassifyPerf(det *Detector, rep *PerfReport) (RobustResult, *PerfMapping, e
 // "perf name -> Table-2 feature" pairs, for documentation and
 // diagnostics.
 func PerfEventAliases() [][2]string { return perfingest.Aliases() }
+
+// ---------------------------------------------------------------------------
+// Multi-pathology ensemble
+
+// Ensemble types, re-exported from internal/ensemble: the calibrated
+// multi-label detector that ranks every pathology the machine model can
+// exhibit — the paper's three classes plus tlb-thrash, numa-remote and
+// bw-saturated — by combining per-class bagged C4.5 committees with the
+// existing 3-class tree.
+type (
+	// EnsembleDetector is a trained multi-pathology ensemble.
+	EnsembleDetector = ensemble.Detector
+	// EnsembleSpec configures ensemble growth (members per committee,
+	// bootstrap fraction, seed); parse the CLI spec format with
+	// ParseEnsembleSpec.
+	EnsembleSpec = ensemble.Spec
+	// EnsembleResult is a ranked multi-pathology verdict.
+	EnsembleResult = ensemble.Result
+	// PathologyScore is one entry of the ranked verdict.
+	PathologyScore = ensemble.PathologyScore
+	// EnsembleTrainConfig configures the widened-grid collection behind
+	// TrainEnsemble.
+	EnsembleTrainConfig = ensemble.TrainConfig
+	// EnsembleFormatError is the typed mismatch error produced when a
+	// serialized blob is not an fsml-ensemble-v1 model.
+	EnsembleFormatError = ensemble.EnsembleFormatError
+	// EnsembleRobustAdapter presents an ensemble through the single
+	// detector's robust-verdict interface, e.g. for the stream engine.
+	EnsembleRobustAdapter = ensemble.RobustAdapter
+	// EnsembleDetectorSpec identifies a lazily trainable ensemble in the
+	// serving registry; its Key() is the registry key.
+	EnsembleDetectorSpec = serve.EnsembleSpec
+)
+
+// DefaultEnsembleSpec returns the default growth parameters.
+func DefaultEnsembleSpec() EnsembleSpec { return ensemble.DefaultSpec() }
+
+// ParseEnsembleSpec parses a "members=5,sample=0.8,seed=42" growth spec
+// (omitted keys keep their defaults; "" is the default spec).
+func ParseEnsembleSpec(s string) (EnsembleSpec, error) { return ensemble.ParseEnsembleSpec(s) }
+
+// EnsembleFeatureNames returns the widened attribute list the ensemble
+// trains on: the Table-2 features plus the remote-DRAM counter.
+func EnsembleFeatureNames() []string { return pmu.EnsembleFeatureNames() }
+
+// NUMAMachine returns the two-socket variant of the paper's platform
+// that the numa-remote training grids run on.
+func NUMAMachine() MachineConfig { return ensemble.NUMAMachine() }
+
+// TrainEnsemble runs the full multi-pathology pipeline: train the
+// paper's 3-class detector, collect the widened grids (legacy modes
+// plus the pathology kernel families, including the NUMA machine for
+// numa-remote), and grow the calibrated ensemble around the base tree.
+// A zero spec means DefaultEnsembleSpec with opts.Seed.
+func TrainEnsemble(opts TrainOptions, spec EnsembleSpec) (*EnsembleDetector, error) {
+	return TrainEnsembleContext(context.Background(), opts, spec)
+}
+
+// TrainEnsembleContext is TrainEnsemble with cancellation.
+func TrainEnsembleContext(ctx context.Context, opts TrainOptions, spec EnsembleSpec) (*EnsembleDetector, error) {
+	lab := &exps.Lab{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
+		Parallelism: opts.Parallelism, Progress: opts.Progress}
+	base, err := lab.Detector()
+	if err != nil {
+		return nil, err
+	}
+	cfg := ensemble.TrainConfig{Quick: opts.Quick, Seed: seedOrDefault(opts.Seed),
+		Parallelism: opts.Parallelism, Progress: opts.Progress, Spec: spec}
+	return ensemble.TrainContext(ctx, cfg, base)
+}
+
+// DetectPathologies measures the given kernels on a fresh default
+// machine with the widened event set and returns the ensemble's ranked
+// multi-pathology verdict. It is Detect's multi-label counterpart.
+func DetectPathologies(det *EnsembleDetector, kernels []Kernel) (EnsembleResult, Observation, error) {
+	return DetectPathologiesOn(det, DefaultMachine(), kernels)
+}
+
+// DetectPathologiesOn is DetectPathologies with an explicit machine
+// configuration (e.g. NUMAMachine to surface numa-remote).
+func DetectPathologiesOn(det *EnsembleDetector, cfg MachineConfig, kernels []Kernel) (EnsembleResult, Observation, error) {
+	c := core.NewCollector()
+	c.Machine = cfg
+	c.Events = pmu.EnsembleEvents()
+	obs := c.Measure("user-workload", cfg.Seed, kernels)
+	res, err := det.ClassifyRobust(obs.Sample)
+	if err != nil {
+		return EnsembleResult{}, obs, err
+	}
+	return res, obs, nil
+}
+
+// EncodeEnsemble serializes a trained ensemble (fsml-ensemble-v1).
+func EncodeEnsemble(d *EnsembleDetector) ([]byte, error) { return d.Encode() }
+
+// DecodeEnsemble parses an ensemble serialized by EncodeEnsemble.
+func DecodeEnsemble(data []byte) (*EnsembleDetector, error) { return ensemble.Decode(data) }
+
+// ClassifyPerfEnsemble classifies a parsed perf capture with the
+// multi-pathology ensemble. Features the capture did not measure —
+// commonly the remote-DRAM counter — degrade the affected committee
+// members per-member (EnsembleResult.MissingEvents names them) instead
+// of failing the request.
+func ClassifyPerfEnsemble(det *EnsembleDetector, rep *PerfReport) (EnsembleResult, *PerfMapping, error) {
+	sample, mapping, err := rep.Sample()
+	if err != nil {
+		return EnsembleResult{}, nil, err
+	}
+	res, err := det.ClassifyRobust(sample)
+	if err != nil {
+		return EnsembleResult{}, nil, err
+	}
+	return res, mapping, nil
+}
 
 // ---------------------------------------------------------------------------
 // Fleet serving: a consistent-hash coordinator over many detection

@@ -9,7 +9,8 @@ go test ./...
 go test -race -count=1 ./internal/sched ./internal/core ./internal/suite \
     ./internal/trace ./internal/mem ./internal/xrand ./internal/faults \
     ./internal/serve ./internal/resilience ./internal/stream ./internal/ml \
-    ./internal/perfingest ./internal/fleet ./internal/lifecycle
+    ./internal/perfingest ./internal/fleet ./internal/lifecycle \
+    ./internal/ensemble
 # The chaos legs: every serving failure mode at once, a fleet backend
 # killed mid-classify-storm, and the model lifecycle driven through
 # drift -> retrain -> shadow -> promote -> rollback, all
@@ -19,6 +20,7 @@ go test -run '^$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz FuzzParsePerf -fuzztime 10s ./internal/perfingest
 go test -run '^$' -fuzz FuzzParseWindowSpec -fuzztime 10s ./internal/stream
 go test -run '^$' -fuzz FuzzParseLifecycleSpec -fuzztime 10s ./internal/lifecycle
+go test -run '^$' -fuzz FuzzParseEnsembleSpec -fuzztime 10s ./internal/ensemble
 # Inference equivalence and wire robustness: the flat tree must stay
 # bit-identical to the pointer tree, and garbage binary frames must
 # always land in typed errors.

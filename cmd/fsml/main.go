@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	fsml train   [-quick] [-seed N] [-j N] [-o model.json]
-//	fsml classify [-quick] [-model model.json] [-j N] [-faults SPEC] <program>...
-//	fsml classify -perf FILE [-model model.json] [-server URL [-retries N]]
+//	fsml train   [-quick] [-seed N] [-j N] [-ensemble [-ensemble-spec S]] [-o model.json]
+//	fsml classify [-quick] [-model model.json] [-j N] [-faults SPEC] [-ensemble] <program>...
+//	fsml classify -perf FILE [-model model.json] [-server URL [-retries N]] [-ensemble]
 //	fsml tree    [-quick] [-model model.json] [-j N]
 //	fsml events  [-quick] [-j N]
 //	fsml shadow  [-threads N] [-input NAME] [-opt LEVEL] <program>
@@ -99,9 +99,14 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   fsml train    [-quick] [-seed N] [-j N] [-o model.json]
                                                      collect + train a detector
+  fsml train    -ensemble [-ensemble-spec S] [-quick] [-seed N] [-j N] [-o F]
+                                                     train the multi-pathology
+                                                     ensemble on the widened grids
   fsml classify [-quick] [-model F] [-j N] [-faults SPEC] <program>...
                                                      classify benchmark programs
-  fsml classify -perf FILE [-model F] [-server URL [-retries N]]
+  fsml classify -ensemble [-model F] [-quick] [-j N] <program>...
+                                                     rank every pathology
+  fsml classify -perf FILE [-model F] [-server URL [-retries N]] [-ensemble]
                                                      classify real perf output
                                                      (perf stat / c2c; "-" = stdin)
   fsml tree     [-quick] [-model F] [-j N]           print the decision tree
@@ -193,8 +198,20 @@ func cmdTrain(args []string) error {
 	quick := fs.Bool("quick", false, "use reduced collection grids")
 	seed := fs.Uint64("seed", 1, "training seed")
 	jobs := jobsFlag(fs)
-	out := fs.String("o", "model.json", "output model path")
+	ens := fs.Bool("ensemble", false, "train the multi-pathology ensemble (widened grids + bagged committees) instead of the 3-class detector")
+	ensSpec := fs.String("ensemble-spec", "", `ensemble growth parameters, e.g. "members=5,sample=0.8,seed=42" (with -ensemble; "" = defaults)`)
+	out := fs.String("o", "", "output model path (default model.json, or ensemble.json with -ensemble)")
 	fs.Parse(args)
+	if *ens {
+		return trainEnsemble(*quick, *seed, *jobs, *ensSpec, *out)
+	}
+	if *ensSpec != "" {
+		return fmt.Errorf("-ensemble-spec configures -ensemble training")
+	}
+	path := *out
+	if path == "" {
+		path = "model.json"
+	}
 
 	det, rep, err := fsml.Train(fsml.TrainOptions{Quick: *quick, Seed: *seed, Parallelism: *jobs})
 	if err != nil {
@@ -208,11 +225,47 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("model written to %s\n", *out)
+	fmt.Printf("model written to %s\n", path)
 	return nil
+}
+
+// trainEnsemble runs `fsml train -ensemble`: base detector, widened
+// grids, bagged committees, one serialized fsml-ensemble-v1 file.
+func trainEnsemble(quick bool, seed uint64, jobs int, specStr, out string) error {
+	spec, err := fsml.ParseEnsembleSpec(specStr)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = "ensemble.json"
+	}
+	det, err := fsml.TrainEnsemble(fsml.TrainOptions{Quick: quick, Seed: seed, Parallelism: jobs}, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ensemble: %d classes (%s), %d committee members + base tree, %d attributes\n",
+		len(det.Classes), strings.Join(det.Classes, ", "), len(det.Members), len(det.Attrs))
+	if err := det.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("ensemble written to %s\n", out)
+	return nil
+}
+
+// loadEnsemble returns an ensemble: from path if given, else trained.
+func loadEnsemble(path string, quick bool, jobs int) (*fsml.EnsembleDetector, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return fsml.DecodeEnsemble(data)
+	}
+	fmt.Fprintln(os.Stderr, "fsml: no -model given; training an ensemble (use `fsml train -ensemble -o ensemble.json` to cache)")
+	return fsml.TrainEnsemble(fsml.TrainOptions{Quick: quick, Parallelism: jobs}, fsml.DefaultEnsembleSpec())
 }
 
 func cmdClassify(args []string) error {
@@ -222,6 +275,7 @@ func cmdClassify(args []string) error {
 	perf := fs.String("perf", "", "classify real `perf stat` / `perf c2c report` output from this file (\"-\" = stdin) instead of simulating programs")
 	server := fs.String("server", "", "with -perf: classify via a running `fsml serve` at this URL instead of a local model")
 	retries := fs.Int("retries", 4, "client retries when the server sheds or is briefly unavailable (with -server)")
+	ens := fs.Bool("ensemble", false, "rank every pathology with the multi-label ensemble instead of the 3-class detector")
 	jobs := jobsFlag(fs)
 	faultSpec := faultsFlag(fs)
 	timeout := timeoutFlag(fs)
@@ -230,7 +284,7 @@ func cmdClassify(args []string) error {
 		if fs.NArg() > 0 {
 			return fmt.Errorf("classify -perf takes no program names (the perf capture is the workload)")
 		}
-		return classifyPerf(*perf, *server, *retries, *model, *quick, *jobs)
+		return classifyPerf(*perf, *server, *retries, *model, *quick, *jobs, *ens)
 	}
 	if *server != "" {
 		return fmt.Errorf("-server applies to -perf captures; program sweeps run locally")
@@ -238,6 +292,12 @@ func cmdClassify(args []string) error {
 	names := fs.Args()
 	if len(names) == 0 {
 		return fmt.Errorf("classify needs at least one program name (see `fsml list`)")
+	}
+	if *ens {
+		if *faultSpec != "off" {
+			return fmt.Errorf("-faults applies to the 3-class sweep; the ensemble path measures honestly")
+		}
+		return classifyEnsemblePrograms(names, *model, *quick, *jobs)
 	}
 	fcfg, err := fsml.ParseFaultSpec(*faultSpec)
 	if err != nil {
@@ -256,12 +316,12 @@ func cmdClassify(args []string) error {
 		}
 		fmt.Printf("%-18s %-8s (", name, v.Class)
 		first := true
-		for _, c := range []string{"good", "bad-fs", "bad-ma"} {
-			if n := v.Histogram[c]; n > 0 {
+		for _, m := range fsml.AllModes() {
+			if n := v.Histogram[m.String()]; n > 0 {
 				if !first {
 					fmt.Print(", ")
 				}
-				fmt.Printf("%d/%d %s", n, len(v.Cases), c)
+				fmt.Printf("%d/%d %s", n, len(v.Cases), m)
 				first = false
 			}
 		}
@@ -282,11 +342,46 @@ func cmdClassify(args []string) error {
 	return nil
 }
 
+// classifyEnsemblePrograms runs `fsml classify -ensemble <program>...`:
+// each program's default case is measured with the widened event set
+// and ranked over the full pathology label space.
+func classifyEnsemblePrograms(names []string, model string, quick bool, jobs int) error {
+	det, err := loadEnsemble(model, quick, jobs)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		w, ok := fsml.LookupWorkload(name)
+		if !ok {
+			return fmt.Errorf("unknown program %q (see `fsml list`)", name)
+		}
+		cs := fsml.Case{Input: w.Inputs[0].Name, Threads: 6, Opt: fsml.O2, Seed: 1}
+		// NUMA-analog workloads only surface remote-DRAM traffic on
+		// the two-socket machine; everything else runs the default.
+		cfg := fsml.DefaultMachine()
+		if w.PaperClass == "numa-remote" {
+			cfg = fsml.NUMAMachine()
+		}
+		res, _, err := fsml.DetectPathologiesOn(det, cfg, w.Build(cs))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%-18s %-12s (confidence %.3f)\n", name, res.Class, res.Confidence)
+		for _, p := range res.Pathologies {
+			fmt.Printf("  %-14s %.3f\n", p.Class, p.Score)
+		}
+		printPerfCaveats(res.Degraded, res.MissingEvents, nil)
+	}
+	return nil
+}
+
 // classifyPerf classifies a real perf capture: read it (file or
 // stdin), then either upload it raw to a server or parse + map + rank
-// it locally. Missing events degrade the verdict's confidence; the
-// mapping summary says how much of the capture was actually used.
-func classifyPerf(path, server string, retries int, model string, quick bool, jobs int) error {
+// it locally — with the 3-class detector, or over the full pathology
+// label space when ens is set. Missing events degrade the verdict's
+// confidence; the mapping summary says how much of the capture was
+// actually used.
+func classifyPerf(path, server string, retries int, model string, quick bool, jobs int, ens bool) error {
 	label := path
 	var data []byte
 	var err error
@@ -302,18 +397,43 @@ func classifyPerf(path, server string, retries int, model string, quick bool, jo
 	if server != "" {
 		c := fsml.NewServeClient(server)
 		c.Retry = fsml.ServeRetryPolicy{Max: retries}
-		resp, err := c.ClassifyPerf(context.Background(), "", data)
+		var resp *fsml.ClassifyResponse
+		if ens {
+			resp, err = c.ClassifyPerfEnsemble(context.Background(), "", data)
+		} else {
+			resp, err = c.ClassifyPerf(context.Background(), "", data)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
 		}
 		fmt.Printf("%-24s %-8s (confidence %.3f, %s format, detector %s)\n",
 			label, resp.Class, resp.Confidence, resp.PerfFormat, resp.Detector)
+		for _, p := range resp.Pathologies {
+			fmt.Printf("  %-14s %.3f\n", p.Class, p.Score)
+		}
 		printPerfCaveats(resp.Degraded, resp.Suspects, resp.UnmappedEvents)
 		return nil
 	}
 	rep, err := fsml.ParsePerf(bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("%s: %w", label, err)
+	}
+	if ens {
+		det, err := loadEnsemble(model, quick, jobs)
+		if err != nil {
+			return err
+		}
+		res, mapping, err := fsml.ClassifyPerfEnsemble(det, rep)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		fmt.Printf("%-24s %-12s (confidence %.3f, %s format, %d events)\n",
+			label, res.Class, res.Confidence, rep.Format, len(rep.Events))
+		for _, p := range res.Pathologies {
+			fmt.Printf("  %-14s %.3f\n", p.Class, p.Score)
+		}
+		printPerfCaveats(res.Degraded, res.MissingEvents, mapping.Unmapped)
+		return nil
 	}
 	det, err := loadOrTrain(model, quick, jobs)
 	if err != nil {
@@ -1028,6 +1148,13 @@ func cmdList() error {
 	}
 	for name, why := range fsml.UnsupportedWorkloads() {
 		fmt.Printf("  %-8s %-18s (not modeled: %s)\n", "parsec", name, why)
+	}
+	for _, w := range fsml.PathologyWorkloads() {
+		inputs := make([]string, len(w.Inputs))
+		for i, in := range w.Inputs {
+			inputs[i] = in.Name
+		}
+		fmt.Printf("  %-8s %-18s paper: %-7s inputs: %s   (classify -ensemble)\n", w.Suite, w.Name, w.PaperClass, strings.Join(inputs, ","))
 	}
 	fmt.Println("\nexperiments:")
 	fmt.Printf("  %s\n", strings.Join(fsml.Experiments(), " "))

@@ -61,13 +61,20 @@
 //     simulated platform
 //   - internal/sched — the deterministic batch engine behind every
 //     collection grid and case sweep
-//   - internal/miniprog — the training mini-programs (§2.2)
+//   - internal/miniprog — the training mini-programs (§2.2), plus the
+//     pathology kernel families (tlbwalk, numaping, bwsat) behind the
+//     widened label space
 //   - internal/ml — C4.5 (J48 analog), naive Bayes, k-NN,
 //     cross-validation; trained trees compile to a flattened
 //     array form (FlatTree) for allocation-free batch inference,
 //     bit-identical to the pointer tree
 //   - internal/core — event selection, training-data collection, the
 //     detector
+//   - internal/ensemble — the multi-pathology ensemble: per-class
+//     bagged C4.5 committees around the untouched 3-class tree,
+//     ranking good/bad-fs/bad-ma/tlb-thrash/numa-remote/bw-saturated
+//     with calibrated scores, behind `fsml train -ensemble`,
+//     `fsml classify -ensemble` and POST /v1/classify?ensemble=1
 //   - internal/suite — Phoenix and PARSEC workload analogs (§4)
 //   - internal/shadow, internal/sheriff — the verification and
 //     comparison baselines

@@ -84,6 +84,10 @@ const (
 	EvStallLoad  // RESOURCE_STALLS.LOAD  (event 15)
 	EvStallAny   // RESOURCE_STALLS.ANY
 
+	// NUMA. Demand fills served by another socket's memory controller
+	// (page interleaved across sockets; see Hierarchy.homeSocket).
+	EvRemoteDRAM // MEM_UNCORE_RETIRED.REMOTE_DRAM
+
 	NumEvents // sentinel: size of a counter bank
 )
 
@@ -132,6 +136,7 @@ var evNames = [NumEvents]string{
 	EvStallStore:          "RESOURCE_STALLS.STORE",
 	EvStallLoad:           "RESOURCE_STALLS.LOAD",
 	EvStallAny:            "RESOURCE_STALLS.ANY",
+	EvRemoteDRAM:          "MEM_UNCORE_RETIRED.REMOTE_DRAM",
 }
 
 // String returns the Intel-style mnemonic for the event.

@@ -30,6 +30,14 @@ type Config struct {
 	// means a single package. Cores are striped contiguously: with 12
 	// cores and 2 sockets, cores 0-5 share socket 0.
 	Sockets int
+	// LatRemote is the extra DRAM latency, in cycles, of a demand fill
+	// whose page is homed on another socket's memory controller. Pages
+	// interleave round-robin across sockets (the BIOS-default interleave
+	// of the modeled DP platform), and each remote fill counts
+	// MEM_UNCORE_RETIRED.REMOTE_DRAM at the requester. Zero — or a
+	// single-socket Sockets — keeps the memory path socket-blind, which
+	// is byte-identical to the pre-NUMA model.
+	LatRemote int
 }
 
 // LatQPI is the extra cycle cost of a cross-socket snoop response.
@@ -346,6 +354,30 @@ func (h *Hierarchy) socketOf(c int) int {
 	return c / per
 }
 
+// linesPerPageShift converts a line address to its 4 KiB page index
+// (64-byte lines, 64 lines per page).
+const linesPerPageShift = 6
+
+// homeSocket maps a line to the socket whose memory controller owns its
+// page: pages interleave round-robin across sockets.
+func (h *Hierarchy) homeSocket(lineAddr uint64) int {
+	if h.cfg.Sockets <= 1 {
+		return 0
+	}
+	return int((lineAddr >> linesPerPageShift) % uint64(h.cfg.Sockets))
+}
+
+// memLatency is the DRAM latency core c pays for a demand fill of
+// lineAddr. With a remote latency domain configured, a fill homed on
+// another socket pays LatRemote on top and counts EvRemoteDRAM.
+func (h *Hierarchy) memLatency(c int, lineAddr uint64) int {
+	if h.cfg.LatRemote > 0 && h.cfg.Sockets > 1 && h.homeSocket(lineAddr) != h.socketOf(c) {
+		h.add(c, EvRemoteDRAM, 1)
+		return LatMem + h.cfg.LatRemote
+	}
+	return LatMem
+}
+
 // qpiPenalty is the extra latency when a snoop crossed sockets.
 func (h *Hierarchy) qpiPenalty(res snoopResult) int {
 	if res.crossSocket && (res.hadM || res.hadE || res.hadS) {
@@ -469,7 +501,7 @@ func (h *Hierarchy) Load(c int, addr uint64) int {
 		lat, st = LatL3, Exclusive
 		h.add(c, EvL3Hit, 1)
 	default:
-		lat, st = LatMem, Exclusive
+		lat, st = h.memLatency(c, lineAddr), Exclusive
 		h.add(c, EvL3Miss, 1)
 		h.add(c, EvMemReads, 1)
 	}
@@ -559,7 +591,7 @@ func (h *Hierarchy) Store(c int, addr uint64) int {
 		lat = LatL3
 		h.add(c, EvL3Hit, 1)
 	default:
-		lat = LatMem
+		lat = h.memLatency(c, lineAddr)
 		h.add(c, EvL3Miss, 1)
 		h.add(c, EvMemReads, 1)
 	}

@@ -176,6 +176,14 @@ type BatchCase struct {
 // downgrade, and with c.Tolerate a case that still fails becomes a
 // Failed result row instead of aborting the sweep.
 func (c *Collector) BatchClassify(ctx context.Context, det *Detector, n int, build func(i int) BatchCase) ([]CaseResult, error) {
+	return c.BatchClassifyFunc(ctx, det.ClassifyRobust, n, build)
+}
+
+// BatchClassifyFunc is BatchClassify over an arbitrary robust
+// classifier — anything with ClassifyRobust's shape, e.g. the
+// multi-pathology ensemble through its adapter. Measurement, retries,
+// fault tolerance and determinism are identical to BatchClassify.
+func (c *Collector) BatchClassifyFunc(ctx context.Context, classify func(pmu.Sample) (RobustResult, error), n int, build func(i int) BatchCase) ([]CaseResult, error) {
 	return sched.Map(ctx, n, c.schedOptions(), func(_ context.Context, i int) (CaseResult, error) {
 		attempts := c.Retries + 1
 		var bc BatchCase
@@ -201,7 +209,7 @@ func (c *Collector) BatchClassify(ctx context.Context, det *Detector, n int, bui
 			}
 			return CaseResult{}, perr
 		}
-		rr, err := det.ClassifyRobust(obs.Sample)
+		rr, err := classify(obs.Sample)
 		if err != nil {
 			perr := &PipelineError{Stage: StageClassify, Case: bc.Desc, Attempts: attempts, Err: err}
 			if c.Tolerate {

@@ -77,6 +77,12 @@ func (c *Collector) IterativeTrainContext(ctx context.Context, gridA, gridB Grid
 	var obs []Observation
 
 	order := append(miniprog.MultiThreadedSet(), miniprog.SequentialSet()...)
+	// The done-ness guard requires every label the grids can actually
+	// produce over their program sets — derived, not hardcoded, so a
+	// widened mode sweep raises the bar automatically.
+	required := unionLabels(
+		gridA.Labels(miniprog.MultiThreadedSet()),
+		gridB.Labels(miniprog.SequentialSet()))
 	for i, p := range order {
 		grid := gridA
 		if !p.MultiThreaded {
@@ -103,7 +109,7 @@ func (c *Collector) IterativeTrainContext(ctx context.Context, gridA, gridB Grid
 			Added: p.Name, Programs: i + 1, Instances: data.Len(), CVAccuracy: acc,
 		})
 		res.Data = data
-		if acc >= targetAccuracy && coversAllClasses(data) {
+		if acc >= targetAccuracy && coversAllClasses(data, required) {
 			res.Reached = true
 			break
 		}
@@ -146,9 +152,32 @@ func scoreRound(d *dataset.Dataset, folds int) (float64, error) {
 	return ml.ResubstitutionError(model, d).Accuracy(), nil
 }
 
-// coversAllClasses requires good, bad-fs and bad-ma to all be present —
-// a detector missing a class is not done, whatever its accuracy.
-func coversAllClasses(d *dataset.Dataset) bool {
+// coversAllClasses requires every label in required to be present — a
+// detector missing a class it was asked to learn is not done, whatever
+// its accuracy. The required set comes from the training grids
+// (Grid.Labels), so a widened label space is guarded identically to the
+// paper's three classes.
+func coversAllClasses(d *dataset.Dataset, required []string) bool {
 	counts := d.CountByClass()
-	return counts["good"] > 0 && counts["bad-fs"] > 0 && counts["bad-ma"] > 0
+	for _, label := range required {
+		if counts[label] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unionLabels merges label lists, preserving first-seen order.
+func unionLabels(lists ...[]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, list := range lists {
+		for _, l := range list {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
 }

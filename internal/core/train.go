@@ -25,8 +25,41 @@ type Grid struct {
 	// gets; the paper's class imbalance (good 324 / bad-fs 216 /
 	// bad-ma 135 in Part A) comes from repeating good configurations more.
 	Repeats map[miniprog.Mode]int
+	// Modes restricts which modes the sweep enumerates. Nil means the
+	// paper's three classes (miniprog.Modes()), which keeps the legacy
+	// grids and their per-run seeds byte-identical; the ensemble's
+	// widened grids pass miniprog.AllModes().
+	Modes []miniprog.Mode
 	// Seed is the base seed; every run derives a distinct seed from it.
 	Seed uint64
+}
+
+// modes returns the grid's mode sweep, defaulting to the paper's three.
+func (g Grid) modes() []miniprog.Mode {
+	if g.Modes != nil {
+		return g.Modes
+	}
+	return miniprog.Modes()
+}
+
+// Labels returns the label strings a grid can produce given the programs
+// it sweeps: the mode sweep restricted to modes some program supports, in
+// sweep order. This is the required-class set train/iterate guards use.
+func (g Grid) Labels(progs []miniprog.Program) []string {
+	var out []string
+	for _, mode := range g.modes() {
+		supported := false
+		for _, p := range progs {
+			if p.Supports[mode] {
+				supported = true
+				break
+			}
+		}
+		if supported {
+			out = append(out, mode.String())
+		}
+	}
+	return out
 }
 
 // DefaultPartAGrid reproduces Part A's shape: 8 programs, multiple sizes
@@ -95,7 +128,7 @@ func planGrid(progs []miniprog.Program, grid Grid) []plannedRun {
 				threads = []int{1}
 			}
 			for _, th := range threads {
-				for _, mode := range miniprog.Modes() {
+				for _, mode := range grid.modes() {
 					if !p.Supports[mode] {
 						continue
 					}
@@ -176,10 +209,16 @@ type FilterReport struct {
 	Kept, Removed map[string]int
 }
 
-// String summarizes the report.
+// String summarizes the report. Labels with no kept or removed instances
+// are omitted, so 3-class reports read exactly as before the label space
+// widened.
 func (r FilterReport) String() string {
 	var b strings.Builder
-	for _, label := range []string{"good", "bad-fs", "bad-ma"} {
+	var labels []string
+	for _, m := range miniprog.AllModes() {
+		labels = append(labels, m.String())
+	}
+	for _, label := range labels {
 		if r.Kept[label]+r.Removed[label] == 0 {
 			continue
 		}

@@ -1,0 +1,188 @@
+package ensemble
+
+import (
+	"context"
+
+	"fsml/internal/core"
+	"fsml/internal/dataset"
+	"fsml/internal/machine"
+	"fsml/internal/miniprog"
+	"fsml/internal/pmu"
+)
+
+// TrainConfig sizes the widened training collection. The base 3-class
+// detector is passed to TrainContext separately — it is the caller's
+// artifact (typically exps.Lab's) and joins the ensemble as-is.
+type TrainConfig struct {
+	// Quick shrinks the grids for tests; the default is full scale.
+	Quick bool
+	// Seed drives grid seeds and the growth spec's bootstrap draws.
+	Seed uint64
+	// Parallelism caps concurrent case simulations (0 = GOMAXPROCS,
+	// 1 = sequential reference order). Results are bit-identical at
+	// every setting.
+	Parallelism int
+	// Progress, when non-nil, observes collection progress.
+	Progress func(done, total int)
+	// Spec is the ensemble growth configuration; the zero value means
+	// DefaultSpec with the config's Seed.
+	Spec Spec
+}
+
+// spec resolves the growth spec.
+func (cfg TrainConfig) spec() Spec {
+	s := cfg.Spec
+	if s.Members == 0 && s.Sample == 0 {
+		s = DefaultSpec()
+		s.Seed = cfg.Seed
+	}
+	return s
+}
+
+// legacyGrid sweeps a subset of the paper programs over the 3 legacy
+// modes — the widened dataset needs good/bad-fs/bad-ma exemplars in the
+// widened feature space (where their remote-DRAM count is truthfully
+// zero: they run on the single-home-domain machine).
+func (cfg TrainConfig) legacyGrid() core.Grid {
+	if cfg.Quick {
+		return core.Grid{
+			Sizes:    []int{30000, 60000},
+			MatSizes: []int{96},
+			Threads:  []int{3, 6},
+			Repeats: map[miniprog.Mode]int{
+				miniprog.Good: 2, miniprog.BadFS: 1, miniprog.BadMA: 1,
+			},
+			Seed: cfg.Seed*1000 + 21,
+		}
+	}
+	return core.Grid{
+		Sizes:    []int{60000, 120000, 240000},
+		MatSizes: []int{96, 128},
+		Threads:  []int{3, 6, 12},
+		Repeats: map[miniprog.Mode]int{
+			miniprog.Good: 3, miniprog.BadFS: 2, miniprog.BadMA: 2,
+		},
+		Seed: cfg.Seed*1000 + 21,
+	}
+}
+
+// pathologyGrid sweeps the cache/TLB/bandwidth pathology programs over
+// the widened mode list on the standard machine.
+func (cfg TrainConfig) pathologyGrid() core.Grid {
+	g := cfg.legacyGrid()
+	g.Modes = miniprog.AllModes()
+	g.Repeats = map[miniprog.Mode]int{
+		miniprog.Good: 1, miniprog.TLBThrash: 2, miniprog.BWSat: 2,
+	}
+	if !cfg.Quick {
+		g.Repeats[miniprog.Good] = 2
+		g.Repeats[miniprog.TLBThrash] = 3
+		g.Repeats[miniprog.BWSat] = 3
+	}
+	g.Seed = cfg.Seed*1000 + 22
+	return g
+}
+
+// numaGrid sweeps the NUMA program — it runs on the two-socket machine
+// with threads pinned to socket 0 (see numaCollector).
+func (cfg TrainConfig) numaGrid() core.Grid {
+	g := cfg.legacyGrid()
+	g.Modes = miniprog.AllModes()
+	g.Repeats = map[miniprog.Mode]int{miniprog.Good: 1, miniprog.NUMARemote: 2}
+	if !cfg.Quick {
+		g.Repeats[miniprog.Good] = 2
+		g.Repeats[miniprog.NUMARemote] = 3
+	}
+	g.Seed = cfg.Seed*1000 + 23
+	return g
+}
+
+// collector builds a widened-event-set collector for the machine config.
+func (cfg TrainConfig) collector(m machine.Config) *core.Collector {
+	return &core.Collector{
+		Machine:     m,
+		PMU:         pmu.DefaultConfig(),
+		Events:      pmu.EnsembleEvents(),
+		Parallelism: cfg.Parallelism,
+		OnProgress:  cfg.Progress,
+	}
+}
+
+// NUMAMachine is the two-socket platform with threads pinned to socket
+// 0: remote-homed pages are genuinely remote for every worker. Exported
+// so callers measuring numa-remote exemplars (CLI, tests) build the same
+// machine the training grid used.
+func NUMAMachine() machine.Config {
+	m := machine.NUMAConfig()
+	half := m.Cores / 2
+	aff := make([]int, half)
+	for i := range aff {
+		aff[i] = i
+	}
+	m.Affinity = aff
+	return m
+}
+
+// CollectWideContext collects the widened, filtered training
+// observations: legacy programs over the 3 paper modes, the pathology
+// programs over their modes, and the NUMA program on the two-socket
+// machine, all measured with the widened event set.
+func CollectWideContext(ctx context.Context, cfg TrainConfig) ([]core.Observation, error) {
+	std := cfg.collector(machine.DefaultConfig())
+	legacyProgs := []miniprog.Program{}
+	for _, p := range miniprog.MultiThreadedSet() {
+		switch p.Name {
+		case "padding", "pdot", "count", "psumv":
+			legacyProgs = append(legacyProgs, p)
+		}
+	}
+	legacy, err := std.CollectContext(ctx, legacyProgs, cfg.legacyGrid())
+	if err != nil {
+		return nil, err
+	}
+	var pathProgs []miniprog.Program
+	for _, p := range miniprog.PathologySet() {
+		if p.Name != "numaping" {
+			pathProgs = append(pathProgs, p)
+		}
+	}
+	path, err := std.CollectContext(ctx, pathProgs, cfg.pathologyGrid())
+	if err != nil {
+		return nil, err
+	}
+	numa := cfg.collector(NUMAMachine())
+	var numaProgs []miniprog.Program
+	for _, p := range miniprog.PathologySet() {
+		if p.Name == "numaping" {
+			numaProgs = append(numaProgs, p)
+		}
+	}
+	numaObs, err := numa.CollectContext(ctx, numaProgs, cfg.numaGrid())
+	if err != nil {
+		return nil, err
+	}
+
+	obs := append(append(legacy, path...), numaObs...)
+	kept, _ := core.FilterObservations(obs, core.DefaultFilter())
+	return kept, nil
+}
+
+// BuildWideDataset projects observations onto the widened attribute
+// list (Table 2 plus the remote-DRAM counter).
+func BuildWideDataset(obs []core.Observation) (*dataset.Dataset, error) {
+	return core.BuildDatasetAttrs(obs, pmu.EnsembleFeatureNames())
+}
+
+// TrainContext collects the widened grids and grows the ensemble around
+// the given base 3-class detector. Deterministic at every parallelism.
+func TrainContext(ctx context.Context, cfg TrainConfig, base *core.Detector) (*Detector, error) {
+	obs, err := CollectWideContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := BuildWideDataset(obs)
+	if err != nil {
+		return nil, err
+	}
+	return Train(data, base, cfg.spec())
+}

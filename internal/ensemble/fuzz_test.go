@@ -1,0 +1,33 @@
+package ensemble
+
+import "testing"
+
+// FuzzParseEnsembleSpec asserts the parser never panics, never accepts
+// an invalid spec, and that accepted specs survive a String round-trip.
+func FuzzParseEnsembleSpec(f *testing.F) {
+	f.Add("")
+	f.Add("members=5,sample=0.8,seed=42")
+	f.Add("members=64,sample=1")
+	f.Add("sample=0.000001")
+	f.Add(" members = 3 , seed = 0 ")
+	f.Add("members=3,,")
+	f.Add("sample=nan")
+	f.Add("seed=18446744073709551615")
+	f.Add("members=5=6")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseEnsembleSpec(in)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseEnsembleSpec(%q) accepted invalid spec %+v: %v", in, spec, verr)
+		}
+		again, err := ParseEnsembleSpec(spec.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q (%q) failed: %v", in, spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("round-trip of %q: %+v != %+v", in, again, spec)
+		}
+	})
+}

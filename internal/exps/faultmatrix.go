@@ -5,8 +5,11 @@ import (
 	"strings"
 
 	"fsml/internal/core"
+	"fsml/internal/ensemble"
 	"fsml/internal/faults"
+	"fsml/internal/machine"
 	"fsml/internal/miniprog"
+	"fsml/internal/pmu"
 )
 
 // ---------------------------------------------------------------------------
@@ -45,13 +48,22 @@ type FaultMatrixResult struct {
 	// Seed drove the fault draws (distinct from the lab seed so the
 	// clean measurements match the other experiments).
 	Seed uint64
+	// Wide marks the widened variant: the multi-pathology ensemble
+	// classifying the full label space (tlb-thrash, numa-remote,
+	// bw-saturated beside the paper's three). It changes only the
+	// rendered header; the row shape is shared.
+	Wide bool
 	Rows []FaultMatrixRow
 }
 
 // String renders the matrix as a table.
 func (r *FaultMatrixResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fault matrix: accuracy vs injected counter-fault rate (fault seed %d)\n", r.Seed)
+	if r.Wide {
+		fmt.Fprintf(&b, "Fault matrix (wide): ensemble accuracy over the widened label space vs injected counter-fault rate (fault seed %d)\n", r.Seed)
+	} else {
+		fmt.Fprintf(&b, "Fault matrix: accuracy vs injected counter-fault rate (fault seed %d)\n", r.Seed)
+	}
 	b.WriteString("rate    cases  answered  correct  degraded  retried  failed  accuracy  mean-conf\n")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%-7.2f %5d  %8d  %7d  %8d  %7d  %6d  %7.1f%%  %9.3f\n",
@@ -153,6 +165,142 @@ func (l *Lab) FaultMatrix() (*FaultMatrixResult, error) {
 			}
 			if cr.Class == specs[i].Mode.String() {
 				row.Correct++
+			}
+		}
+		if row.Answered > 0 {
+			row.Accuracy = float64(row.Correct) / float64(row.Answered)
+			row.MeanConfidence = confSum / float64(row.Answered)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Widened fault matrix: the ensemble over the full label space
+
+// faultMatrixWideSpecs enumerates the widened evaluation grid in two
+// groups: cases that run on the standard machine (the legacy programs in
+// the paper's three modes plus the TLB and bandwidth pathology programs)
+// and the NUMA program's cases, which need the two-socket machine the
+// ensemble trained its numa-remote exemplars on.
+func (l *Lab) faultMatrixWideSpecs() (std, numa []miniprog.Spec) {
+	progs := miniprog.MultiThreadedSet()
+	size, matSize, threads, reps := 60000, 128, 6, 2
+	if l.Quick {
+		progs = progs[:4]
+		size, matSize, reps = 30000, 96, 1
+	}
+	run := uint64(0)
+	next := func(name string, sz int, mode miniprog.Mode) miniprog.Spec {
+		run++
+		return miniprog.Spec{
+			Program: name, Size: sz, Threads: threads,
+			Mode: mode, Seed: l.Seed*20000 + run*103,
+		}
+	}
+	for r := 0; r < reps; r++ {
+		for _, p := range progs {
+			sz := size
+			if p.Name == "pmatmult" || p.Name == "pmatcompare" {
+				sz = matSize
+			}
+			for _, mode := range miniprog.Modes() {
+				if !p.Supports[mode] {
+					continue
+				}
+				std = append(std, next(p.Name, sz, mode))
+			}
+		}
+		for _, p := range miniprog.PathologySet() {
+			for _, mode := range miniprog.AllModes() {
+				if !p.Supports[mode] {
+					continue
+				}
+				if p.Name == "numaping" {
+					numa = append(numa, next(p.Name, size, mode))
+				} else {
+					std = append(std, next(p.Name, size, mode))
+				}
+			}
+		}
+	}
+	return std, numa
+}
+
+// FaultMatrixWide runs the accuracy-vs-fault-rate sweep over the widened
+// label space, classifying with the lab's multi-pathology ensemble. The
+// ensemble is trained once on clean data; each rate then classifies the
+// same labeled grid — legacy and pathology programs on the standard
+// machine, the NUMA program on the two-socket machine — through fresh
+// tolerant collectors programming the widened event set. The whole
+// matrix is deterministic at every parallelism level.
+func (l *Lab) FaultMatrixWide() (*FaultMatrixResult, error) {
+	ens, err := l.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	classify := ensemble.RobustAdapter{D: ens}.ClassifyRobust
+	stdSpecs, numaSpecs := l.faultMatrixWideSpecs()
+	faultSeed := l.Seed*37 + 11
+	res := &FaultMatrixResult{Seed: faultSeed, Wide: true}
+	batches := []struct {
+		machine machine.Config
+		specs   []miniprog.Spec
+	}{
+		{machine.DefaultConfig(), stdSpecs},
+		{ensemble.NUMAMachine(), numaSpecs},
+	}
+	for _, rate := range faultMatrixRates() {
+		row := FaultMatrixRow{Rate: rate, Cases: len(stdSpecs) + len(numaSpecs)}
+		var confSum float64
+		for _, batch := range batches {
+			if len(batch.specs) == 0 {
+				continue
+			}
+			specs := batch.specs
+			c := core.NewCollector()
+			c.Machine = batch.machine
+			c.Events = pmu.EnsembleEvents()
+			c.Parallelism = l.Parallelism
+			c.OnProgress = l.Progress
+			c.Tolerate = true
+			c.Retries = 2
+			if rate > 0 {
+				c.Faults = faults.New(faults.Config{Rate: rate, Seed: faultSeed})
+			}
+			results, err := c.BatchClassifyFunc(l.ctx(), classify, len(specs), func(i int) core.BatchCase {
+				spec := specs[i]
+				kernels, err := miniprog.Build(spec)
+				if err != nil {
+					panic(err) // specs are enumerated from the registry; a build failure is a bug
+				}
+				return core.BatchCase{
+					Desc: fmt.Sprintf("%s/size=%d/threads=%d/%s/rate=%g",
+						spec.Program, spec.Size, spec.Threads, spec.Mode, rate),
+					Seed:    spec.Seed ^ 0x5151,
+					Kernels: kernels,
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, cr := range results {
+				if cr.Attempts > 1 {
+					row.Retried++
+				}
+				if cr.Failed {
+					row.Failed++
+					continue
+				}
+				row.Answered++
+				confSum += cr.Confidence
+				if cr.Degraded {
+					row.Degraded++
+				}
+				if cr.Class == specs[i].Mode.String() {
+					row.Correct++
+				}
 			}
 		}
 		if row.Answered > 0 {

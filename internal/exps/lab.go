@@ -20,6 +20,7 @@ import (
 
 	"fsml/internal/core"
 	"fsml/internal/dataset"
+	"fsml/internal/ensemble"
 	"fsml/internal/faults"
 	"fsml/internal/machine"
 	"fsml/internal/miniprog"
@@ -66,6 +67,10 @@ type Lab struct {
 	// experiments use the supplied (e.g. loaded-from-disk) detector.
 	detOverride *core.Detector
 	initErr     error
+
+	ensOnce sync.Once
+	ensDet  *ensemble.Detector
+	ensErr  error
 }
 
 // UseDetector installs an externally trained detector so classification
@@ -206,6 +211,28 @@ func (l *Lab) Detector() (*core.Detector, error) {
 		return nil, err
 	}
 	return l.detector, nil
+}
+
+// Ensemble returns the lab's multi-pathology ensemble, training it (and
+// the base detector it folds in) on first use. The widened pathology
+// grids are collected with the lab's seed and parallelism, so the
+// ensemble — like everything else the lab builds — is bit-identical at
+// any parallelism setting.
+func (l *Lab) Ensemble() (*ensemble.Detector, error) {
+	l.ensOnce.Do(func() {
+		base, err := l.Detector()
+		if err != nil {
+			l.ensErr = err
+			return
+		}
+		l.ensDet, l.ensErr = ensemble.TrainContext(l.ctx(), ensemble.TrainConfig{
+			Quick:       l.Quick,
+			Seed:        l.Seed,
+			Parallelism: l.Parallelism,
+			Progress:    l.Progress,
+		}, base)
+	})
+	return l.ensDet, l.ensErr
 }
 
 // Summaries returns the Table 3 bookkeeping rows.

@@ -73,6 +73,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// LatRemoteDRAM is the extra DRAM latency of a fill homed on the other
+// socket in the NUMA configuration, roughly the 1.7x local/remote ratio
+// measured on Westmere DP parts.
+const LatRemoteDRAM = 120
+
+// NUMAConfig returns the same 12-core machine split across two sockets
+// with a remote-access latency domain: pages interleave round-robin
+// across the sockets' memory controllers, a fill homed on the other
+// socket pays LatRemoteDRAM extra cycles and counts
+// MEM_UNCORE_RETIRED.REMOTE_DRAM, and cross-socket snoops pay the QPI
+// round-trip. The numa-remote kernel family trains against this
+// machine; everything else keeps the socket-blind DefaultConfig.
+func NUMAConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cache.Sockets = 2
+	cfg.Cache.LatRemote = LatRemoteDRAM
+	return cfg
+}
+
 // Machine is one simulated multicore system. Not safe for concurrent use.
 type Machine struct {
 	cfg    Config

@@ -33,6 +33,16 @@ const (
 	BadMA             // inefficient memory access
 )
 
+// The pathology modes extend the paper's label space beyond its three
+// classes (ROADMAP item 4). They are deliberately NOT part of Modes():
+// the legacy grids, seeds, and tables stay byte-identical, and only the
+// ensemble's widened grids enumerate them (see PathologySet).
+const (
+	TLBThrash  Mode = iota + 3 // page-stride walks past the DTLB reach
+	NUMARemote                 // demand fills homed on the other socket
+	BWSat                      // streaming that saturates the fill buffers
+)
+
 // String returns the paper's label spelling.
 func (m Mode) String() string {
 	switch m {
@@ -42,6 +52,12 @@ func (m Mode) String() string {
 		return "bad-fs"
 	case BadMA:
 		return "bad-ma"
+	case TLBThrash:
+		return "tlb-thrash"
+	case NUMARemote:
+		return "numa-remote"
+	case BWSat:
+		return "bw-saturated"
 	}
 	return fmt.Sprintf("mode?%d", int(m))
 }
@@ -55,12 +71,25 @@ func ParseMode(s string) (Mode, error) {
 		return BadFS, nil
 	case "bad-ma":
 		return BadMA, nil
+	case "tlb-thrash":
+		return TLBThrash, nil
+	case "numa-remote":
+		return NUMARemote, nil
+	case "bw-saturated":
+		return BWSat, nil
 	}
 	return Good, fmt.Errorf("miniprog: unknown mode %q", s)
 }
 
-// Modes lists all three labels in paper order.
+// Modes lists the paper's three labels in paper order. Legacy grid
+// enumeration and the 3-class detector are pinned to this list.
 func Modes() []Mode { return []Mode{Good, BadFS, BadMA} }
+
+// AllModes lists the full widened label space: the paper's three classes
+// followed by the pathology modes, in a fixed order.
+func AllModes() []Mode {
+	return []Mode{Good, BadFS, BadMA, TLBThrash, NUMARemote, BWSat}
+}
 
 // Spec selects one concrete run of a mini-program.
 type Spec struct {
@@ -538,12 +567,14 @@ func SequentialSet() []Program {
 	return out
 }
 
-// All returns every mini-program.
+// All returns every paper mini-program (Parts A and B). The pathology
+// programs are excluded so legacy enumerations stay stable; use
+// PathologySet for those.
 func All() []Program { return append(MultiThreadedSet(), SequentialSet()...) }
 
-// Lookup finds a program by name.
+// Lookup finds a program by name, in the paper sets or the pathology set.
 func Lookup(name string) (Program, bool) {
-	for _, p := range All() {
+	for _, p := range append(All(), PathologySet()...) {
 		if p.Name == name {
 			return p, true
 		}
@@ -552,10 +583,18 @@ func Lookup(name string) (Program, bool) {
 }
 
 // SpaceFor returns an address space sized generously for the spec.
+// Addresses are virtual and data-free, so generous is cheap.
 func SpaceFor(spec Spec) *mem.Space {
 	need := uint64(spec.Size) * elem * 4
-	if p, ok := Lookup(spec.Program); ok && (p.Name == "pmatmult" || p.Name == "pmatcompare" || p.Name == "smatmult") {
-		need = uint64(spec.Size) * uint64(spec.Size) * elem * 4
+	if p, ok := Lookup(spec.Program); ok {
+		switch p.Name {
+		case "pmatmult", "pmatcompare", "smatmult":
+			need = uint64(spec.Size) * uint64(spec.Size) * elem * 4
+		case "tlbwalk", "numaping", "bwsat":
+			// Page-granular footprints: one-touch line walks and
+			// per-thread page windows need room well beyond Size words.
+			need = uint64(spec.Size)*elem*4 + uint64(spec.Size)*2*mem.LineSize + 64<<20
+		}
 	}
 	return mem.NewSpace(need + (1 << 20))
 }

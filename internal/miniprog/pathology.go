@@ -1,0 +1,207 @@
+// Pathology mini-programs: kernel families for the widened label space
+// the multi-pathology ensemble trains on (ROADMAP item 4). Each family
+// follows the Figure 1 construction — the same computation with the
+// pathology switched on or off — but targets a resource the 3-class
+// detector never looks at: the DTLB reach, the NUMA home-node latency
+// domain, and the line-fill buffers.
+//
+// These programs live in their own registry (PathologySet) so the paper
+// grids, their enumeration order, and their per-case seeds stay
+// byte-identical to the 3-class pipeline.
+package miniprog
+
+import (
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+)
+
+const (
+	elemsPerLine = mem.LineSize / elem // 8
+	linesPerPage = mem.PageSize / mem.LineSize
+)
+
+// ---------------------------------------------------------------------------
+// tlbwalk: DTLB thrashing
+
+// tlbThrashPages is the baseline page-window size of tlbwalk's thrash
+// mode: well past the 64-entry DTLB so a round-robin walk misses on
+// every access. The seed widens it up to 2x for training variety.
+const tlbThrashPages = 128
+
+// tlbGoodPages keeps the good-mode ring inside the DTLB reach.
+const tlbGoodPages = 16
+
+func buildTlbwalk(spec Spec, space *mem.Space) []machine.Kernel {
+	jitterLayout(space, spec.Seed)
+	pages := tlbGoodPages
+	if spec.Mode == TLBThrash {
+		pages = tlbThrashPages + int(spec.Seed%5)*32
+	}
+	kernels := make([]machine.Kernel, spec.Threads)
+	for tid := 0; tid < spec.Threads; tid++ {
+		start, end := splitRange(spec.Size, spec.Threads, tid)
+		// Each thread owns a page window: the pathology is per-core TLB
+		// pressure, not inter-thread sharing.
+		base := space.Alloc(uint64(pages)*mem.PageSize, mem.PageSize)
+		var addr func(i int) uint64
+		if spec.Mode == TLBThrash {
+			// One access per page, round-robin over more pages than the
+			// DTLB holds. The touched line within each page is staggered
+			// (page p touches its p%64-th line) so the working set stays
+			// L1-resident instead of colliding in one cache set: the
+			// counters show a pure TLB pathology, not a cache one.
+			addr = func(i int) uint64 {
+				p := i % pages
+				return base + uint64(p)*mem.PageSize + uint64(p%linesPerPage)*mem.LineSize
+			}
+		} else {
+			// Dense sequential ring over a DTLB-resident window.
+			words := pages * linesPerPage * elemsPerLine
+			addr = func(i int) uint64 { return base + uint64(i%words)*elem }
+		}
+		kernels[tid] = &machine.IterKernel{
+			I: start, End: end,
+			Body: func(ctx *machine.Ctx, i int) {
+				ctx.Load(addr(i))
+				ctx.Exec(1)
+			},
+		}
+	}
+	return kernels
+}
+
+// ---------------------------------------------------------------------------
+// numaping: remote-DRAM traffic
+
+// buildNumaping walks one fresh cache line per iteration, read-modify-
+// write, on pages of a single parity. Page interleaving homes odd and
+// even pages on different sockets (cache.Hierarchy.homeSocket), so on a
+// two-socket machine with threads pinned to socket 0 the odd-parity walk
+// is pure remote traffic while the even-parity walk stays local. In
+// numa-remote mode the lines are visited in descending order, which the
+// ascending-stream prefetcher cannot cover: every line is a demand DRAM
+// fill and counts MEM_UNCORE_RETIRED.REMOTE_DRAM.
+func buildNumaping(spec Spec, space *mem.Space) []machine.Kernel {
+	jitterLayout(space, spec.Seed)
+	kernels := make([]machine.Kernel, spec.Threads)
+	for tid := 0; tid < spec.Threads; tid++ {
+		start, end := splitRange(spec.Size, spec.Threads, tid)
+		n := end - start
+		if n <= 0 {
+			n = 1
+		}
+		// Region of pages at every other page index, so the thread can
+		// pick a parity. d aligns the region's first page to the parity.
+		pages := (n+linesPerPage-1)/linesPerPage + 1
+		base := space.Alloc(uint64(2*pages)*mem.PageSize, mem.PageSize)
+		parity := uint64(0) // Good: local pages
+		if spec.Mode == NUMARemote {
+			parity = 1
+		}
+		d := (parity ^ (base >> mem.PageShift)) & 1
+		addr := func(line int) uint64 {
+			page := uint64(line/linesPerPage)*2 + d
+			return base + page*mem.PageSize + uint64(line%linesPerPage)*mem.LineSize
+		}
+		remote := spec.Mode == NUMARemote
+		kernels[tid] = &machine.IterKernel{
+			I: start, End: end,
+			Body: func(ctx *machine.Ctx, i int) {
+				line := i - start
+				if remote {
+					line = n - 1 - line // descending: defeat the prefetcher
+				}
+				a := addr(line)
+				ctx.Load(a)
+				ctx.Exec(1)
+				ctx.Store(a)
+			},
+		}
+	}
+	return kernels
+}
+
+// ---------------------------------------------------------------------------
+// bwsat: line-fill-buffer saturation
+
+// buildBwsat streams a copy kernel. In bw-saturated mode each thread
+// walks fresh source lines in descending order — invisible to the
+// ascending-stream prefetcher — and reads all eight words of a line
+// right behind the leader's demand miss, so the trailing loads hit the
+// line-fill buffer (MEM_LOAD_RETIRED.HIT_LFB) while stores stream RFO
+// misses to the destination. In good mode the same copy loop runs over
+// a small L1-resident ring.
+func buildBwsat(spec Spec, space *mem.Space) []machine.Kernel {
+	jitterLayout(space, spec.Seed)
+	kernels := make([]machine.Kernel, spec.Threads)
+	for tid := 0; tid < spec.Threads; tid++ {
+		start, end := splitRange(spec.Size, spec.Threads, tid)
+		n := end - start
+		if n <= 0 {
+			n = 1
+		}
+		if spec.Mode == BWSat {
+			lines := n/elemsPerLine + 1
+			src := space.Alloc(uint64(lines)*mem.LineSize, mem.LineSize)
+			dst := space.Alloc(uint64(lines)*mem.LineSize, mem.LineSize)
+			kernels[tid] = &machine.IterKernel{
+				I: start, End: end,
+				Body: func(ctx *machine.Ctx, i int) {
+					w := i - start
+					line := lines - 1 - w/elemsPerLine // descending line walk
+					word := w % elemsPerLine
+					off := uint64(line)*mem.LineSize + uint64(word)*elem
+					ctx.Load(src + off)
+					ctx.Store(dst + off)
+				},
+			}
+		} else {
+			const ringLines = 64 // 4 KiB: comfortably L1-resident
+			src := space.Alloc(ringLines*mem.LineSize, mem.LineSize)
+			dst := space.Alloc(ringLines*mem.LineSize, mem.LineSize)
+			ringWords := ringLines * elemsPerLine
+			kernels[tid] = &machine.IterKernel{
+				I: start, End: end,
+				Body: func(ctx *machine.Ctx, i int) {
+					off := uint64((i-start)%ringWords) * elem
+					ctx.Load(src + off)
+					ctx.Exec(2)
+					ctx.Store(dst + off)
+				},
+			}
+		}
+	}
+	return kernels
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+var pathology = []Program{
+	{"tlbwalk", true, map[Mode]bool{Good: true, TLBThrash: true}, buildTlbwalk},
+	{"numaping", true, map[Mode]bool{Good: true, NUMARemote: true}, buildNumaping},
+	{"bwsat", true, map[Mode]bool{Good: true, BWSat: true}, buildBwsat},
+}
+
+// PathologySet returns the pathology mini-programs used to train the
+// multi-pathology ensemble. They are separate from All() so the paper
+// grids keep their exact enumeration order and per-case seeds.
+func PathologySet() []Program {
+	out := make([]Program, len(pathology))
+	copy(out, pathology)
+	return out
+}
+
+// PathologyOf returns the pathology mode a pathology program trains,
+// and false for programs outside the pathology set.
+func PathologyOf(name string) (Mode, bool) {
+	switch name {
+	case "tlbwalk":
+		return TLBThrash, true
+	case "numaping":
+		return NUMARemote, true
+	case "bwsat":
+		return BWSat, true
+	}
+	return Good, false
+}

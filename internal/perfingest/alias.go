@@ -35,6 +35,12 @@ import (
 // divides by (Table-2 event 16).
 const normalizer = "INST_RETIRED.ANY"
 
+// remoteFeature is the widened NUMA-locality feature the multi-pathology
+// ensemble consults beyond Table 2. A trace carrying a mapped remote-DRAM
+// event widens the sample (see Sample); one without keeps the 15-feature
+// shape and lets the ensemble degrade explicitly on the missing event.
+const remoteFeature = "MEM_UNCORE_RETIRED.REMOTE_DRAM"
+
 // aliases maps canonicalized perf event names (see canonEvent) onto
 // Table-2 feature names (or the normalizer). Identity entries for the
 // Table-2 names themselves are added in init.
@@ -43,9 +49,9 @@ var aliases = map[string]string{
 	// c2c statistics proxy (see the c2c note in DESIGN.md §11: c2c
 	// stats count sampled memory operations, so "Total records" is the
 	// per-sampled-op normalizer of that format).
-	"instructions":  normalizer,
+	"instructions":     normalizer,
 	"inst_retired.any": normalizer,
-	"total records": normalizer,
+	"total records":    normalizer,
 
 	// 1 · L2_DATA_RQSTS.DEMAND.I_STATE — demand requests that found the
 	// line Invalid: L2 demand misses in modern spellings.
@@ -88,11 +94,11 @@ var aliases = map[string]string{
 	// 9-11 · SNOOP_RESPONSE.{HIT,HITE,HITM} — the cross-core snoop
 	// responses; on Sandy Bridge+ the load-latency facility reports
 	// them as xsnp_* load sources, and c2c tallies the HITM rows.
-	"snoop_response.hit":                     "SNOOP_RESPONSE.HIT",
-	"mem_load_uops_llc_hit_retired.xsnp_hit": "SNOOP_RESPONSE.HIT",
-	"snoop_response.hite":                    "SNOOP_RESPONSE.HITE",
-	"snoop_response.hit_e":                   "SNOOP_RESPONSE.HITE",
-	"snoop_response.hitm":                    "SNOOP_RESPONSE.HITM",
+	"snoop_response.hit":                      "SNOOP_RESPONSE.HIT",
+	"mem_load_uops_llc_hit_retired.xsnp_hit":  "SNOOP_RESPONSE.HIT",
+	"snoop_response.hite":                     "SNOOP_RESPONSE.HITE",
+	"snoop_response.hit_e":                    "SNOOP_RESPONSE.HITE",
+	"snoop_response.hitm":                     "SNOOP_RESPONSE.HITM",
 	"mem_load_uops_llc_hit_retired.xsnp_hitm": "SNOOP_RESPONSE.HITM",
 	"mem_load_l3_hit_retired.xsnp_hitm":       "SNOOP_RESPONSE.HITM",
 	"load local hitm":                         "SNOOP_RESPONSE.HITM",
@@ -106,8 +112,8 @@ var aliases = map[string]string{
 	"load fill buffer hit":          "MEM_LOAD_RETIRED.HIT_LFB",
 
 	// 13 · DTLB_MISSES.ANY
-	"dtlb_misses.any":                    "DTLB_MISSES.ANY",
-	"dtlb-load-misses":                   "DTLB_MISSES.ANY",
+	"dtlb_misses.any":                     "DTLB_MISSES.ANY",
+	"dtlb-load-misses":                    "DTLB_MISSES.ANY",
 	"dtlb_load_misses.miss_causes_a_walk": "DTLB_MISSES.ANY",
 
 	// 14 · L1D.REPL
@@ -118,6 +124,13 @@ var aliases = map[string]string{
 	// 15 · RESOURCE_STALLS.LOAD
 	"resource_stalls.load": "RESOURCE_STALLS.LOAD",
 	"resource_stalls.ld":   "RESOURCE_STALLS.LOAD",
+
+	// 17 · MEM_UNCORE_RETIRED.REMOTE_DRAM — the widened NUMA feature
+	// (identity entry added in init): the generic node-counter alias,
+	// the Sandy Bridge+ successor, and the c2c remote-DRAM statistic.
+	"node-load-misses":                           remoteFeature,
+	"mem_load_uops_llc_miss_retired.remote_dram": remoteFeature,
+	"load remote dram":                           remoteFeature,
 }
 
 // rawCodes maps (code, umask) to Table-2 names, for perf's raw rUUEE
@@ -125,9 +138,10 @@ var aliases = map[string]string{
 var rawCodes = map[uint16]string{}
 
 func init() {
-	// Table2 includes the normalizer under its own name, so its
-	// identity entry lands here alongside the 15 features'.
-	for _, d := range pmu.Table2() {
+	// The widened event set includes the normalizer and the remote-DRAM
+	// feature under their own names, so their identity entries land here
+	// alongside the 15 Table-2 features'.
+	for _, d := range pmu.EnsembleEvents() {
 		aliases[strings.ToLower(d.Name)] = d.Name
 		rawCodes[uint16(d.Umask)<<8|uint16(d.Code)] = d.Name
 	}
@@ -199,6 +213,12 @@ var ErrNoNormalizer = errors.New("no usable instruction count to normalize by")
 // erroring. Output missing the instructions event entirely is an error
 // wrapping ErrNoNormalizer: with no normalizer there is no subset to
 // survive on.
+//
+// A trace carrying a measured remote-DRAM event (node-load-misses and
+// friends) widens the sample with the 16th ensemble feature; a trace
+// without keeps the exact 15-feature shape, so the single detector's
+// behavior is unchanged and the ensemble degrades explicitly on the
+// missing event rather than reading a guessed zero.
 func (r *Report) Sample() (pmu.Sample, *Mapping, error) {
 	names := pmu.FeatureNames()
 	idx := make(map[string]int, len(names))
@@ -208,6 +228,8 @@ func (r *Report) Sample() (pmu.Sample, *Mapping, error) {
 	m := &Mapping{Mapped: map[string]string{}}
 	s := pmu.Sample{Names: names, Counts: make([]float64, len(names))}
 	have := make([]bool, len(names))
+	var remote float64
+	haveRemote := false
 	for _, ec := range r.Events {
 		feat, ok := resolve(ec.Name)
 		if !ok {
@@ -220,6 +242,11 @@ func (r *Report) Sample() (pmu.Sample, *Mapping, error) {
 		}
 		if feat == normalizer {
 			s.Instructions += ec.Count
+			continue
+		}
+		if feat == remoteFeature {
+			remote += ec.Count
+			haveRemote = true
 			continue
 		}
 		i := idx[feat]
@@ -238,6 +265,13 @@ func (r *Report) Sample() (pmu.Sample, *Mapping, error) {
 			}
 			s.Flags[i] = pmu.FlagStarved
 			m.Missing = append(m.Missing, names[i])
+		}
+	}
+	if haveRemote {
+		s.Names = append(s.Names, remoteFeature)
+		s.Counts = append(s.Counts, remote)
+		if s.Flags != nil {
+			s.Flags = append(s.Flags, 0)
 		}
 	}
 	return s, m, nil

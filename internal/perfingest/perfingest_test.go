@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"fsml/internal/core"
+	"fsml/internal/pmu"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -288,6 +289,55 @@ func TestClassifyC2C(t *testing.T) {
 	}
 }
 
+// TestSampleRemoteDRAMWidens: a trace carrying a measured remote-DRAM
+// event widens the sample with the 16th ensemble feature; without one
+// the sample keeps the exact 15-feature shape, so the ensemble degrades
+// explicitly on the missing event instead of reading a guessed zero.
+func TestSampleRemoteDRAMWidens(t *testing.T) {
+	rep, err := ParseStat(strings.NewReader(
+		"  1,000,000  instructions\n" +
+			"  5,000  node-load-misses\n" +
+			"  2,500  mem_uncore_retired.remote_dram\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, m, err := rep.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := pmu.NumFeatures + 1; len(s.Names) != want || len(s.Counts) != want {
+		t.Fatalf("widened sample carries %d/%d names/counts, want %d", len(s.Names), len(s.Counts), want)
+	}
+	last := len(s.Names) - 1
+	if s.Names[last] != remoteFeature {
+		t.Errorf("16th feature = %q, want %s", s.Names[last], remoteFeature)
+	}
+	if s.Counts[last] != 7500 {
+		t.Errorf("remote-DRAM count = %v, want summed 7500", s.Counts[last])
+	}
+	if s.Flags != nil && len(s.Flags) != len(s.Names) {
+		t.Errorf("flags length %d != names length %d", len(s.Flags), len(s.Names))
+	}
+	if got := m.Mapped["node-load-misses"]; got != remoteFeature {
+		t.Errorf("mapping for node-load-misses = %q", got)
+	}
+	for _, f := range m.Missing {
+		if f == remoteFeature {
+			t.Errorf("remote feature reported missing despite being measured: %v", m.Missing)
+		}
+	}
+
+	// Without a remote event the shape stays legacy: 15 features, and
+	// the remote feature is absent rather than flagged.
+	s2, _, err := parseFixture(t, "stat_human").Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Names) != pmu.NumFeatures {
+		t.Errorf("legacy trace widened to %d features", len(s2.Names))
+	}
+}
+
 // TestSampleNoNormalizer: output without an instruction count cannot
 // be normalized — a typed error, not a garbage vector.
 func TestSampleNoNormalizer(t *testing.T) {
@@ -315,6 +365,12 @@ func TestResolveAliases(t *testing.T) {
 		{"r2b8", "SNOOP_RESPONSE.HITE", true},
 		{"r4b8", "SNOOP_RESPONSE.HITM", true},
 		{"r00c0", normalizer, true},
+		{"dTLB-load-misses", "DTLB_MISSES.ANY", true},
+		{"node-load-misses", remoteFeature, true},
+		{"node-load-misses:u", remoteFeature, true},
+		{"mem_uncore_retired.remote_dram", remoteFeature, true},
+		{"cpu/mem_load_uops_llc_miss_retired.remote_dram/", remoteFeature, true},
+		{"r200f", remoteFeature, true},
 		{"branch-misses", "", false},
 		{"rzz", "", false},
 	} {

@@ -92,6 +92,13 @@ var extraCandidates = []EventDef{
 	{0x51, 0x02, "L1D.M_REPL", "Modified L1D lines replaced", cache.EvL1Replacement, 0.10, 0.5},
 }
 
+// remoteDRAM is the NUMA locality counter the multi-pathology ensemble
+// adds on top of Table 2: loads retired that were filled from the other
+// socket's memory controller. It is not part of the paper's selected set
+// (the paper's platform ran single-socket), so it extends — never
+// reorders — the Table 2 layout.
+var remoteDRAM = EventDef{0x0F, 0x20, "MEM_UNCORE_RETIRED.REMOTE_DRAM", "Loads serviced by remote DRAM", cache.EvRemoteDRAM, 0.03, 1}
+
 // Table2 returns copies of the 16 selected events of the paper, in paper
 // order: index i is paper event number i+1. Event 16
 // (Instructions_Retired) is the normalizer.
@@ -99,6 +106,15 @@ func Table2() []EventDef {
 	out := make([]EventDef, len(table2))
 	copy(out, table2)
 	return out
+}
+
+// EnsembleEvents returns the widened event set the multi-pathology
+// ensemble trains on: the 16 Table 2 events in paper order, followed by
+// MEM_UNCORE_RETIRED.REMOTE_DRAM. Because the Table 2 prefix is intact,
+// samples taken with this set still satisfy Sample.FeatureVector and the
+// legacy 3-class detector.
+func EnsembleEvents() []EventDef {
+	return append(Table2(), remoteDRAM)
 }
 
 // Catalogue returns the full candidate event list: Table 2 followed by the
@@ -124,3 +140,10 @@ func FeatureNames() []string {
 
 // NumFeatures is the dimensionality of the classifier feature vector.
 const NumFeatures = 15
+
+// EnsembleFeatureNames returns the attribute names of the widened
+// multi-pathology feature vector: the 15 Table 2 features followed by the
+// remote-DRAM locality counter.
+func EnsembleFeatureNames() []string {
+	return append(FeatureNames(), remoteDRAM.Name)
+}

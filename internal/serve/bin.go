@@ -81,7 +81,7 @@ func (s *Server) classifyBin(ctx context.Context, det *core.Detector, key string
 		jr := &ClassifyRequest{Trace: req.Trace, Seed: req.Seed}
 		resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
 			c0 := time.Now()
-			resp, err := s.classifyTrace(det, key, jr)
+			resp, err := s.classifyTrace(verdictor{det: det}, key, jr)
 			s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds())
 			return resp, err
 		})
@@ -126,7 +126,7 @@ func (s *Server) classifyBin(ctx context.Context, det *core.Detector, key string
 	degraded := false
 	for i := 0; i < n; i++ {
 		jr.Vector = req.Vecs[i*req.Width : (i+1)*req.Width]
-		jresp, err := s.classifyVector(det, key, jr)
+		jresp, err := s.classifyVector(verdictor{det: det}, key, jr)
 		if err != nil {
 			return nil, err
 		}

@@ -275,6 +275,18 @@ func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (*ClassifyRe
 	return &out, nil
 }
 
+// ClassifyEnsemble posts one classification request to the
+// multi-pathology ensemble (?ensemble=1): the response's Pathologies
+// ranks every label the ensemble knows. req.Detector selects an
+// "ensemble:..." key ("" = the server's default ensemble spec).
+func (c *Client) ClassifyEnsemble(ctx context.Context, req ClassifyRequest) (*ClassifyResponse, error) {
+	var out ClassifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/classify?ensemble=1", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ClassifyPerf uploads raw `perf stat` / `perf c2c report` output
 // (see internal/perfingest) for classification: the body goes up
 // verbatim under the PerfContentType media type, the server maps it
@@ -283,9 +295,28 @@ func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (*ClassifyRe
 // registry key ("" = server default). Retries follow the client's
 // policy, exactly as for Classify.
 func (c *Client) ClassifyPerf(ctx context.Context, detector string, perf []byte) (*ClassifyResponse, error) {
-	path := "/v1/classify"
+	return c.classifyPerf(ctx, detector, perf, false)
+}
+
+// ClassifyPerfEnsemble is ClassifyPerf against the multi-pathology
+// ensemble (?ensemble=1). Counters the capture is missing — commonly
+// the remote-DRAM event — degrade the affected members per-member
+// rather than failing the request.
+func (c *Client) ClassifyPerfEnsemble(ctx context.Context, detector string, perf []byte) (*ClassifyResponse, error) {
+	return c.classifyPerf(ctx, detector, perf, true)
+}
+
+func (c *Client) classifyPerf(ctx context.Context, detector string, perf []byte, ens bool) (*ClassifyResponse, error) {
+	q := url.Values{}
 	if detector != "" {
-		path += "?detector=" + url.QueryEscape(detector)
+		q.Set("detector", detector)
+	}
+	if ens {
+		q.Set("ensemble", "1")
+	}
+	path := "/v1/classify"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
 	}
 	for attempt := 0; ; attempt++ {
 		out, err := c.perfRoundTrip(ctx, path, perf)

@@ -328,7 +328,7 @@ func BenchmarkShadowMirror(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := s.classifyVector(det, key, req); err != nil {
+			if _, err := s.classifyVector(verdictor{det: det}, key, req); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -670,11 +670,13 @@ func (r *Registry) DiskKeys() []string {
 	keys := make([]string, 0, len(glob))
 	for _, path := range glob {
 		name := strings.TrimSuffix(filepath.Base(path), ".json")
-		// Reverse the ':' -> '-' mangling for the two known key families.
+		// Reverse the ':' -> '-' mangling for the known key families.
 		if rest, ok := strings.CutPrefix(name, "sha256-"); ok {
 			keys = append(keys, "sha256:"+rest)
 		} else if rest, ok := strings.CutPrefix(name, "train-"); ok {
 			keys = append(keys, "train:"+rest)
+		} else if rest, ok := strings.CutPrefix(name, "ensemble-"); ok {
+			keys = append(keys, "ensemble:"+rest)
 		}
 	}
 	sort.Strings(keys)

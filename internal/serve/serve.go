@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"fsml/internal/core"
+	"fsml/internal/ensemble"
 	"fsml/internal/faults"
 	"fsml/internal/lifecycle"
 	"fsml/internal/perfingest"
@@ -114,6 +115,9 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Train overrides the registry's lazy trainer (tests).
 	Train func(spec TrainSpec) (*core.Detector, error)
+	// TrainEnsemble overrides the ensemble registry's lazy trainer
+	// (tests). Nil selects the exps.Lab base + widened-grid pipeline.
+	TrainEnsemble func(spec EnsembleSpec) (*ensemble.Detector, error)
 	// Lifecycle, when non-nil, enables the self-healing model loop:
 	// drift alarms from watch sessions debounce into a retrain, the
 	// candidate shadow-scores live traffic beside the incumbent, and
@@ -169,6 +173,7 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	reg     *Registry
+	ens     *ensembleRegistry
 	batcher *Batcher
 
 	limClassify *resilience.Limiter
@@ -221,6 +226,7 @@ func New(cfg Config) *Server {
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
 		}),
+		ens:          newEnsembleRegistry(cfg.RegistryDir, cfg.Parallelism, cfg.TrainEnsemble, m),
 		batcher:      NewBatcher(cfg.MaxBatch, cfg.Linger, cfg.Parallelism, m),
 		limClassify:  resilience.NewLimiter(cfg.MaxInflight, shedAfter),
 		limReport:    resilience.NewLimiter(cfg.MaxInflight, shedAfter),
@@ -649,7 +655,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleListDetectors(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.Add(mReqDetectors, 1)
 	writeJSON(w, DetectorsResponse{
-		Detectors: s.reg.List(),
+		Detectors: append(s.reg.List(), s.ens.List()...),
 		Capacity:  s.cfg.RegistryCapacity,
 		Disk:      s.reg.DiskKeys(),
 	})
@@ -713,14 +719,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	det, key, err := s.detector(ctx, req.Detector)
+	vd, key, err := s.verdictorFor(ctx, r, req.Detector)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
 		c0 := time.Now()
-		resp, err := s.classifyOne(det, key, &req)
+		resp, err := s.classifyOne(vd, key, &req)
 		s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds())
 		return resp, err
 	})
@@ -754,25 +760,33 @@ func validateClassify(req *ClassifyRequest) error {
 	return nil
 }
 
-// classifyOne performs one classification inside a batch slot.
-func (s *Server) classifyOne(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
-	if len(req.Trace) > 0 {
-		return s.classifyTrace(det, key, req)
+// verdictorFor resolves a classify request's classifier: the ensemble
+// registry when the request opted in with ?ensemble=1, the detector
+// registry otherwise.
+func (s *Server) verdictorFor(ctx context.Context, r *http.Request, key string) (verdictor, string, error) {
+	if ensembleRequested(r.URL.Query().Get("ensemble")) {
+		ens, ekey, err := s.ensembleDetector(ctx, key)
+		return verdictor{ens: ens}, ekey, err
 	}
-	return s.classifyVector(det, key, req)
+	det, dkey, err := s.detector(ctx, key)
+	return verdictor{det: det}, dkey, err
+}
+
+// classifyOne performs one classification inside a batch slot.
+func (s *Server) classifyOne(vd verdictor, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+	if len(req.Trace) > 0 {
+		return s.classifyTrace(vd, key, req)
+	}
+	return s.classifyVector(vd, key, req)
 }
 
 // classifyVector classifies a pre-normalized event vector. The vector is
 // wrapped in a synthetic sample with an instruction normalizer of 1, so
 // the values pass through the detector's projection unchanged.
-func (s *Server) classifyVector(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+func (s *Server) classifyVector(vd verdictor, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
 	events := req.Events
 	if len(events) == 0 {
-		if det.Tree != nil {
-			events = det.Tree.Attrs
-		} else {
-			events = pmu.FeatureNames()
-		}
+		events = vd.attrs()
 		if len(events) != len(req.Vector) {
 			return nil, badRequestf("classify: detector expects %d events, vector has %d (name them via events)", len(events), len(req.Vector))
 		}
@@ -792,14 +806,14 @@ func (s *Server) classifyVector(det *core.Detector, key string, req *ClassifyReq
 			sample.Flags[i] = pmu.FlagStuck
 		}
 	}
-	rr, err := det.ClassifyRobust(sample)
+	rr, paths, err := vd.classify(sample)
 	if err != nil {
 		return nil, badRequestf("classify: %v", err)
 	}
 	s.mirror(key, rr.Class, rr.Confidence, sample, nil)
 	return &ClassifyResponse{
 		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
-		Suspects: rr.Suspects, Detector: key,
+		Suspects: rr.Suspects, Detector: key, Pathologies: paths,
 	}, nil
 }
 
@@ -808,7 +822,7 @@ func (s *Server) classifyVector(det *core.Detector, key string, req *ClassifyReq
 // if any), and classifies the measurement. An unusable sample — possible
 // only under fault injection — gets re-seeded retries, mirroring the
 // offline collector.
-func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
+func (s *Server) classifyTrace(vd verdictor, key string, req *ClassifyRequest) (*ClassifyResponse, error) {
 	tr, err := trace.Parse(bytes.NewReader(req.Trace))
 	if err != nil {
 		return nil, badRequestf("classify: %v", err)
@@ -835,7 +849,7 @@ func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequ
 			break
 		}
 	}
-	rr, err := det.ClassifyRobust(obs.Sample)
+	rr, paths, err := vd.classify(obs.Sample)
 	if err != nil {
 		return nil, fmt.Errorf("classify: %w", err)
 	}
@@ -845,6 +859,7 @@ func (s *Server) classifyTrace(det *core.Detector, key string, req *ClassifyRequ
 	return &ClassifyResponse{
 		Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
 		Suspects: rr.Suspects, Detector: key, Seconds: obs.Seconds,
+		Pathologies: paths,
 	}, nil
 }
 
@@ -898,7 +913,7 @@ func (s *Server) classifyPerfUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqContext(r, timeoutMS)
 	defer cancel()
-	det, key, err := s.detector(ctx, q.Get("detector"))
+	vd, key, err := s.verdictorFor(ctx, r, q.Get("detector"))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -906,14 +921,14 @@ func (s *Server) classifyPerfUpload(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.batcher.Submit(ctx, func() (*ClassifyResponse, error) {
 		c0 := time.Now()
 		defer func() { s.metrics.Observe(mClassifySec, latencyBuckets, time.Since(c0).Seconds()) }()
-		rr, err := det.ClassifyRobust(sample)
+		rr, paths, err := vd.classify(sample)
 		if err != nil {
 			return nil, badRequestf("classify: %v", err)
 		}
 		s.mirror(key, rr.Class, rr.Confidence, sample, nil)
 		return &ClassifyResponse{
 			Class: rr.Class, Confidence: rr.Confidence, Degraded: rr.Degraded,
-			Suspects: rr.Suspects, Detector: key,
+			Suspects: rr.Suspects, Detector: key, Pathologies: paths,
 			PerfFormat: string(rep.Format), UnmappedEvents: mapping.Unmapped,
 		}, nil
 	})

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"fsml/internal/ensemble"
 	"fsml/internal/lifecycle"
 	"fsml/internal/report"
 )
@@ -81,6 +82,10 @@ type ClassifyResponse struct {
 	// UnmappedEvents lists perf events the alias table could not map
 	// onto the feature space (perf uploads only).
 	UnmappedEvents []string `json:"unmapped_events,omitempty"`
+	// Pathologies ranks every label the multi-pathology ensemble knows,
+	// descending by score (?ensemble=1 requests only). Class and
+	// Confidence mirror its top entry.
+	Pathologies []ensemble.PathologyScore `json:"pathologies,omitempty"`
 }
 
 // ReportRequest is the body of POST /v1/report: a full report.Options

@@ -1,0 +1,118 @@
+package suite
+
+import (
+	"fsml/internal/machine"
+	"fsml/internal/mem"
+)
+
+// Pathology workloads are benchmark-style analogs for the widened label
+// space (tlb-thrash, numa-remote, bw-saturated). They mirror the
+// internal/miniprog kernel families but are built like suite workloads —
+// jittered workspace, input scaling, shared-range splitting — so the
+// ensemble can be exercised on held-out programs it never trained on.
+//
+// They live outside All()/Phoenix()/PARSEC(): the paper's Table 5
+// evaluation must keep sweeping exactly the published programs. Lookup
+// finds them by name.
+
+// Pathology returns the held-out pathology workloads.
+func Pathology() []Workload {
+	return []Workload{pagewalk(), remotePing(), streamCopy()}
+}
+
+// pagewalk touches one line in each of many 4KiB pages in a ring far
+// wider than the 64-entry DTLB; the touched line is staggered per page
+// so L1 sets stay balanced and the TLB is the only resource thrashing.
+func pagewalk() Workload {
+	w := Workload{
+		Name: "pagewalk", Suite: "pathology", Truth: NoFS, PaperClass: "tlb-thrash",
+		Inputs: []Input{{"small", 120000}, {"large", 360000}},
+	}
+	w.Build = func(cs Case) []machine.Kernel {
+		n := w.size(cs.Input) / cs.Threads
+		pages := uint64(128 + int(cs.Seed%5)*32)
+		alu := optALU(cs.Opt)
+		kernels := make([]machine.Kernel, cs.Threads)
+		sp := workspace(pages*mem.PageSize*uint64(cs.Threads), cs.Seed*977)
+		for tid := 0; tid < cs.Threads; tid++ {
+			base := sp.Alloc(pages*mem.PageSize, mem.PageSize)
+			kernels[tid] = &machine.IterKernel{
+				End: n,
+				Body: func(ctx *machine.Ctx, i int) {
+					p := uint64(i) % pages
+					ctx.Load(base + p*mem.PageSize + (p%64)*mem.LineSize)
+					ctx.Exec(1 + alu)
+				},
+			}
+		}
+		return kernels
+	}
+	return w
+}
+
+// remotePing walks fresh lines in descending order through pages homed
+// on the other socket. On the two-socket machine (machine.NUMAConfig)
+// every demand fill pays the remote-DRAM latency; on the default
+// single-home machine it degrades to a plain streaming miss pattern.
+func remotePing() Workload {
+	w := Workload{
+		Name: "remote_ping", Suite: "pathology", Truth: NoFS, PaperClass: "numa-remote",
+		Inputs: []Input{{"small", 90000}, {"large", 240000}},
+	}
+	w.Build = func(cs Case) []machine.Kernel {
+		n := w.size(cs.Input) / cs.Threads
+		pages := uint64(n/64 + 2)
+		alu := optALU(cs.Opt)
+		kernels := make([]machine.Kernel, cs.Threads)
+		sp := workspace(2*pages*mem.PageSize*uint64(cs.Threads), cs.Seed*1559)
+		for tid := 0; tid < cs.Threads; tid++ {
+			base := sp.Alloc(2*pages*mem.PageSize, mem.PageSize)
+			// Select the page parity homed on the remote socket.
+			d := (1 ^ (base >> mem.PageShift)) & 1
+			kernels[tid] = &machine.IterKernel{
+				End: n,
+				Body: func(ctx *machine.Ctx, i int) {
+					line := uint64(n - 1 - i)
+					addr := base + (line/64*2+d)*mem.PageSize + (line%64)*mem.LineSize
+					ctx.Load(addr)
+					ctx.Exec(1 + alu)
+					ctx.Store(addr)
+				},
+			}
+		}
+		return kernels
+	}
+	return w
+}
+
+// streamCopy is a memcpy-style stream over descending line addresses:
+// the descent defeats the ascending-stream prefetcher, so each line's
+// leader load misses to DRAM while its followers queue on the line-fill
+// buffers and the store stream backs up the store buffer.
+func streamCopy() Workload {
+	w := Workload{
+		Name: "stream_copy", Suite: "pathology", Truth: NoFS, PaperClass: "bw-saturated",
+		Inputs: []Input{{"small", 120000}, {"large", 360000}},
+	}
+	w.Build = func(cs Case) []machine.Kernel {
+		n := w.size(cs.Input) / cs.Threads
+		lines := uint64(n/8 + 1)
+		kernels := make([]machine.Kernel, cs.Threads)
+		sp := workspace(2*lines*mem.LineSize*uint64(cs.Threads), cs.Seed*2657)
+		for tid := 0; tid < cs.Threads; tid++ {
+			src := sp.Alloc(lines*mem.LineSize, mem.LineSize)
+			dst := sp.Alloc(lines*mem.LineSize, mem.LineSize)
+			kernels[tid] = &machine.IterKernel{
+				End: int(lines) * 8,
+				Body: func(ctx *machine.Ctx, w int) {
+					line := lines - 1 - uint64(w)/8
+					off := line*mem.LineSize + uint64(w%8)*8
+					ctx.Load(src + off)
+					ctx.Store(dst + off)
+				},
+			}
+		}
+		return kernels
+	}
+	return w
+}

@@ -149,9 +149,10 @@ func Unsupported() map[string]string {
 	}
 }
 
-// Lookup finds a workload by name.
+// Lookup finds a workload by name, searching the published programs and
+// the held-out pathology analogs.
 func Lookup(name string) (Workload, bool) {
-	for _, w := range All() {
+	for _, w := range append(All(), Pathology()...) {
 		if w.Name == name {
 			return w, true
 		}

@@ -87,6 +87,24 @@ func TestHITMSignatures(t *testing.T) {
 	}
 }
 
+// TestPathologyWorkloadsDoNotFalseShare: the held-out pathology analogs
+// are all Truth=NoFS, so their per-thread regions must be disjoint — a
+// shared-base aliasing bug once made every remote_ping thread ping-pong
+// the same lines and classify as bad-fs.
+func TestPathologyWorkloadsDoNotFalseShare(t *testing.T) {
+	for _, w := range Pathology() {
+		tot, res := runCase(t, w, smallCase(w, 6, machine.O2))
+		if res.Instructions == 0 {
+			t.Errorf("%s retired no instructions", w.Name)
+			continue
+		}
+		rate := float64(tot.Get(cache.EvSnoopHitM)) / float64(res.Instructions)
+		if rate > 0.002 {
+			t.Errorf("%s HITM/instr = %.5f; pathology analogs must not false-share", w.Name, rate)
+		}
+	}
+}
+
 // TestLinearRegressionOptFlip is Table 6's mechanism: -O0 false-shares,
 // -O2 does not.
 func TestLinearRegressionOptFlip(t *testing.T) {
